@@ -1,0 +1,26 @@
+PY ?= python
+
+.PHONY: install test bench bench-quick experiments examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+bench-quick:
+	$(PY) -m pytest benchmarks/ --benchmark-disable
+
+experiments:
+	$(PY) scripts/run_experiments.py --quick
+
+examples:
+	for f in examples/*.py; do echo "== $$f =="; $(PY) $$f > /dev/null || exit 1; done
+	@echo "all examples ran clean"
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,48 @@
+"""Shared helpers for the benchmark harness.
+
+Every experiment file (E1-E14, see DESIGN.md) does three things:
+
+1. runs a parameter sweep measuring the quantity its theorem bounds
+   (charged work / depth / space / max error) and *asserts* the bound's
+   shape — so ``pytest benchmarks/`` is itself a reproduction check;
+2. prints the theory-vs-measured table and writes it to
+   ``benchmarks/results/<experiment>.txt`` (the tables embedded in
+   EXPERIMENTS.md);
+3. exposes a ``benchmark``-fixture timing test for pytest-benchmark's
+   wall-clock numbers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.analysis.report import format_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit_table(
+    experiment: str,
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    notes: str = "",
+) -> str:
+    """Render, print, and persist one experiment table."""
+    body = format_table(headers, rows)
+    text = f"== {experiment}: {title} ==\n{body}\n"
+    if notes:
+        text += f"{notes}\n"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{experiment}.txt"
+    with path.open("a") as fh:
+        fh.write(text + "\n")
+    print("\n" + text)
+    return text
+
+
+def reset_results(experiment: str) -> None:
+    """Start the experiment's results file fresh for this run."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment}.txt").write_text("")

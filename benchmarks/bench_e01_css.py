@@ -1,0 +1,73 @@
+"""E1 — Lemma 2.1: CSS construction is O(n) work, O(log n) depth.
+
+Sweep the segment length and the 1-density; the charged work per bit
+must stay flat and the depth logarithmic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks._harness import emit_table, reset_results
+from repro.analysis.fit import fit_loglog_slope
+from repro.pram.cost import tracking
+from repro.pram.css import css_of_bits
+from repro.stream.generators import bit_stream
+
+EXPERIMENT = "E1"
+
+
+@pytest.mark.benchmark(group="E1-css")
+def test_e01_css_linear_work(benchmark):
+    reset_results(EXPERIMENT)
+    rows = []
+    sizes = [1 << k for k in range(10, 19, 2)]
+    works, depths = [], []
+    for n in sizes:
+        bits = bit_stream(n, 0.5, rng=1)
+        with tracking() as led:
+            css_of_bits(bits)
+        rows.append([n, led.work, led.work / n, led.depth, int(np.log2(n))])
+        works.append(led.work)
+        depths.append(led.depth)
+
+    slope = fit_loglog_slope(sizes, works)
+    emit_table(
+        EXPERIMENT,
+        "CSS construction cost vs segment length (Lemma 2.1)",
+        ["n", "work", "work/n", "depth", "log2(n)"],
+        rows,
+        notes=f"work scaling exponent = {slope:.3f} (paper: 1.0 = linear)",
+    )
+    # Shape assertions: linear work, logarithmic depth.
+    assert 0.9 <= slope <= 1.1
+    for n, depth in zip(sizes, depths):
+        assert depth <= 4 * np.log2(n)
+
+    bits = bit_stream(1 << 18, 0.5, rng=2)
+    benchmark(css_of_bits, bits)
+
+
+@pytest.mark.benchmark(group="E1-css")
+def test_e01_css_density_independence(benchmark):
+    """Work depends on length, not on how many 1s the segment has."""
+    n = 1 << 16
+    rows = []
+    works = []
+    for density in (0.01, 0.25, 0.5, 0.75, 0.99):
+        bits = bit_stream(n, density, rng=3)
+        with tracking() as led:
+            css = css_of_bits(bits)
+        rows.append([density, css.count_ones, led.work, led.depth])
+        works.append(led.work)
+    emit_table(
+        EXPERIMENT,
+        "CSS cost vs 1-density (fixed n = 2^16)",
+        ["density", "ones", "work", "depth"],
+        rows,
+        notes="work flat across densities: encoding touches every bit once",
+    )
+    assert max(works) <= 1.5 * min(works)
+
+    benchmark(css_of_bits, bit_stream(n, 0.9, rng=4))

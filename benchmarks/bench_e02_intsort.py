@@ -1,0 +1,62 @@
+"""E2 — Theorem 2.2 [RR89]: intSort sorts integer keys in [0, c·n] with
+linear work and polylog depth, stably."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks._harness import emit_table, reset_results
+from repro.analysis.fit import fit_loglog_slope
+from repro.pram.cost import tracking
+from repro.pram.sort import int_sort, int_sort_perm
+
+EXPERIMENT = "E2"
+
+
+@pytest.mark.benchmark(group="E2-intsort")
+def test_e02_linear_work_polylog_depth(benchmark):
+    reset_results(EXPERIMENT)
+    rng = np.random.default_rng(1)
+    sizes = [1 << k for k in range(10, 21, 2)]
+    rows, works = [], []
+    for n in sizes:
+        keys = rng.integers(0, 4 * n, size=n)
+        with tracking() as led:
+            out = int_sort(keys)
+        assert np.all(np.diff(out) >= 0)
+        rows.append([n, led.work, led.work / n, led.depth, round(np.log2(n) ** 2, 1)])
+        works.append(led.work)
+    slope = fit_loglog_slope(sizes, works)
+    emit_table(
+        EXPERIMENT,
+        "intSort cost vs n (keys in [0, 4n], Theorem 2.2)",
+        ["n", "work", "work/n", "depth", "log2(n)^2"],
+        rows,
+        notes=f"work scaling exponent = {slope:.3f} (paper: 1.0 = linear)",
+    )
+    assert 0.9 <= slope <= 1.1
+    for (n, _w, _wn, depth, _l), _ in zip(rows, sizes):
+        assert depth <= 2 * np.log2(n) ** 2
+
+    keys = rng.integers(0, 1 << 20, size=1 << 18)
+    benchmark(int_sort, keys, range_factor=16)
+
+
+@pytest.mark.benchmark(group="E2-intsort")
+def test_e02_stability(benchmark):
+    """Stability is load-bearing for sift and the CMS row gather."""
+    rng = np.random.default_rng(2)
+    n = 1 << 16
+    keys = rng.integers(0, 64, size=n)  # many duplicates
+    perm = int_sort_perm(keys)
+    for value in range(64):
+        positions = perm[keys[perm] == value]
+        assert np.all(np.diff(positions) > 0), "equal keys must keep order"
+    emit_table(
+        EXPERIMENT,
+        "stability check (2^16 keys, 64 duplicates classes)",
+        ["keys", "classes", "stable"],
+        [[n, 64, True]],
+    )
+    benchmark(int_sort_perm, keys)

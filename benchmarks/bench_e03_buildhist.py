@@ -1,0 +1,78 @@
+"""E3 — Theorem 2.3: buildHist computes a minibatch histogram in O(µ)
+expected work and O(log² µ) depth, on skewed and uniform inputs."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from benchmarks._harness import emit_table, reset_results
+from repro.analysis.fit import fit_loglog_slope
+from repro.pram.cost import tracking
+from repro.pram.histogram import build_hist
+from repro.stream.generators import uniform_stream, zipf_stream
+
+EXPERIMENT = "E3"
+
+
+def _sweep(make_stream, label: str):
+    rng = np.random.default_rng(7)
+    sizes = [1 << k for k in range(10, 19, 2)]
+    rows, works = [], []
+    for mu in sizes:
+        batch = make_stream(mu)
+        with tracking() as led:
+            hist = build_hist(batch, rng)
+        assert dict(hist) == dict(Counter(batch.tolist()))
+        rows.append(
+            [mu, len(hist), led.work, round(led.work / mu, 2), led.depth,
+             round(np.log2(mu) ** 2, 1)]
+        )
+        works.append(led.work)
+    slope = fit_loglog_slope(sizes, works)
+    emit_table(
+        EXPERIMENT,
+        f"buildHist cost vs µ — {label} (Theorem 2.3)",
+        ["mu", "distinct", "work", "work/mu", "depth", "log2(mu)^2"],
+        rows,
+        notes=f"work scaling exponent = {slope:.3f} (paper: 1.0 = expected linear)",
+    )
+    assert 0.9 <= slope <= 1.15
+    for mu, _d, _w, _wm, depth, _l in rows:
+        assert depth <= 3 * np.log2(mu) ** 2
+    return sizes[-1]
+
+
+@pytest.mark.benchmark(group="E3-buildhist")
+def test_e03_zipf(benchmark):
+    reset_results(EXPERIMENT)
+    _sweep(lambda mu: zipf_stream(mu, mu, 1.1, rng=1), "Zipf(1.1)")
+    batch = zipf_stream(1 << 16, 1 << 16, 1.1, rng=2)
+    benchmark(build_hist, batch, np.random.default_rng(3))
+
+
+@pytest.mark.benchmark(group="E3-buildhist")
+def test_e03_uniform(benchmark):
+    _sweep(lambda mu: uniform_stream(mu, mu, rng=4), "uniform (worst-case distinct)")
+    batch = uniform_stream(1 << 16, 1 << 16, rng=5)
+    benchmark(build_hist, batch, np.random.default_rng(6))
+
+
+@pytest.mark.benchmark(group="E3-buildhist")
+def test_e03_single_hot_item(benchmark):
+    """Degenerate skew: one bucket holds everything; collectBin's
+    one-pass-per-distinct keeps it linear."""
+    batch = np.zeros(1 << 16, dtype=np.int64)
+    with tracking() as led:
+        hist = build_hist(batch)
+    assert dict(hist) == {0: 1 << 16}
+    emit_table(
+        EXPERIMENT,
+        "degenerate skew (single item, µ = 2^16)",
+        ["mu", "work", "work/mu", "depth"],
+        [[1 << 16, led.work, round(led.work / (1 << 16), 2), led.depth]],
+    )
+    assert led.work <= 10 * (1 << 16)
+    benchmark(build_hist, batch)

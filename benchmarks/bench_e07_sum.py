@@ -1,0 +1,80 @@
+"""E7 — Theorem 4.2: sliding-window Sum over {0..R}.
+
+Space O(ε⁻¹ log n log R) and work O((S+µ) log R): both scale linearly
+in log R (the paper's footnote-1 caveat), with relative error <= ε on
+packet-sized values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks._harness import emit_table, reset_results
+from repro.analysis.fit import fit_loglog_slope
+from repro.core.windowed_sum import ParallelWindowedSum
+from repro.pram.cost import tracking
+from repro.stream.generators import minibatches, packet_trace
+from repro.stream.oracle import ExactWindowSum
+
+EXPERIMENT = "E7"
+WINDOW = 1 << 12
+
+
+@pytest.mark.benchmark(group="E7-sum")
+def test_e07_cost_scales_with_log_r(benchmark):
+    reset_results(EXPERIMENT)
+    rng = np.random.default_rng(1)
+    eps = 0.1
+    rows, works, logs = [], [], []
+    for bits in (4, 8, 12, 16):
+        max_value = (1 << bits) - 1
+        ws = ParallelWindowedSum(WINDOW, eps, max_value)
+        values = rng.integers(0, max_value + 1, size=1 << 13)
+        with tracking() as led:
+            for chunk in minibatches(values, 1 << 11):
+                ws.ingest(chunk)
+        rows.append([max_value, ws.num_planes, led.work, led.depth, ws.space])
+        works.append(led.work)
+        logs.append(bits)
+    slope = fit_loglog_slope(logs, works)
+    emit_table(
+        EXPERIMENT,
+        "cost vs R (ε=0.1, window=2^12, 2^13 values)",
+        ["R", "planes (log R)", "work", "depth", "space"],
+        rows,
+        notes=f"work vs log R exponent = {slope:.2f} (paper: 1.0 — the "
+        "log R work/space factor of Thm 4.2)",
+    )
+    assert 0.7 <= slope <= 1.3
+    ws = ParallelWindowedSum(WINDOW, eps, 1 << 12)
+    chunk = rng.integers(0, 1 << 12, size=1 << 11)
+    benchmark(ws.ingest, chunk)
+
+
+@pytest.mark.benchmark(group="E7-sum")
+def test_e07_accuracy_on_packet_bytes(benchmark):
+    eps = 0.05
+    _flows, sizes = packet_trace(1 << 14, rng=2)
+    ws = ParallelWindowedSum(WINDOW, eps, max_value=1_500)
+    oracle = ExactWindowSum(WINDOW)
+    worst = 0.0
+    rows = []
+    for i, chunk in enumerate(minibatches(sizes, 1 << 11)):
+        ws.ingest(chunk)
+        oracle.extend(chunk)
+        true = oracle.query()
+        est = ws.query()
+        rel = (est - true) / true if true else 0.0
+        worst = max(worst, rel)
+        assert true <= est <= true + eps * true
+        if i % 2 == 0:
+            rows.append([(i + 1) << 11, true, est, round(rel, 5)])
+    emit_table(
+        EXPERIMENT,
+        "bytes-in-window over a synthetic packet trace (ε=0.05)",
+        ["items seen", "true bytes", "estimate", "rel err"],
+        rows,
+        notes=f"worst relative error = {worst:.5f} <= ε = {eps} (one-sided)",
+    )
+    benchmark(ws.query)

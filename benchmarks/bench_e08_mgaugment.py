@@ -1,0 +1,115 @@
+"""E8 — Lemma 5.1 + Lemma 5.3: MG summaries and the parallel MGaugment.
+
+Measures the augment's O(S + p) work / O(log(S + p))-class depth across
+capacity and histogram-size sweeps, and checks the combined-stream
+error guarantee after many augments.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from benchmarks._harness import emit_table, reset_results
+from repro.analysis.fit import fit_loglog_slope
+from repro.core.misra_gries import MisraGriesSummary, mg_augment
+from repro.pram.cost import tracking
+from repro.pram.histogram import build_hist
+from repro.stream.generators import minibatches, zipf_stream
+
+EXPERIMENT = "E8"
+
+
+@pytest.mark.benchmark(group="E8-mgaugment")
+def test_e08_augment_cost_linear(benchmark):
+    reset_results(EXPERIMENT)
+    rng = np.random.default_rng(1)
+    capacity = 1 << 10
+    summary = {i: int(c) for i, c in enumerate(rng.integers(1, 100, capacity))}
+    rows, works, sizes = [], [], []
+    for p_exp in (8, 10, 12, 14):
+        p = 1 << p_exp
+        hist = {1_000_000 + i: int(c) for i, c in enumerate(rng.integers(1, 50, p))}
+        with tracking() as led:
+            out = mg_augment(summary, hist, capacity)
+        assert len(out) <= capacity
+        rows.append([p, len(out), led.work, round(led.work / (capacity + p), 2),
+                     led.depth])
+        works.append(led.work)
+        sizes.append(capacity + p)
+    slope = fit_loglog_slope(sizes, works)
+    emit_table(
+        EXPERIMENT,
+        "MGaugment cost vs histogram size p (S = 2^10)",
+        ["p", "survivors", "work", "work/(S+p)", "depth"],
+        rows,
+        notes=f"work vs (S+p) exponent = {slope:.2f} (Lemma 5.3: 1.0)",
+    )
+    assert 0.8 <= slope <= 1.2
+    hist = {2_000_000 + i: 1 for i in range(1 << 12)}
+    benchmark(mg_augment, summary, hist, capacity)
+
+
+@pytest.mark.benchmark(group="E8-mgaugment")
+def test_e08_error_after_many_augments(benchmark):
+    """Repeated augments keep C_e ∈ [f_e − m/S, f_e] for the whole
+    stream (the Lemma 5.1 argument batch-ified)."""
+    capacity = 64
+    stream = zipf_stream(1 << 15, 1 << 12, 1.1, rng=2)
+    summary: dict = {}
+    rng = np.random.default_rng(3)
+    for chunk in minibatches(stream, 1 << 11):
+        summary = mg_augment(summary, build_hist(chunk, rng), capacity)
+    true = Counter(stream.tolist())
+    m = len(stream)
+    rows, worst_loss = [], 0
+    for item in range(8):
+        f = true.get(item, 0)
+        got = summary.get(item, 0)
+        loss = f - got
+        worst_loss = max(worst_loss, loss)
+        rows.append([item, f, got, loss])
+        assert got <= f
+        assert loss <= m / capacity
+    emit_table(
+        EXPERIMENT,
+        "estimate loss after 16 augments (S=64, Zipf 2^15 items)",
+        ["item", "true f", "estimate", "loss"],
+        rows,
+        notes=f"worst loss {worst_loss} <= m/S = {m / capacity:.0f} (Lemma 5.1)",
+    )
+    chunk = zipf_stream(1 << 11, 1 << 12, 1.1, rng=4)
+    benchmark(lambda: mg_augment(summary, build_hist(chunk, rng), capacity))
+
+
+@pytest.mark.benchmark(group="E8-mgaugment")
+def test_e08_sequential_vs_batched_summary_quality(benchmark):
+    """Item-at-a-time MG and batched MGaugment land in the same error
+    class on the same stream."""
+    eps = 0.02
+    stream = zipf_stream(1 << 14, 500, 1.2, rng=5)
+    seq = MisraGriesSummary(eps=eps)
+    seq.extend(stream)
+    batched: dict = {}
+    rng = np.random.default_rng(6)
+    for chunk in minibatches(stream, 1 << 10):
+        batched = mg_augment(batched, build_hist(chunk, rng), seq.capacity)
+    true = Counter(stream.tolist())
+    m = len(stream)
+    rows = []
+    for item in range(6):
+        rows.append([item, true.get(item, 0), seq.estimate(item),
+                     batched.get(item, 0)])
+        for estimate in (seq.estimate(item), batched.get(item, 0)):
+            assert true.get(item, 0) - eps * m <= estimate <= true.get(item, 0)
+    emit_table(
+        EXPERIMENT,
+        "sequential MG vs batched MGaugment (ε=0.02)",
+        ["item", "true f", "sequential C_e", "batched C_e"],
+        rows,
+        notes="both satisfy f−εm <= C <= f; values differ (different "
+        "decrement schedules) but the guarantee class is identical",
+    )
+    benchmark(seq.extend, stream[: 1 << 10])

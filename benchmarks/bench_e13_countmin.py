@@ -1,0 +1,142 @@
+"""E13 — Theorem 6.1: the parallel Count-Min sketch.
+
+Space O(ε⁻¹ log 1/δ); minibatch work O(log(1/δ)·max(µ, 1/ε)); point
+queries O(log 1/δ) work at O(log log 1/δ) depth; overcount <= εm with
+probability 1−δ.  Compared against the item-at-a-time sequential CMS
+(identical tables, different cost shape).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks._harness import emit_table, reset_results
+from repro.analysis.bounds import cms_space_bound, cms_work_bound
+from repro.baselines.sequential_cms import SequentialCountMin
+from repro.core.countmin import DyadicCountMin, ParallelCountMin
+from repro.pram.cost import tracking
+from repro.stream.generators import minibatches, zipf_stream
+from repro.stream.oracle import ExactInfiniteFrequencies
+
+EXPERIMENT = "E13"
+
+
+@pytest.mark.benchmark(group="E13-countmin")
+def test_e13_work_vs_delta_and_mu(benchmark):
+    reset_results(EXPERIMENT)
+    eps = 0.005
+    rows = []
+    mu = 1 << 13
+    for delta in (0.1, 0.01, 0.001, 0.0001):
+        cm = ParallelCountMin(eps, delta)
+        batch = zipf_stream(mu, 10_000, 1.1, rng=1)
+        with tracking() as led:
+            cm.ingest(batch)
+        bound = cms_work_bound(eps, delta, mu)
+        rows.append([delta, cm.depth, cm.width, led.work,
+                     round(led.work / bound, 2), led.depth, cm.space,
+                     round(cms_space_bound(eps, delta), 0)])
+        assert led.work <= 10 * bound
+    emit_table(
+        EXPERIMENT,
+        "batch cost vs δ (ε=0.005, µ=2^13)",
+        ["delta", "rows d", "width w", "work", "work/bound", "depth",
+         "space", "eps^-1*ln(1/delta)"],
+        rows,
+        notes="work grows linearly in d = ln(1/δ): O(log(1/δ)) per item "
+        "on average, at polylog depth (Theorem 6.1)",
+    )
+    cm = ParallelCountMin(eps, 0.01)
+    batch = zipf_stream(mu, 10_000, 1.1, rng=2)
+    benchmark(cm.ingest, batch)
+
+
+@pytest.mark.benchmark(group="E13-countmin")
+def test_e13_accuracy_guarantee(benchmark):
+    eps, delta = 0.002, 0.01
+    cm = ParallelCountMin(eps, delta, np.random.default_rng(3))
+    exact = ExactInfiniteFrequencies()
+    stream = zipf_stream(1 << 16, 5_000, 1.1, rng=4)
+    for chunk in minibatches(stream, 1 << 13):
+        cm.ingest(chunk)
+        exact.extend(chunk)
+    m = exact.t
+    undercounts = 0
+    big_over = 0
+    queried = 1_000
+    for item in range(queried):
+        est = cm.point_query(item)
+        f = exact.frequency(item)
+        if est < f:
+            undercounts += 1
+        if est > f + eps * m:
+            big_over += 1
+    emit_table(
+        EXPERIMENT,
+        "point-query guarantee (ε=0.002, δ=0.01, 2^16 items, 1000 queries)",
+        ["queries", "undercounts (must be 0)", "over eps*m (expect ~delta)",
+         "delta*queries"],
+        [[queried, undercounts, big_over, queried * delta]],
+        notes="never undercounts; εm-overcounts at ~δ rate — the (ε,δ) "
+        "guarantee of [CM05] preserved by the batched update",
+    )
+    assert undercounts == 0
+    assert big_over <= 5 * queried * delta
+    benchmark(cm.point_query, 17)
+
+
+@pytest.mark.benchmark(group="E13-countmin")
+def test_e13_parallel_vs_sequential_cms(benchmark):
+    eps, delta = 0.01, 0.01
+    stream = zipf_stream(1 << 14, 2_000, 1.2, rng=5)
+    par = ParallelCountMin(eps, delta, np.random.default_rng(6))
+    with tracking() as led_par:
+        for chunk in minibatches(stream, 1 << 12):
+            par.ingest(chunk)
+    seq = SequentialCountMin(eps, delta, np.random.default_rng(6))
+    with tracking() as led_seq:
+        seq.extend(stream)
+    identical = bool(np.array_equal(par.table, seq.table))
+    emit_table(
+        EXPERIMENT,
+        "batched vs item-at-a-time CMS (same hashes, same stream)",
+        ["impl", "work", "depth", "tables identical"],
+        [
+            ["parallel minibatch", led_par.work, led_par.depth, identical],
+            ["sequential [CM05]", led_seq.work, led_seq.depth, identical],
+        ],
+        notes="bit-identical sketches; parallel depth is polylog vs the "
+        "sequential N·d chain",
+    )
+    assert identical
+    assert led_par.depth < led_seq.depth / 100
+    benchmark(seq.extend, stream[:2_000])
+
+
+@pytest.mark.benchmark(group="E13-countmin")
+def test_e13_dyadic_applications(benchmark):
+    """The applications §6 points to: range queries, quantiles, HH."""
+    dc = DyadicCountMin(0.005, 0.01, universe_bits=12, rng=np.random.default_rng(7))
+    data = zipf_stream(1 << 15, 1 << 12, 1.05, rng=8)
+    dc.ingest(data)
+    rows = []
+    for lo, hi in [(0, 15), (100, 500), (1_000, 4_000)]:
+        true = int(((data >= lo) & (data <= hi)).sum())
+        est = dc.range_query(lo, hi)
+        rows.append([f"[{lo},{hi}]", true, est, est - true])
+        assert true <= est <= true + 0.06 * len(data)
+    for q in (0.25, 0.5, 0.9):
+        est_q = dc.quantile(q)
+        true_rank = float((data <= est_q).mean())
+        rows.append([f"q={q}", round(q, 2), est_q, round(true_rank, 3)])
+        assert abs(true_rank - q) < 0.08
+    emit_table(
+        EXPERIMENT,
+        "dyadic CMS applications: ranges and quantiles",
+        ["query", "true / target", "estimate", "delta / achieved rank"],
+        rows,
+        notes="range estimates one-sided within ~2L·εm; quantile ranks "
+        "within a few percent — the \"variety of queries\" of §6",
+    )
+    benchmark(dc.range_query, 100, 500)

@@ -1,0 +1,163 @@
+"""E14 — end-to-end discretized-stream pipeline (the §1 motivation).
+
+One pass over a mixed workload drives every aggregate the paper builds,
+through the minibatch driver, with interleaved queries — reporting
+per-item charged work, per-batch depth, and wall-clock throughput, next
+to an all-sequential-baselines pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks._harness import emit_table, reset_results
+from repro.baselines import DGIMCounter, SequentialCountMin, SequentialMisraGries
+from repro.core import (
+    InfiniteHeavyHitters,
+    ParallelBasicCounter,
+    ParallelCountMin,
+    ParallelFrequencyEstimator,
+    ParallelWindowedSum,
+    SlidingHeavyHitters,
+)
+from repro.pram.cost import tracking
+from repro.stream.generators import flash_crowd_stream, minibatches, packet_trace
+from repro.stream.minibatch import MinibatchDriver
+
+EXPERIMENT = "E14"
+WINDOW = 1 << 12
+MU = 1 << 11
+
+
+def _parallel_operators():
+    return {
+        "freq": ParallelFrequencyEstimator(0.01),
+        "hh-inf": InfiniteHeavyHitters(0.05, 0.01),
+        "hh-win": SlidingHeavyHitters(WINDOW, 0.05, 0.01),
+        "cms": ParallelCountMin(0.01, 0.01),
+    }
+
+
+@pytest.mark.benchmark(group="E14-pipeline")
+def test_e14_full_parallel_pipeline(benchmark):
+    reset_results(EXPERIMENT)
+    stream = flash_crowd_stream(1 << 15, universe=1 << 12, crowd_item=3, rng=1)
+    ops = _parallel_operators()
+    driver = MinibatchDriver(
+        ops,
+        query_every=4,
+        queries={"hh": lambda: sorted(ops["hh-win"].query())},
+    )
+    reports = driver.run(stream, MU)
+    rows = [
+        [r.index, r.size, r.work, round(r.work_per_item, 1), r.depth,
+         str(r.query_results.get("hh", ""))[:28]]
+        for r in reports[3::4]
+    ]
+    emit_table(
+        EXPERIMENT,
+        "mixed pipeline: 4 aggregates, one pass, interleaved queries",
+        ["batch", "items", "work", "work/item", "depth", "window HH"],
+        rows,
+        notes=(
+            f"totals: {driver.total_items()} items, "
+            f"work/item={driver.mean_work_per_item():.1f}, "
+            f"max batch depth={driver.max_depth()}, "
+            f"throughput={driver.throughput_items_per_sec():,.0f} items/s "
+            "(single-core host; depth column is what multicore would divide by)"
+        ),
+    )
+    assert driver.mean_work_per_item() < 200
+    assert driver.max_depth() < driver.total_work() / 50
+    assert 3 in ops["hh-win"].query()  # crowd item detected end-state
+
+    fresh_ops = _parallel_operators()
+    chunk = stream[:MU]
+
+    def one_batch():
+        for op in fresh_ops.values():
+            op.ingest(chunk)
+
+    benchmark(one_batch)
+
+
+@pytest.mark.benchmark(group="E14-pipeline")
+def test_e14_parallel_vs_sequential_pipeline(benchmark):
+    """Same aggregates, sequential baselines: the work matches up to
+    constants (work efficiency) while the depth gap is orders of
+    magnitude (the parallelism the paper unlocks)."""
+    stream = flash_crowd_stream(1 << 14, universe=1 << 11, crowd_item=3, rng=2)
+
+    par_ops = {
+        "freq": ParallelFrequencyEstimator(0.01),
+        "cms": ParallelCountMin(0.01, 0.01),
+    }
+    with tracking() as led_par:
+        for chunk in minibatches(stream, MU):
+            for op in par_ops.values():
+                op.ingest(chunk)
+
+    seq_ops = {
+        "freq": SequentialMisraGries(eps=0.01),
+        "cms": SequentialCountMin(0.01, 0.01),
+    }
+    with tracking() as led_seq:
+        for op in seq_ops.values():
+            op.extend(stream)
+
+    n = len(stream)
+    emit_table(
+        EXPERIMENT,
+        "parallel vs sequential pipelines (freq + CMS, 2^14 items)",
+        ["pipeline", "work", "work/item", "depth", "work/depth (parallelism)"],
+        [
+            ["parallel (this paper)", led_par.work,
+             round(led_par.work / n, 1), led_par.depth,
+             round(led_par.work / led_par.depth, 1)],
+            ["sequential baselines", led_seq.work,
+             round(led_seq.work / n, 1), led_seq.depth,
+             round(led_seq.work / led_seq.depth, 1)],
+        ],
+        notes="work within constants (work-efficient); available "
+        "parallelism (work/depth) is the headline gap",
+    )
+    assert led_par.work < 10 * led_seq.work
+    assert led_par.depth < led_seq.depth / 30
+
+    benchmark(lambda: seq_ops["freq"].extend(stream[:MU]))
+
+
+@pytest.mark.benchmark(group="E14-pipeline")
+def test_e14_packet_monitoring_scenario(benchmark):
+    """The intro's network-monitoring deployment: heavy flows + window
+    byte counts + per-flow point queries, one pass."""
+    flows, sizes = packet_trace(1 << 14, flows=1 << 10, rng=3)
+    hh = SlidingHeavyHitters(WINDOW, 0.03, 0.01)
+    byte_sum = ParallelWindowedSum(WINDOW, 0.05, max_value=1_500)
+    bit_counter = ParallelBasicCounter(WINDOW, 0.1)
+    big_packet = (sizes >= 1_000).astype(np.int64)
+
+    with tracking() as led:
+        for f_chunk, s_chunk, b_chunk in zip(
+            minibatches(flows, MU), minibatches(sizes, MU), minibatches(big_packet, MU)
+        ):
+            hh.ingest(f_chunk)
+            byte_sum.ingest(s_chunk)
+            bit_counter.ingest(b_chunk)
+
+    heavy_flows = sorted(hh.query())[:5]
+    emit_table(
+        EXPERIMENT,
+        "network monitor: heavy flows / window bytes / big-packet count",
+        ["metric", "value"],
+        [
+            ["heavy flows (top-5 ids)", str(heavy_flows)],
+            ["bytes in window (est)", byte_sum.query()],
+            ["big packets in window (est)", bit_counter.query()],
+            ["charged work/packet", round(led.work / len(flows), 1)],
+            ["max depth", led.depth],
+        ],
+    )
+    assert heavy_flows, "Zipf flows must produce heavy hitters"
+    benchmark(hh.ingest, flows[:MU])

@@ -1,0 +1,139 @@
+"""E15 — predicted multicore speedup from recorded fork-join traces.
+
+The paper's whole point is that its algorithms *would* scale on a
+shared-memory multicore; the GIL hides that from wall-clock timing
+(DESIGN.md substitution).  This experiment records the real fork-join
+trace of each aggregate processing a stream and replays it on a
+simulated p-processor machine (conservative greedy scheduling,
+`repro.pram.schedule`), next to the sequential baselines whose traces
+have no parallelism at all.
+
+Expected shape: near-linear speedup while p ≪ work/depth, flattening
+toward the work/depth ceiling; sequential baselines pinned at 1×.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks._harness import emit_table, reset_results
+from repro.baselines import SequentialCountMin, SequentialMisraGries
+from repro.core import (
+    ParallelBasicCounter,
+    ParallelCountMin,
+    ParallelFrequencyEstimator,
+    WorkEfficientSlidingFrequency,
+)
+from repro.pram.cost import tracking
+from repro.pram.schedule import simulate, speedup_curve
+from repro.stream.generators import bit_stream, minibatches, zipf_stream
+
+EXPERIMENT = "E15"
+PROCS = [1, 2, 4, 8, 16, 32]
+
+
+def _record(build, feed) -> "CostLedger":
+    from repro.pram.cost import CostLedger
+
+    with tracking(record=True) as ledger:
+        structure = build()
+        feed(structure)
+    return ledger
+
+
+@pytest.mark.benchmark(group="E15-speedup")
+def test_e15_speedup_curves(benchmark):
+    reset_results(EXPERIMENT)
+    items = zipf_stream(1 << 14, 4_000, 1.15, rng=1)
+    bits = bit_stream(1 << 14, 0.5, rng=2)
+    mu = 1 << 12
+
+    workloads = {
+        "freq estimation (Thm 5.2)": (
+            lambda: ParallelFrequencyEstimator(0.01),
+            lambda s: [s.ingest(c) for c in minibatches(items, mu)],
+        ),
+        "sliding freq (Thm 5.4)": (
+            lambda: WorkEfficientSlidingFrequency(1 << 13, 0.02),
+            lambda s: [s.ingest(c) for c in minibatches(items, mu)],
+        ),
+        "basic counting (Thm 4.1)": (
+            lambda: ParallelBasicCounter(1 << 13, 0.05),
+            lambda s: [s.ingest(c) for c in minibatches(bits, mu)],
+        ),
+        "Count-Min (Thm 6.1)": (
+            lambda: ParallelCountMin(0.005, 0.01),
+            lambda s: [s.ingest(c) for c in minibatches(items, mu)],
+        ),
+        "sequential MG [MG82]": (
+            lambda: SequentialMisraGries(eps=0.01),
+            lambda s: s.extend(items[: 1 << 12]),
+        ),
+        "sequential CMS [CM05]": (
+            lambda: SequentialCountMin(0.005, 0.01),
+            lambda s: s.extend(items[: 1 << 12]),
+        ),
+    }
+
+    rows = []
+    speedups_at_16 = {}
+    for name, (build, feed) in workloads.items():
+        ledger = _record(build, feed)
+        curve = speedup_curve(ledger, PROCS)
+        rows.append(
+            [name, ledger.work, ledger.depth,
+             round(ledger.work / ledger.depth, 1)]
+            + [round(pt.speedup, 2) for pt in curve]
+        )
+        speedups_at_16[name] = curve[PROCS.index(16)].speedup
+    emit_table(
+        EXPERIMENT,
+        "predicted speedup T1/Tp (conservative greedy schedule)",
+        ["workload", "work", "depth", "work/depth"]
+        + [f"p={p}" for p in PROCS],
+        rows,
+        notes="parallel aggregates scale until the work/depth ceiling; "
+        "item-at-a-time baselines are structurally pinned at 1x — the "
+        "paper's thesis, replayed from real execution traces",
+    )
+    for name, s16 in speedups_at_16.items():
+        if name.startswith("sequential"):
+            assert s16 == pytest.approx(1.0)
+        else:
+            assert s16 > 4.0, f"{name} must show multicore headroom"
+
+    ledger = _record(*workloads["freq estimation (Thm 5.2)"])
+    benchmark(simulate, ledger, 16)
+
+
+@pytest.mark.benchmark(group="E15-speedup")
+def test_e15_batch_size_vs_scalability(benchmark):
+    """Bigger minibatches → more parallelism per step (the discretized-
+    stream design knob from §1)."""
+    rows = []
+    for mu_exp in (8, 10, 12, 14):
+        mu = 1 << mu_exp
+        items = zipf_stream(1 << 14, 4_000, 1.15, rng=3)
+        with tracking(record=True) as ledger:
+            est = ParallelFrequencyEstimator(0.01)
+            for chunk in minibatches(items, mu):
+                est.ingest(chunk)
+        curve = speedup_curve(ledger, [16])
+        rows.append(
+            [mu, ledger.work, ledger.depth,
+             round(ledger.work / ledger.depth, 1),
+             round(curve[0].speedup, 2)]
+        )
+    emit_table(
+        EXPERIMENT,
+        "minibatch size vs predicted speedup at p=16 (freq estimation)",
+        ["mu", "work", "depth", "work/depth", "speedup@16"],
+        rows,
+        notes="larger minibatches amortize the per-batch depth: the "
+        "reason the discretized-stream model processes in batches at all",
+    )
+    assert rows[-1][4] > rows[0][4]
+    with tracking(record=True) as ledger:
+        ParallelFrequencyEstimator(0.01).ingest(zipf_stream(1 << 12, 4_000, 1.15, rng=4))
+    benchmark(simulate, ledger, 8)

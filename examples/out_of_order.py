@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Out-of-order streams + continuous monitoring, end to end.
+
+Real event streams arrive late and shuffled (network reordering, shard
+skew).  The paper's synopses assume stream order; the standard systems
+remedy is a watermark: buffer up to the tardiness bound L, release
+sealed prefixes in order.  Downstream, a heavy-hitter monitor turns
+per-batch reports into enter/exit *events* — the continuous-monitoring
+deliverable the paper's introduction motivates.
+
+Pipeline:  shuffled (ts, item) arrivals
+           → WatermarkReorderer(L)
+           → SlidingHeavyHitters (Thm 5.4 estimator)
+           → HeavyHitterMonitor (enter/exit events with hysteresis)
+
+    python examples/out_of_order.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import SlidingHeavyHitters
+from repro.stream import (
+    HeavyHitterMonitor,
+    WatermarkReorderer,
+    flash_crowd_stream,
+    zipf_stream,
+)
+
+WINDOW = 10_000
+TARDINESS = 64          # elements arrive at most 64 positions late
+BATCH = 1_000
+
+
+def shuffle_with_tardiness(items: np.ndarray, tardiness: int,
+                           rng: np.random.Generator):
+    """Arrival order where element i shows up <= tardiness late."""
+    n = len(items)
+    order = np.arange(n)
+    for start in range(0, n, tardiness):
+        chunk = order[start : start + tardiness]
+        rng.shuffle(chunk)
+    return order
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+    in_order = np.concatenate([
+        zipf_stream(30_000, 5_000, 1.05, rng=rng),
+        flash_crowd_stream(25_000, 5_000, crowd_item=42, onset=0.0,
+                           crowd_share=0.5, rng=rng),
+        zipf_stream(30_000, 5_000, 1.05, rng=rng) + 10_000,
+    ])
+    arrival_positions = shuffle_with_tardiness(in_order, TARDINESS, rng)
+
+    reorderer = WatermarkReorderer(tardiness=TARDINESS)
+    tracker = SlidingHeavyHitters(WINDOW, phi=0.2, eps=0.05)
+    monitor = HeavyHitterMonitor(tracker, hysteresis=1)
+
+    processed = 0
+    for start in range(0, len(in_order), BATCH):
+        ts = arrival_positions[start : start + BATCH]
+        sealed = list(reorderer.push(ts, in_order[ts]))
+        if not sealed:
+            continue
+        chunk = np.array([v for _, v in sealed], dtype=np.int64)
+        processed += len(chunk)
+        for event in monitor.ingest(chunk):
+            print(f"  after {processed:>7,} in-order items: topic "
+                  f"{event.item} {event.kind.upper():>5}  "
+                  f"(windowed estimate {event.estimate:,.0f})")
+
+    for _, v in reorderer.flush():
+        pass  # tail smaller than one watermark advance
+
+    kinds = [e.kind for e in monitor.history(42)]
+    assert "enter" in kinds and "exit" in kinds
+    assert reorderer.late_drops == 0, "bounded tardiness ⇒ nothing dropped"
+    print(f"\n{reorderer.released:,} events released in order "
+          f"(max buffer {TARDINESS + 1}); 0 dropped; topic 42's crowd was "
+          "detected and its departure was detected — on a shuffled stream ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Trending topics — why sliding windows exist.
+
+A social-media-style stream (the DARPA SMISC motivation in the paper's
+acknowledgments) where topic #42 suddenly goes viral halfway through.
+An infinite-window tracker keeps averaging over all history; the
+sliding-window tracker (Theorem 5.4) picks the trend up within a
+window's worth of posts and drops it again when the buzz dies.
+
+    python examples/trending_topics.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import InfiniteHeavyHitters, SlidingHeavyHitters
+from repro.stream import flash_crowd_stream, minibatches, zipf_stream
+
+WINDOW = 10_000
+BATCH = 2_000
+PHI, EPS = 0.10, 0.04
+
+
+def main() -> None:
+    # Act 1: background chatter.  Act 2: topic 42 takes 40% of posts.
+    # Act 3: the crowd moves on.
+    rng = np.random.default_rng(11)
+    act1 = zipf_stream(40_000, universe=5_000, alpha=1.1, rng=rng)
+    act2 = flash_crowd_stream(
+        40_000, universe=5_000, crowd_item=42, onset=0.0, crowd_share=0.4, rng=rng
+    )
+    act3 = zipf_stream(40_000, universe=5_000, alpha=1.1, rng=rng)
+    stream = np.concatenate([act1, act2, act3])
+
+    sliding = SlidingHeavyHitters(WINDOW, PHI, EPS, variant="work_efficient")
+    infinite = InfiniteHeavyHitters(PHI, EPS)
+
+    print(f"{'posts':>8}  {'42 trending (window)':>21}  "
+          f"{'42 trending (all-time)':>23}")
+    transitions: list[tuple[int, bool]] = []
+    was_trending = False
+    for i, batch in enumerate(minibatches(stream, BATCH)):
+        sliding.ingest(batch)
+        infinite.ingest(batch)
+        now_trending = 42 in sliding.query()
+        if now_trending != was_trending:
+            transitions.append(((i + 1) * BATCH, now_trending))
+            was_trending = now_trending
+        if (i + 1) % 5 == 0:
+            print(f"{(i + 1) * BATCH:>8,}  {str(now_trending):>21}  "
+                  f"{str(42 in infinite.query()):>23}")
+
+    print("\nwindow-tracker transitions for topic 42:")
+    for position, state in transitions:
+        print(f"  after {position:>7,} posts: {'TRENDING' if state else 'quiet'}")
+
+    assert any(state for _, state in transitions), "trend must be detected"
+    assert not was_trending, "trend must decay after the crowd moves on"
+    assert 42 in infinite.query(), (
+        "the all-time tracker still reports the long-dead trend — "
+        "infinite windows cannot forget"
+    )
+    print("\nsliding window caught the trend AND its decay; the all-time "
+          "tracker is still reporting it 40,000 posts later — exactly why "
+          "the paper builds the sliding-window machinery ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Regenerate every experiment and assemble the results digest.
+
+Runs the full benchmark harness (E1-E14, ablations A1-A4, extension
+X1), then stitches ``benchmarks/results/*.txt`` into a single
+``benchmarks/results/ALL_RESULTS.txt`` digest with a pass/fail summary
+line per experiment — the raw material behind EXPERIMENTS.md.
+
+    python scripts/run_experiments.py [--quick]
+
+``--quick`` skips pytest-benchmark's timing calibration rounds
+(--benchmark-disable), running only the reproduction assertions and
+table generation (~4x faster).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+RESULTS = REPO / "benchmarks" / "results"
+
+
+def run_benchmarks(quick: bool) -> int:
+    cmd = [sys.executable, "-m", "pytest", str(REPO / "benchmarks")]
+    cmd.append("--benchmark-disable" if quick else "--benchmark-only")
+    print("$", " ".join(cmd))
+    return subprocess.call(cmd, cwd=REPO)
+
+
+def assemble_digest() -> Path:
+    files = sorted(
+        RESULTS.glob("*.txt"),
+        key=lambda p: (p.stem[0], int(re.sub(r"\D", "", p.stem) or 0)),
+    )
+    digest = RESULTS / "ALL_RESULTS.txt"
+    parts: list[str] = []
+    summary: list[str] = []
+    for path in files:
+        if path.name == "ALL_RESULTS.txt":
+            continue
+        text = path.read_text()
+        parts.append(text)
+        n_tables = text.count("== ")
+        summary.append(f"{path.stem:>4}: {n_tables} table(s)")
+    header = (
+        "PARALLEL STREAMING FREQUENCY-BASED AGGREGATES — results digest\n"
+        + "\n".join(summary)
+        + "\n\n"
+        + "=" * 72
+        + "\n\n"
+    )
+    digest.write_text(header + "\n".join(parts))
+    return digest
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument(
+        "--digest-only",
+        action="store_true",
+        help="skip running; just rebuild the digest from existing tables",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.digest_only:
+        code = run_benchmarks(args.quick)
+        if code != 0:
+            print("benchmark run FAILED — digest not rebuilt", file=sys.stderr)
+            return code
+    digest = assemble_digest()
+    print(f"digest written: {digest}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,53 @@
+"""Theory-vs-measurement helpers: closed-form bounds per theorem,
+log-log scaling fits, and plain-text table formatting for the
+benchmark harness and EXPERIMENTS.md."""
+
+from repro.analysis.bounds import (
+    basic_counting_space_bound,
+    basic_counting_work_bound,
+    buildhist_work_bound,
+    cms_space_bound,
+    cms_work_bound,
+    freq_infinite_work_bound,
+    freq_sliding_work_bound,
+    independent_memory_bound,
+    sbbc_advance_work_bound,
+    sbbc_space_bound,
+    sum_space_bound,
+    sum_work_bound,
+)
+from repro.analysis.fit import fit_loglog_slope, linear_r2
+from repro.analysis.report import format_table, markdown_table
+from repro.analysis.validate import (
+    AuditReport,
+    audit_basic_counting,
+    audit_cms,
+    audit_frequency_estimator,
+    audit_heavy_hitters,
+    audit_windowed_sum,
+)
+
+__all__ = [
+    "basic_counting_space_bound",
+    "basic_counting_work_bound",
+    "buildhist_work_bound",
+    "cms_space_bound",
+    "cms_work_bound",
+    "freq_infinite_work_bound",
+    "freq_sliding_work_bound",
+    "independent_memory_bound",
+    "sbbc_advance_work_bound",
+    "sbbc_space_bound",
+    "sum_space_bound",
+    "sum_work_bound",
+    "fit_loglog_slope",
+    "linear_r2",
+    "format_table",
+    "markdown_table",
+    "AuditReport",
+    "audit_basic_counting",
+    "audit_cms",
+    "audit_frequency_estimator",
+    "audit_heavy_hitters",
+    "audit_windowed_sum",
+]

@@ -1,0 +1,100 @@
+"""Closed-form theoretical cost bounds, one per theorem.
+
+Each function returns the *un-constant-factored* bound expression the
+corresponding theorem proves.  Benchmarks divide measured cost by the
+bound; a flat (bounded) ratio across a parameter sweep is the
+reproduction criterion ("shape, not absolute numbers").
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "sbbc_space_bound",
+    "sbbc_advance_work_bound",
+    "basic_counting_space_bound",
+    "basic_counting_work_bound",
+    "sum_space_bound",
+    "sum_work_bound",
+    "buildhist_work_bound",
+    "freq_infinite_work_bound",
+    "freq_sliding_work_bound",
+    "cms_space_bound",
+    "cms_work_bound",
+    "independent_memory_bound",
+]
+
+
+def sbbc_space_bound(sigma: float, m: int, lam: float) -> float:
+    """Theorem 3.4: space O(min(σ, m/λ))."""
+    return max(1.0, min(sigma, m / lam))
+
+
+def sbbc_advance_work_bound(sigma: float, m: int, lam: float, batch_len: int) -> float:
+    """Theorem 3.4: advance work O(min(σ, m/λ) + |T|/λ)."""
+    return max(1.0, min(sigma, m / lam) + batch_len / lam)
+
+
+def basic_counting_space_bound(eps: float, window: int) -> float:
+    """Theorem 4.1: S = O(ε⁻¹ log n)."""
+    return max(1.0, math.log2(max(2, window)) / eps)
+
+
+def basic_counting_work_bound(eps: float, window: int, batch_len: int) -> float:
+    """Theorem 4.1: minibatch work O(S + µ)."""
+    return basic_counting_space_bound(eps, window) + batch_len
+
+
+def sum_space_bound(eps: float, window: int, max_value: int) -> float:
+    """Theorem 4.2: O(ε⁻¹ log n log R)."""
+    return basic_counting_space_bound(eps, window) * max(
+        1.0, math.log2(max(2, max_value))
+    )
+
+
+def sum_work_bound(eps: float, window: int, max_value: int, batch_len: int) -> float:
+    """Theorem 4.2: O((S + µ) log R)."""
+    return basic_counting_work_bound(eps, window, batch_len) * max(
+        1.0, math.log2(max(2, max_value))
+    )
+
+
+def buildhist_work_bound(batch_len: int) -> float:
+    """Theorem 2.3: expected O(µ)."""
+    return max(1.0, float(batch_len))
+
+
+def freq_infinite_work_bound(eps: float, batch_len: int) -> float:
+    """Theorem 5.2: O(ε⁻¹ + µ)."""
+    return 1.0 / eps + batch_len
+
+
+def freq_sliding_work_bound(
+    eps: float, batch_len: int, *, variant: str = "work_efficient"
+) -> float:
+    """Theorems 5.4 / 5.5 / 5.8.
+
+    ``work_efficient`` → O(ε⁻¹ + µ);
+    ``basic`` / ``space_efficient`` → O(ε⁻¹ + µ log µ).
+    """
+    if variant == "work_efficient":
+        return 1.0 / eps + batch_len
+    if variant in ("basic", "space_efficient"):
+        return 1.0 / eps + batch_len * max(1.0, math.log2(max(2, batch_len)))
+    raise ValueError(f"unknown variant {variant!r}")
+
+
+def cms_space_bound(eps: float, delta: float) -> float:
+    """Theorem 6.1: O(ε⁻¹ log(1/δ))."""
+    return max(1.0, math.log(1.0 / delta)) / eps
+
+
+def cms_work_bound(eps: float, delta: float, batch_len: int) -> float:
+    """Theorem 6.1: O(log(1/δ) · max(µ, 1/ε))."""
+    return max(1.0, math.log(1.0 / delta)) * max(batch_len, 1.0 / eps)
+
+
+def independent_memory_bound(processors: int, eps: float) -> float:
+    """§5.4: the independent-DS approach uses Θ(p/ε) memory."""
+    return max(1.0, processors / eps)

@@ -1,0 +1,43 @@
+"""Scaling-law fits for benchmark sweeps.
+
+The theorems claim asymptotic shapes (linear work, logarithmic space
+growth, polylog depth).  :func:`fit_loglog_slope` estimates the
+exponent b of a power law y ≈ a·x^b from sweep data; a measured slope
+≈ 1 confirms linear work, ≈ 0 confirms flat cost, etc.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["fit_loglog_slope", "linear_r2"]
+
+
+def fit_loglog_slope(xs, ys) -> float:
+    """Least-squares slope of log y vs log x (the power-law exponent).
+
+    Requires >= 2 strictly positive points.
+    """
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    if xs.size != ys.size or xs.size < 2:
+        raise ValueError("need at least two (x, y) pairs of equal length")
+    if (xs <= 0).any() or (ys <= 0).any():
+        raise ValueError("log-log fit needs strictly positive data")
+    slope, _intercept = np.polyfit(np.log(xs), np.log(ys), 1)
+    return float(slope)
+
+
+def linear_r2(xs, ys) -> float:
+    """R² of the best linear fit y ≈ a·x + b (goodness of linearity)."""
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    if xs.size != ys.size or xs.size < 2:
+        raise ValueError("need at least two (x, y) pairs of equal length")
+    coeffs = np.polyfit(xs, ys, 1)
+    predicted = np.polyval(coeffs, xs)
+    ss_res = float(((ys - predicted) ** 2).sum())
+    ss_tot = float(((ys - ys.mean()) ** 2).sum())
+    if ss_tot == 0:
+        return 1.0
+    return 1.0 - ss_res / ss_tot

@@ -1,0 +1,65 @@
+"""Plain-text and Markdown table formatting for the benchmark harness.
+
+Every benchmark prints a table of (sweep parameter → measured cost /
+bound / max error) rows; EXPERIMENTS.md embeds the Markdown variants.
+No external tabulation dependency — columns are right-aligned, floats
+formatted compactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_cell", "format_table", "markdown_table"]
+
+
+def format_cell(value: Any, float_digits: int = 4) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 10_000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.{float_digits}g}"
+    return str(value)
+
+
+def _stringify(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]]
+) -> list[list[str]]:
+    table = [[format_cell(v) for v in row] for row in rows]
+    for row in table:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+    return table
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Right-aligned fixed-width text table (for benchmark stdout)."""
+    cells = _stringify(headers, rows)
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in cells)) if cells else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(str(h).rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def markdown_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """GitHub-flavored Markdown table (for EXPERIMENTS.md)."""
+    cells = _stringify(headers, rows)
+    lines = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in cells:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)

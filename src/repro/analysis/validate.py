@@ -1,0 +1,235 @@
+"""Accuracy audits: run an estimator against an exact oracle over a
+stream and report guarantee violations.
+
+The benchmarks assert guarantee *shapes* inline; this module packages
+the same checks as a reusable API so downstream users can audit their
+own parameter choices and workloads (e.g. "is ε = 0.01 actually enough
+for my traffic?") without hand-writing the bookkeeping.
+
+Each audit returns an :class:`AuditReport` with per-checkpoint maximum
+errors and the violation count against the structure's contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Sequence
+
+import numpy as np
+
+from repro.stream.generators import minibatches
+from repro.stream.oracle import (
+    ExactInfiniteFrequencies,
+    ExactWindowCounter,
+    ExactWindowFrequencies,
+    ExactWindowSum,
+)
+
+__all__ = [
+    "AuditReport",
+    "audit_basic_counting",
+    "audit_windowed_sum",
+    "audit_frequency_estimator",
+    "audit_heavy_hitters",
+    "audit_cms",
+]
+
+
+@dataclass
+class AuditReport:
+    """Outcome of one audit run."""
+
+    checkpoints: int
+    violations: int
+    max_error: float
+    error_budget: float
+    details: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.violations == 0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        status = "OK" if self.ok else f"{self.violations} VIOLATIONS"
+        return (
+            f"AuditReport({status}: max error {self.max_error:g} vs budget "
+            f"{self.error_budget:g} over {self.checkpoints} checkpoints)"
+        )
+
+
+def _run(
+    stream: np.ndarray,
+    batch_size: int,
+    step: Callable[[np.ndarray], None],
+    check: Callable[[], tuple[float, float, str | None]],
+) -> AuditReport:
+    checkpoints = violations = 0
+    max_error = 0.0
+    budget = 0.0
+    details: list[str] = []
+    for chunk in minibatches(np.asarray(stream), batch_size):
+        step(chunk)
+        error, budget, detail = check()
+        checkpoints += 1
+        max_error = max(max_error, error)
+        if detail is not None:
+            violations += 1
+            if len(details) < 20:
+                details.append(detail)
+    return AuditReport(
+        checkpoints=checkpoints,
+        violations=violations,
+        max_error=max_error,
+        error_budget=budget,
+        details=details,
+    )
+
+
+def audit_basic_counting(
+    counter, bits: np.ndarray, batch_size: int = 1024
+) -> AuditReport:
+    """Check ``m <= query() <= (1+eps)·m`` after every minibatch."""
+    oracle = ExactWindowCounter(counter.window)
+
+    def step(chunk: np.ndarray) -> None:
+        counter.ingest(chunk)
+        oracle.extend(chunk)
+
+    def check():
+        m = oracle.query()
+        estimate = counter.query()
+        rel = (estimate - m) / m if m else 0.0
+        bad = None
+        if estimate < m or rel > counter.eps:
+            bad = f"t={oracle.t}: m={m} est={estimate}"
+        return rel, counter.eps, bad
+
+    return _run(bits, batch_size, step, check)
+
+
+def audit_windowed_sum(
+    summer, values: np.ndarray, batch_size: int = 1024
+) -> AuditReport:
+    """Check ``true <= query() <= (1+eps)·true`` after every minibatch."""
+    oracle = ExactWindowSum(summer.window)
+
+    def step(chunk: np.ndarray) -> None:
+        summer.ingest(chunk)
+        oracle.extend(chunk)
+
+    def check():
+        true = oracle.query()
+        estimate = summer.query()
+        rel = (estimate - true) / true if true else 0.0
+        bad = None
+        if estimate < true or rel > summer.eps:
+            bad = f"t={oracle.t}: true={true} est={estimate}"
+        return rel, summer.eps, bad
+
+    return _run(values, batch_size, step, check)
+
+
+def audit_frequency_estimator(
+    estimator,
+    stream: np.ndarray,
+    probes: Sequence[Hashable],
+    batch_size: int = 1024,
+    *,
+    window: int | None = None,
+) -> AuditReport:
+    """Check the MG bracket on ``probes`` after every minibatch.
+
+    Infinite window (``window=None``): f − εm <= est <= f.
+    Sliding window: f − εn <= est <= f, with f the windowed count.
+    """
+    oracle = (
+        ExactInfiniteFrequencies() if window is None else ExactWindowFrequencies(window)
+    )
+
+    def step(chunk: np.ndarray) -> None:
+        estimator.ingest(chunk)
+        oracle.extend(chunk)
+
+    def check():
+        slack = (
+            estimator.eps * oracle.t
+            if window is None
+            else estimator.eps * window
+        )
+        worst = 0.0
+        bad = None
+        for item in probes:
+            f = oracle.frequency(item)
+            estimate = estimator.estimate(item)
+            worst = max(worst, f - estimate)
+            if estimate > f + 1e-9 or estimate < f - slack - 1e-9:
+                bad = f"item={item}: f={f} est={estimate} slack={slack:g}"
+        return worst, slack, bad
+
+    return _run(stream, batch_size, step, check)
+
+
+def audit_heavy_hitters(
+    tracker,
+    stream: np.ndarray,
+    batch_size: int = 1024,
+    *,
+    window: int | None = None,
+) -> AuditReport:
+    """Check the two-sided heavy-hitter contract at every checkpoint:
+    no true φ-heavy item missing; nothing below the paper's floor."""
+    oracle = (
+        ExactInfiniteFrequencies() if window is None else ExactWindowFrequencies(window)
+    )
+
+    def step(chunk: np.ndarray) -> None:
+        tracker.ingest(chunk)
+        oracle.extend(chunk)
+
+    def check():
+        reported = tracker.query()
+        true_hh = set(oracle.heavy_hitters(tracker.phi))
+        missed = true_hh - set(reported)
+        n_or_t = oracle.t if window is None else window
+        floor = (tracker.phi - tracker.eps) * (
+            oracle.t if window is None else min(oracle.t, window)
+        ) - (0 if window is None else tracker.eps * window)
+        spurious = {
+            e for e in reported if oracle.frequency(e) < max(0.0, floor) - 1e-9
+        }
+        bad = None
+        if missed or spurious:
+            bad = f"t={oracle.t}: missed={sorted(missed)} spurious={sorted(spurious)}"
+        return float(len(missed) + len(spurious)), 0.0, bad
+
+    return _run(stream, batch_size, step, check)
+
+
+def audit_cms(
+    sketch,
+    stream: np.ndarray,
+    probes: Sequence[Hashable],
+    batch_size: int = 1024,
+) -> AuditReport:
+    """Check CMS one-sidedness at every checkpoint and count εm
+    overcounts at the end (they may legitimately occur at rate ~δ, so
+    only undercounts are violations)."""
+    oracle = ExactInfiniteFrequencies()
+
+    def step(chunk: np.ndarray) -> None:
+        sketch.ingest(chunk)
+        oracle.extend(chunk)
+
+    def check():
+        budget = sketch.eps * oracle.t
+        worst_over = 0.0
+        bad = None
+        for item in probes:
+            f = oracle.frequency(item)
+            estimate = sketch.point_query(item)
+            worst_over = max(worst_over, estimate - f)
+            if estimate < f:
+                bad = f"item={item}: UNDERCOUNT f={f} est={estimate}"
+        return worst_over, budget, bad
+
+    return _run(stream, batch_size, step, check)

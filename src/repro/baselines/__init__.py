@@ -1,0 +1,27 @@
+"""Baselines the paper compares against (or builds upon).
+
+Sequential comparators charge the cost ledger with *sequential* depth
+(depth = work) so that work-efficiency and depth comparisons against
+the parallel algorithms are meaningful in the benchmarks.
+"""
+
+from repro.baselines.dgim import DGIMCounter
+from repro.baselines.exact import ExactCounters
+from repro.baselines.independent import IndependentMGEnsemble
+from repro.baselines.lee_ting import LeeTingCounter
+from repro.baselines.lossy_counting import LossyCounting
+from repro.baselines.sequential_cms import SequentialCountMin
+from repro.baselines.sequential_mg import SequentialMisraGries, sequential_heavy_hitters
+from repro.baselines.space_saving import SpaceSaving
+
+__all__ = [
+    "DGIMCounter",
+    "ExactCounters",
+    "IndependentMGEnsemble",
+    "LeeTingCounter",
+    "LossyCounting",
+    "SequentialCountMin",
+    "SequentialMisraGries",
+    "sequential_heavy_hitters",
+    "SpaceSaving",
+]

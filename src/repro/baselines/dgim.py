@@ -1,0 +1,98 @@
+"""DGIM exponential histograms for basic counting [DGIM02].
+
+The classic *sequential* sliding-window counter the paper cites as the
+origin of the problem: buckets of sizes 1, 2, 4, … (each holding the
+timestamp of its most recent 1), with at most k+1 buckets per size,
+k = ⌈1/ε⌉.  Relative error ≤ 1/k ≤ ε; space O(ε⁻¹ log² n) *bits* —
+O(ε⁻¹ log n) bucket records.
+
+Serves as the sequential comparator for benchmark E6: same accuracy
+target as :class:`repro.core.ParallelBasicCounter`, but item-at-a-time
+updates (charged depth = work) and no decrement/minibatch support.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Iterable
+
+import numpy as np
+
+from repro.pram.cost import charge
+
+__all__ = ["DGIMCounter"]
+
+
+class DGIMCounter:
+    """Sequential ε-approximate count of 1s in the last ``window`` bits."""
+
+    def __init__(self, window: int, eps: float) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if not 0 < eps <= 1:
+            raise ValueError(f"eps must be in (0, 1], got {eps}")
+        self.window = int(window)
+        self.eps = float(eps)
+        self.k = math.ceil(1.0 / eps)
+        # Buckets as (timestamp_of_latest_one, size), newest first.
+        self._buckets: deque[tuple[int, int]] = deque()
+        self.t = 0
+
+    def update(self, bit: int) -> None:
+        """Process one bit (charged as one sequential step plus any
+        cascading merges)."""
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0/1, got {bit}")
+        self.t += 1
+        ops = 1
+        # Expire the oldest bucket if its timestamp left the window.
+        if self._buckets and self._buckets[-1][0] <= self.t - self.window:
+            self._buckets.pop()
+        if bit:
+            self._buckets.appendleft((self.t, 1))
+            # Merge cascades: allow at most k+1 buckets of each size.
+            size = 1
+            while True:
+                same = [b for b in self._buckets if b[1] == size]
+                if len(same) <= self.k + 1:
+                    break
+                ops += len(same)
+                # Merge the two *oldest* buckets of this size.
+                oldest_two = same[-2:]
+                merged = (max(ts for ts, _ in oldest_two), 2 * size)
+                removed = 0
+                new_buckets: deque[tuple[int, int]] = deque()
+                inserted = False
+                for b in self._buckets:
+                    if b in oldest_two and removed < 2:
+                        removed += 1
+                        if removed == 2 and not inserted:
+                            new_buckets.append(merged)
+                            inserted = True
+                        continue
+                    new_buckets.append(b)
+                self._buckets = new_buckets
+                size *= 2
+        charge(work=ops, depth=ops)  # sequential baseline
+
+    def extend(self, bits: Iterable[int] | np.ndarray) -> None:
+        for b in np.asarray(bits, dtype=np.int64):
+            self.update(int(b))
+
+    ingest = extend
+
+    def query(self) -> float:
+        """Estimate: all full buckets plus half the oldest (straddling)
+        bucket — the standard DGIM estimator."""
+        charge(work=max(1, len(self._buckets)), depth=max(1, len(self._buckets)))
+        live = [b for b in self._buckets if b[0] > self.t - self.window]
+        if not live:
+            return 0.0
+        total = sum(size for _, size in live)
+        oldest_size = live[-1][1]
+        return total - oldest_size / 2.0 + 0.5 if oldest_size > 1 else float(total)
+
+    @property
+    def space(self) -> int:
+        return 2 * len(self._buckets) + 2

@@ -1,0 +1,48 @@
+"""Exact hash-map counting — the unbounded-memory reference point.
+
+Not an approximation algorithm at all: a plain dictionary of counts,
+used in benchmarks to show the memory the synopses avoid and in tests
+as a second opinion alongside :mod:`repro.stream.oracle`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable, Iterable
+
+import numpy as np
+
+from repro.pram.cost import charge
+
+__all__ = ["ExactCounters"]
+
+
+class ExactCounters:
+    """Exact infinite-window frequencies with O(#distinct) memory."""
+
+    def __init__(self) -> None:
+        self.counters: Counter = Counter()
+        self.stream_length = 0
+
+    def update(self, item: Hashable) -> None:
+        charge(work=1, depth=1)
+        self.counters[item] += 1
+        self.stream_length += 1
+
+    def extend(self, batch: Iterable[Hashable] | np.ndarray) -> None:
+        for item in batch:
+            item = item.item() if isinstance(item, np.generic) else item
+            self.update(item)
+
+    ingest = extend
+
+    def estimate(self, item: Hashable) -> int:
+        return self.counters.get(item, 0)
+
+    def heavy_hitters(self, phi: float) -> dict[Hashable, int]:
+        threshold = phi * self.stream_length
+        return {e: c for e, c in self.counters.items() if c >= threshold}
+
+    @property
+    def space(self) -> int:
+        return len(self.counters) + 1

@@ -1,0 +1,129 @@
+"""The independent-data-structure approach (Figure 1 left, §5.4).
+
+Each of p simulated processors runs its own sequential Misra-Gries
+summary over its share of the stream; a query merges all p summaries
+with the mergeable-summaries MG merge [ACH+13] (add counts, then prune
+back to capacity — the same operation as ``mg_augment``).
+
+The paper's two criticisms, both measurable here (benchmark E12):
+
+* **memory** — p summaries cost Θ(p/ε) words, a factor p more than the
+  shared structure;
+* **merge bottleneck** — merging is inherently sequential per pair:
+  a chain merge costs Ω(p/ε) depth, and even a balanced binary tree of
+  merges costs Ω(ε⁻¹ log p) depth, versus polylog(1/ε) for the shared
+  structure.
+
+Per-pair merges are charged with depth = work (each merge is a
+sequential O(S) operation); the tree variant runs the pairs of each
+level in a fork-join region.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.core.misra_gries import MisraGriesSummary
+from repro.pram.cost import charge, parallel
+
+__all__ = ["IndependentMGEnsemble", "mg_merge"]
+
+
+def mg_merge(
+    a: dict[Hashable, int], b: dict[Hashable, int], capacity: int
+) -> dict[Hashable, int]:
+    """[ACH+13] merge of two MG summaries: add counts, subtract the
+    (S+1)-th largest so at most S survive.  Sequential: O(S) work,
+    charged with equal depth."""
+    combined: dict[Hashable, int] = dict(a)
+    for item, count in b.items():
+        combined[item] = combined.get(item, 0) + count
+    size = len(combined)
+    charge(work=max(1, size), depth=max(1, size))
+    if size <= capacity:
+        return combined
+    counts = sorted(combined.values(), reverse=True)
+    phi = counts[capacity]  # (S+1)-th largest
+    return {item: c - phi for item, c in combined.items() if c > phi}
+
+
+class IndependentMGEnsemble:
+    """p per-processor MG summaries + merge-on-query (Fig. 1, left)."""
+
+    def __init__(self, processors: int, eps: float) -> None:
+        if processors < 1:
+            raise ValueError(f"processors must be >= 1, got {processors}")
+        if not 0 < eps <= 1:
+            raise ValueError(f"eps must be in (0, 1], got {eps}")
+        self.processors = int(processors)
+        self.eps = float(eps)
+        self.capacity = math.ceil(1.0 / eps)
+        self.summaries: list[MisraGriesSummary] = [
+            MisraGriesSummary(capacity=self.capacity) for _ in range(processors)
+        ]
+        self.stream_length = 0
+
+    def ingest(self, batch: Sequence[Hashable] | np.ndarray) -> None:
+        """Stripe the minibatch across processors; each runs sequential
+        MG over its stripe (fork-join across processors, sequential
+        within)."""
+        batch = np.asarray(batch)
+        mu = len(batch)
+        if mu == 0:
+            return
+        with parallel() as par:
+            for i, summary in enumerate(self.summaries):
+                stripe = batch[i :: self.processors]
+
+                def strand(
+                    stripe: np.ndarray = stripe,
+                    summary: MisraGriesSummary = summary,
+                ) -> None:
+                    # Item-at-a-time within a processor: depth = work.
+                    charge(work=max(1, stripe.size), depth=max(1, stripe.size))
+                    summary.extend(stripe)
+
+                par.run(strand)
+        self.stream_length += mu
+
+    extend = ingest
+
+    def merged(self, *, tree: bool = True) -> dict[Hashable, int]:
+        """Merge all p summaries into one (the query-time step).
+
+        ``tree=True`` merges in ⌈log p⌉ fork-join levels (depth
+        Ω(ε⁻¹ log p)); ``tree=False`` merges in a sequential chain
+        (depth Ω(p·ε⁻¹)).
+        """
+        frontier: list[dict[Hashable, int]] = [
+            dict(s.counters) for s in self.summaries
+        ]
+        if not tree:
+            acc = frontier[0]
+            for other in frontier[1:]:
+                acc = mg_merge(acc, other, self.capacity)
+            return acc
+        while len(frontier) > 1:
+            with parallel() as par:
+                pairs = [
+                    (frontier[i], frontier[i + 1])
+                    for i in range(0, len(frontier) - 1, 2)
+                ]
+                merged_level = [
+                    par.run(mg_merge, a, b, self.capacity) for a, b in pairs
+                ]
+            if len(frontier) % 2:
+                merged_level.append(frontier[-1])
+            frontier = merged_level
+        return frontier[0]
+
+    def estimate(self, item: Hashable, *, tree: bool = True) -> int:
+        return self.merged(tree=tree).get(item, 0)
+
+    @property
+    def space(self) -> int:
+        """Θ(p/ε) — the factor-p blow-up §5.4 calls out."""
+        return sum(s.space for s in self.summaries)

@@ -1,0 +1,71 @@
+"""Sequential Lee-Ting λ-counter [LT06a, LT06b].
+
+The item-at-a-time deterministic-sampling counter the paper's SBBC
+parallelizes: record the block of every γ-th 1, evict blocks that slide
+out of the window, report γ|Q| + ℓ.  Additive error ≤ 2γ ≤ λ.
+
+This is *the* sequential counterpart for benchmark E5's work-efficiency
+comparison: the SBBC must do no more (charged) work per minibatch than
+this loop does across the same elements, and this loop's depth equals
+its work.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+import numpy as np
+
+from repro.pram.cost import charge
+
+__all__ = ["LeeTingCounter"]
+
+
+class LeeTingCounter:
+    """Sequential (λ-additive-error) count of 1s in the last n bits."""
+
+    def __init__(self, window: int, lam: float) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if lam <= 0:
+            raise ValueError(f"lambda must be > 0, got {lam}")
+        self.window = int(window)
+        self.lam = float(lam)
+        self.gamma = max(1, int(lam // 2))
+        self._blocks: deque[int] = deque()  # sampled block ids, oldest first
+        self._ell = 0
+        self.t = 0
+
+    def update(self, bit: int) -> None:
+        """One bit: O(1) amortized sequential work (charged 1 + evictions)."""
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0/1, got {bit}")
+        self.t += 1
+        ops = 1
+        if bit:
+            self._ell += 1
+            if self._ell == self.gamma:
+                self._blocks.append((self.t + self.gamma - 1) // self.gamma)
+                self._ell = 0
+        # Evict blocks whose last position left the window.
+        window_start = self.t - self.window + 1
+        while self._blocks and self._blocks[0] * self.gamma < window_start:
+            self._blocks.popleft()
+            ops += 1
+        charge(work=ops, depth=ops)  # sequential baseline
+
+    def extend(self, bits: Iterable[int] | np.ndarray) -> None:
+        for b in np.asarray(bits, dtype=np.int64):
+            self.update(int(b))
+
+    ingest = extend
+
+    def query(self) -> int:
+        """γ|Q| + ℓ ∈ [m, m + 2γ] ⊆ [m, m + λ]."""
+        charge(work=1, depth=1)
+        return self.gamma * len(self._blocks) + self._ell
+
+    @property
+    def space(self) -> int:
+        return len(self._blocks) + 3

@@ -1,0 +1,79 @@
+"""Lossy Counting [MM02] — the deterministic frequent-items baseline
+with periodic pruning.
+
+The stream is viewed in buckets of width w = ⌈1/ε⌉; each tracked item
+carries (count, Δ) where Δ bounds the occurrences missed before the
+item was (re)inserted.  At bucket boundaries, entries with
+count + Δ <= current bucket are pruned.  Guarantees
+``f_e − εm <= count_e <= f_e`` with O(ε⁻¹ log(εm)) space.
+
+Charged sequentially (depth = work) like the other baselines.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterable
+
+import numpy as np
+
+from repro.pram.cost import charge
+
+__all__ = ["LossyCounting"]
+
+
+class LossyCounting:
+    """Lossy Counting with error parameter ε."""
+
+    def __init__(self, eps: float) -> None:
+        if not 0 < eps <= 1:
+            raise ValueError(f"eps must be in (0, 1], got {eps}")
+        self.eps = float(eps)
+        self.bucket_width = math.ceil(1.0 / eps)
+        self.entries: dict[Hashable, tuple[int, int]] = {}  # item -> (count, delta)
+        self.stream_length = 0
+
+    def update(self, item: Hashable) -> None:
+        self.stream_length += 1
+        charge(work=1, depth=1)
+        bucket = math.ceil(self.stream_length / self.bucket_width)
+        if item in self.entries:
+            count, delta = self.entries[item]
+            self.entries[item] = (count + 1, delta)
+        else:
+            self.entries[item] = (1, bucket - 1)
+        if self.stream_length % self.bucket_width == 0:
+            self._prune(bucket)
+
+    def _prune(self, bucket: int) -> None:
+        charge(work=max(1, len(self.entries)), depth=max(1, len(self.entries)))
+        self.entries = {
+            item: (count, delta)
+            for item, (count, delta) in self.entries.items()
+            if count + delta > bucket
+        }
+
+    def extend(self, batch: Iterable[Hashable] | np.ndarray) -> None:
+        for item in batch:
+            item = item.item() if isinstance(item, np.generic) else item
+            self.update(item)
+
+    ingest = extend
+
+    def estimate(self, item: Hashable) -> int:
+        """Underestimate: f_e − εm <= est <= f_e."""
+        entry = self.entries.get(item)
+        return entry[0] if entry else 0
+
+    def heavy_hitters(self, phi: float) -> dict[Hashable, int]:
+        """Standard rule: report items with count >= (φ − ε)·m."""
+        threshold = (phi - self.eps) * self.stream_length
+        return {
+            item: count
+            for item, (count, _) in self.entries.items()
+            if count >= threshold
+        }
+
+    @property
+    def space(self) -> int:
+        return 2 * len(self.entries) + 2

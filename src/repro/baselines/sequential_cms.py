@@ -1,0 +1,74 @@
+"""Item-at-a-time Count-Min sketch [CM05] — sequential baseline for E13.
+
+Same table, same pairwise hashes, same estimator as
+:class:`repro.core.ParallelCountMin`, but each arrival updates its d
+cells one after another; cost charged with depth = work.  The contrast
+the benchmark draws is cost-shape, not accuracy (the two produce
+identical tables on identical input order).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterable
+
+import numpy as np
+
+from repro.pram.cost import charge
+from repro.pram.hashing import KWiseHash, pairwise_hashes
+
+__all__ = ["SequentialCountMin"]
+
+
+class SequentialCountMin:
+    """(ε, δ) Count-Min sketch with per-item sequential updates."""
+
+    def __init__(
+        self,
+        eps: float,
+        delta: float,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if not 0 < eps < 1:
+            raise ValueError(f"eps must be in (0, 1), got {eps}")
+        if not 0 < delta < 1:
+            raise ValueError(f"delta must be in (0, 1), got {delta}")
+        rng = rng if rng is not None else np.random.default_rng(0xC0DE)
+        self.eps = float(eps)
+        self.delta = float(delta)
+        self.width = math.ceil(math.e / eps)
+        self.depth = max(1, math.ceil(math.log(1.0 / delta)))
+        self.table = np.zeros((self.depth, self.width), dtype=np.int64)
+        self.hashes: list[KWiseHash] = pairwise_hashes(self.depth, self.width, rng)
+        self.stream_length = 0
+
+    def update(self, item: Hashable) -> None:
+        key = self._key_of(item)
+        charge(work=self.depth, depth=self.depth)  # d sequential cell writes
+        for i, h in enumerate(self.hashes):
+            self.table[i, h(key)] += 1
+        self.stream_length += 1
+
+    def extend(self, batch: Iterable[Hashable] | np.ndarray) -> None:
+        for item in batch:
+            item = item.item() if isinstance(item, np.generic) else item
+            self.update(item)
+
+    ingest = extend
+
+    def point_query(self, item: Hashable) -> int:
+        key = self._key_of(item)
+        charge(work=self.depth, depth=self.depth)  # sequential min scan
+        return int(min(self.table[i, h(key)] for i, h in enumerate(self.hashes)))
+
+    estimate = point_query
+
+    @staticmethod
+    def _key_of(item: Hashable) -> int:
+        if isinstance(item, (int, np.integer)):
+            return int(item)
+        return hash(item) & ((1 << 61) - 1)
+
+    @property
+    def space(self) -> int:
+        return self.table.size + 2 * self.depth

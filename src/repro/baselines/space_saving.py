@@ -1,0 +1,85 @@
+"""Space-Saving [MAE06] — counter-based frequent-items baseline.
+
+Keeps exactly S counters; a new item evicts the current *minimum*
+counter and inherits its count plus one.  Guarantees, for S = ⌈1/ε⌉:
+
+    f_e <= count_e <= f_e + min_count   and   min_count <= m/S <= εm,
+
+i.e. a (one-sided-overestimate) εm-accurate tracker — the symmetric
+counterpart to Misra-Gries' underestimates.  Included because the
+paper's related-work compares counter-based schemes, and because its
+*overestimates* make a useful contrast in the E9 accuracy tables.
+
+Implementation: dict + lazy min-heap; amortized O(log S) per item,
+charged sequentially (depth = work).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Hashable, Iterable
+
+import numpy as np
+
+from repro.pram.cost import charge
+
+__all__ = ["SpaceSaving"]
+
+
+class SpaceSaving:
+    """Space-Saving summary with capacity S = ⌈1/ε⌉ (or explicit)."""
+
+    def __init__(self, eps: float | None = None, *, capacity: int | None = None) -> None:
+        if (eps is None) == (capacity is None):
+            raise ValueError("pass exactly one of eps / capacity")
+        if capacity is None:
+            if not 0 < eps <= 1:  # type: ignore[operator]
+                raise ValueError(f"eps must be in (0, 1], got {eps}")
+            capacity = math.ceil(1.0 / eps)  # type: ignore[arg-type]
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.counters: dict[Hashable, int] = {}
+        self._heap: list[tuple[int, Hashable]] = []  # lazy (count, item)
+        self.stream_length = 0
+
+    def update(self, item: Hashable) -> None:
+        self.stream_length += 1
+        charge(work=2, depth=2)  # sequential baseline (amortized heap ops)
+        counters = self.counters
+        if item in counters:
+            counters[item] += 1
+            heapq.heappush(self._heap, (counters[item], item))
+            return
+        if len(counters) < self.capacity:
+            counters[item] = 1
+            heapq.heappush(self._heap, (1, item))
+            return
+        # Evict the true minimum (skip stale heap entries).
+        while True:
+            count, victim = heapq.heappop(self._heap)
+            if counters.get(victim) == count:
+                break
+        del counters[victim]
+        counters[item] = count + 1
+        heapq.heappush(self._heap, (count + 1, item))
+
+    def extend(self, batch: Iterable[Hashable] | np.ndarray) -> None:
+        for item in batch:
+            item = item.item() if isinstance(item, np.generic) else item
+            self.update(item)
+
+    ingest = extend
+
+    def estimate(self, item: Hashable) -> int:
+        """Overestimate: f_e <= est <= f_e + εm."""
+        return self.counters.get(item, 0)
+
+    def heavy_hitters(self, phi: float) -> dict[Hashable, int]:
+        threshold = phi * self.stream_length
+        return {e: c for e, c in self.counters.items() if c >= threshold}
+
+    @property
+    def space(self) -> int:
+        return len(self.counters) + 2

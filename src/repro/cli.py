@@ -1,0 +1,206 @@
+"""Command-line front-end: run the paper's aggregates over a file or
+stdin of integers.
+
+Examples
+--------
+Heavy hitters over the whole stream::
+
+    python -m repro heavy-hitters --phi 0.05 --eps 0.01 items.txt
+
+Sliding-window heavy hitters, 1M-item window, reading stdin::
+
+    generator | python -m repro heavy-hitters --phi 0.01 --window 1000000
+
+Basic counting on a 0/1 stream, frequency estimates, windowed sums,
+and Count-Min point queries work the same way; ``--report-every``
+prints interim answers (the paper's interleaved queries).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.core import (
+    InfiniteHeavyHitters,
+    ParallelBasicCounter,
+    ParallelCountMin,
+    ParallelFrequencyEstimator,
+    ParallelWindowedSum,
+    SlidingHeavyHitters,
+    WorkEfficientSlidingFrequency,
+)
+from repro.pram.cost import tracking
+
+__all__ = ["main", "build_parser"]
+
+
+def _read_batches(path: str | None, batch_size: int) -> Iterator[np.ndarray]:
+    """Yield int64 minibatches from a whitespace-separated file/stdin."""
+    stream = open(path) if path else sys.stdin
+    try:
+        buffer: list[int] = []
+        for line in stream:
+            for token in line.split():
+                buffer.append(int(token))
+                if len(buffer) >= batch_size:
+                    yield np.asarray(buffer, dtype=np.int64)
+                    buffer = []
+        if buffer:
+            yield np.asarray(buffer, dtype=np.int64)
+    finally:
+        if path:
+            stream.close()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel streaming frequency-based aggregates (SPAA 2014)",
+    )
+    parser.add_argument(
+        "--batch", type=int, default=4096, help="minibatch size (default 4096)"
+    )
+    parser.add_argument(
+        "--report-every",
+        type=int,
+        default=0,
+        metavar="K",
+        help="print an interim answer every K minibatches",
+    )
+    parser.add_argument(
+        "--costs",
+        action="store_true",
+        help="print total charged work/depth at the end",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    hh = sub.add_parser("heavy-hitters", help="continuous φ-heavy hitters")
+    hh.add_argument("--phi", type=float, required=True)
+    hh.add_argument("--eps", type=float, default=None)
+    hh.add_argument("--window", type=int, default=None,
+                    help="sliding-window size (omit for infinite window)")
+    hh.add_argument("file", nargs="?", default=None)
+
+    freq = sub.add_parser("frequency", help="frequency estimates for items")
+    freq.add_argument("--eps", type=float, required=True)
+    freq.add_argument("--window", type=int, default=None)
+    freq.add_argument("--query", type=int, nargs="+", required=True,
+                      metavar="ITEM", help="items to report at the end")
+    freq.add_argument("file", nargs="?", default=None)
+
+    count = sub.add_parser("count", help="1s in a sliding window (0/1 input)")
+    count.add_argument("--window", type=int, required=True)
+    count.add_argument("--eps", type=float, default=0.1)
+    count.add_argument("file", nargs="?", default=None)
+
+    total = sub.add_parser("sum", help="windowed sum of nonnegative ints")
+    total.add_argument("--window", type=int, required=True)
+    total.add_argument("--eps", type=float, default=0.1)
+    total.add_argument("--max-value", type=int, required=True)
+    total.add_argument("file", nargs="?", default=None)
+
+    cms = sub.add_parser("cms", help="Count-Min point queries")
+    cms.add_argument("--eps", type=float, default=0.001)
+    cms.add_argument("--delta", type=float, default=0.01)
+    cms.add_argument("--conservative", action="store_true")
+    cms.add_argument("--query", type=int, nargs="+", required=True, metavar="ITEM")
+    cms.add_argument("file", nargs="?", default=None)
+
+    quant = sub.add_parser(
+        "quantile", help="windowed quantiles via the histogram reduction"
+    )
+    quant.add_argument("--window", type=int, required=True)
+    quant.add_argument("--eps", type=float, default=0.05)
+    quant.add_argument("--max-value", type=int, required=True)
+    quant.add_argument("--buckets", type=int, default=64)
+    quant.add_argument("--q", type=float, nargs="+", default=[0.5, 0.95, 0.99])
+    quant.add_argument("file", nargs="?", default=None)
+
+    var = sub.add_parser(
+        "variance", help="windowed mean/variance via the Sum reduction"
+    )
+    var.add_argument("--window", type=int, required=True)
+    var.add_argument("--eps", type=float, default=0.02)
+    var.add_argument("--max-value", type=int, required=True)
+    var.add_argument("file", nargs="?", default=None)
+
+    return parser
+
+
+def _run(args: argparse.Namespace, out) -> None:
+    if args.command == "heavy-hitters":
+        if args.window:
+            op = SlidingHeavyHitters(args.window, args.phi, args.eps)
+        else:
+            op = InfiniteHeavyHitters(args.phi, args.eps)
+        final = lambda: sorted(op.query().items(), key=lambda kv: -kv[1])
+        interim = final
+    elif args.command == "frequency":
+        if args.window:
+            op = WorkEfficientSlidingFrequency(args.window, args.eps)
+        else:
+            op = ParallelFrequencyEstimator(args.eps)
+        final = lambda: [(item, op.estimate(item)) for item in args.query]
+        interim = final
+    elif args.command == "count":
+        op = ParallelBasicCounter(args.window, args.eps)
+        final = op.query
+        interim = final
+    elif args.command == "sum":
+        op = ParallelWindowedSum(args.window, args.eps, args.max_value)
+        final = op.query
+        interim = final
+    elif args.command == "cms":
+        op = ParallelCountMin(args.eps, args.delta, conservative=args.conservative)
+        final = lambda: [(item, op.point_query(item)) for item in args.query]
+        interim = final
+    elif args.command == "quantile":
+        from repro.core import WindowedHistogram
+
+        edges = np.linspace(0, args.max_value + 1, args.buckets + 1)
+        op = WindowedHistogram(args.window, args.eps, edges)
+        final = lambda: [(q, op.quantile(q)) for q in args.q]
+        interim = final
+    elif args.command == "variance":
+        from repro.core import WindowedVariance
+
+        op = WindowedVariance(args.window, args.eps, args.max_value)
+        final = lambda: {"mean": round(op.mean(), 3), "variance": round(op.query(), 3)}
+        interim = final
+    else:  # pragma: no cover - argparse enforces choices
+        raise SystemExit(f"unknown command {args.command}")
+
+    items = 0
+    for i, batch in enumerate(_read_batches(args.file, args.batch)):
+        op.ingest(batch)
+        items += len(batch)
+        if args.report_every and (i + 1) % args.report_every == 0:
+            print(f"[{items} items] {interim()}", file=out)
+
+    print(f"items processed: {items}", file=out)
+    print(f"answer: {final()}", file=out)
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    """Entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        if args.costs:
+            with tracking() as ledger:
+                _run(args, out)
+            print(f"charged work: {ledger.work}  depth: {ledger.depth}", file=out)
+        else:
+            _run(args, out)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

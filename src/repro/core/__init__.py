@@ -1,0 +1,49 @@
+"""The paper's contributions: γ-snapshots, the space-bounded block
+counter (Section 3), basic counting and Sum over sliding windows
+(Section 4), parallel Misra-Gries frequency estimation and heavy
+hitters over infinite and sliding windows (Section 5), and the parallel
+Count-Min sketch (Section 6)."""
+
+from repro.core.basic_counting import ParallelBasicCounter
+from repro.core.countmin import DyadicCountMin, ParallelCountMin
+from repro.core.countsketch import ParallelCountSketch
+from repro.core.freq_infinite import ParallelFrequencyEstimator
+from repro.core.freq_sliding import (
+    BasicSlidingFrequency,
+    SpaceEfficientSlidingFrequency,
+    WorkEfficientSlidingFrequency,
+)
+from repro.core.heavy_hitters import InfiniteHeavyHitters, SlidingHeavyHitters
+from repro.core.misra_gries import MisraGriesSummary, mg_augment
+from repro.core.sbbc import OVERFLOWED, SBBC
+from repro.core.snapshot import GammaSnapshot, shrink_snapshot, snapshot_of_stream
+from repro.core.windowed_countmin import WindowedCountMin
+from repro.core.windowed_histogram import WindowedHistogram
+from repro.core.windowed_moments import WindowedLpNorm, WindowedVariance
+from repro.core.windowed_sum import ParallelWindowedMean, ParallelWindowedSum
+
+__all__ = [
+    "ParallelBasicCounter",
+    "DyadicCountMin",
+    "ParallelCountMin",
+    "ParallelCountSketch",
+    "ParallelFrequencyEstimator",
+    "BasicSlidingFrequency",
+    "SpaceEfficientSlidingFrequency",
+    "WorkEfficientSlidingFrequency",
+    "InfiniteHeavyHitters",
+    "SlidingHeavyHitters",
+    "MisraGriesSummary",
+    "mg_augment",
+    "OVERFLOWED",
+    "SBBC",
+    "GammaSnapshot",
+    "shrink_snapshot",
+    "snapshot_of_stream",
+    "ParallelWindowedSum",
+    "ParallelWindowedMean",
+    "WindowedCountMin",
+    "WindowedHistogram",
+    "WindowedLpNorm",
+    "WindowedVariance",
+]

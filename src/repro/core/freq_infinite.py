@@ -1,0 +1,78 @@
+"""Parallel infinite-window frequency estimation (§5.2, Theorem 5.2).
+
+Keep an MG summary of S = ⌈1/ε⌉ counters; to process a minibatch of
+size µ, build its histogram with ``buildHist`` (Theorem 2.3, O(µ) work)
+and fold it in with ``MGaugment`` (Lemma 5.3, O(S + p) work).  Total:
+O(ε⁻¹ + µ) work and polylog depth per minibatch — work-optimal once
+µ = Ω(1/ε) (Corollary 5.11), and estimates satisfy
+``f_e − εm <= f̂_e <= f_e``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.core.misra_gries import capacity_for_eps, mg_augment
+from repro.pram.histogram import build_hist
+
+__all__ = ["ParallelFrequencyEstimator"]
+
+
+class ParallelFrequencyEstimator:
+    """Minibatch-parallel Misra-Gries frequency estimation (Thm 5.2).
+
+    Parameters
+    ----------
+    eps:
+        Error parameter ε; estimates satisfy f̂ ∈ [f − εm, f] where m is
+        the stream length so far.
+    rng:
+        Randomness for ``buildHist``'s hash function (reproducible by
+        default).
+    """
+
+    def __init__(
+        self, eps: float, rng: np.random.Generator | None = None
+    ) -> None:
+        self.eps = float(eps)
+        self.capacity = capacity_for_eps(eps)
+        self.counters: dict[Hashable, int] = {}
+        self.stream_length = 0
+        self._rng = rng if rng is not None else np.random.default_rng(0x1F1D)
+
+    def ingest(self, batch: Sequence[Hashable] | np.ndarray) -> None:
+        """Process one minibatch: buildHist → MGaugment."""
+        mu = len(batch)
+        if mu == 0:
+            return
+        histogram = build_hist(batch, self._rng)
+        self.counters = mg_augment(self.counters, histogram, self.capacity)
+        self.stream_length += mu
+
+    extend = ingest
+
+    def estimate(self, item: Hashable) -> int:
+        """f̂_e ∈ [f_e − εm, f_e]."""
+        return self.counters.get(item, 0)
+
+    def estimates(self) -> dict[Hashable, int]:
+        """All currently-tracked (item, f̂) pairs."""
+        return dict(self.counters)
+
+    def top_k(self, k: int) -> list[tuple[Hashable, int]]:
+        """The k tracked items with the largest estimates, descending.
+
+        Meaningful for k ≲ 1/ε: items beyond the summary's resolution
+        are indistinguishable from frequency ≤ εm.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        ranked = sorted(self.counters.items(), key=lambda kv: -kv[1])
+        return ranked[:k]
+
+    @property
+    def space(self) -> int:
+        """Words of state — Theorem 5.2's O(ε⁻¹)."""
+        return len(self.counters) + 2

@@ -1,0 +1,320 @@
+"""Sliding-window frequency estimation (§5.3, Theorems 5.4/5.5/5.8).
+
+All three variants from the paper, sharing the same estimate contract
+``f̂_e ∈ [f_e − εn, f_e]`` over the last n items:
+
+* :class:`BasicSlidingFrequency` (§5.3.1, Thm 5.5) — one (∞, n/S)-SBBC
+  per item present in the window.  Simple, but its space is Θ(#distinct
+  items in window), which can reach Ω(n); benchmark E10 shows exactly
+  this blow-up.
+* :class:`SpaceEfficientSlidingFrequency` (§5.3.2, Alg. 2, Thm 5.8) —
+  adds the Misra-Gries-style prune: after advancing, find the cutoff ϕ
+  with at most S surviving counters, decrement survivors by ϕ (using
+  the SBBC ``decrement``), delete the rest.  Space drops to O(ε⁻¹) but
+  step 1 still builds a CSS for *every* item in the batch: O(µ log µ)
+  work.
+* :class:`WorkEfficientSlidingFrequency` (§5.3.3, Thm 5.4) — first
+  *predicts* the post-prune survivor set K from shrunk counter values
+  plus the batch histogram (both linear work), then runs ``sift`` to
+  build CSSs for K only: O(ε⁻¹ + µ) work, O(ε⁻¹ + polylog µ) depth.
+
+Constants follow §5.3.2: S = ⌈8/ε⌉ and λ = εn/4 (error budget:
+decrements ≤ 5n/S = (5/8)εn, counter granularity ≤ λ = (1/4)εn).
+
+Every variant assumes WLOG µ < n; a batch of µ >= n resets state and
+replays only its last n items (the paper's "throw away the state and
+start over" move, which also discards accumulated error).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.sbbc import SBBC
+from repro.pram.cost import charge, parallel
+from repro.pram.css import CSS, sift
+from repro.pram.histogram import build_hist
+from repro.pram.primitives import log2ceil
+from repro.pram.select import prune_cutoff
+
+__all__ = [
+    "BasicSlidingFrequency",
+    "SpaceEfficientSlidingFrequency",
+    "WorkEfficientSlidingFrequency",
+    "group_positions_by_sort",
+]
+
+
+def group_positions_by_sort(
+    batch: Sequence[Hashable] | np.ndarray,
+) -> dict[Hashable, np.ndarray]:
+    """Step 1 of the basic algorithm (Thm 5.5): gather, for every item
+    in the minibatch, the (1-based) positions where it occurs.
+
+    "Marking each element with its position and using a parallel sort
+    routine to gather identical items together": O(µ log µ) work,
+    O(log µ) depth — charged as such (this super-linear step is exactly
+    what Theorem 5.4's ``sift`` replaces).
+    """
+    mu = len(batch)
+    charge(
+        work=max(1, mu * max(1, log2ceil(max(2, mu)))),
+        depth=1 + log2ceil(max(2, mu)) ** 2,
+    )
+    groups: dict[Hashable, list[int]] = {}
+    for pos, item in enumerate(batch, start=1):
+        item = item.item() if isinstance(item, np.generic) else item
+        groups.setdefault(item, []).append(pos)
+    return {
+        item: np.asarray(positions, dtype=np.int64)
+        for item, positions in groups.items()
+    }
+
+
+def _validate_params(window: int, eps: float) -> None:
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if not 0 < eps <= 1:
+        raise ValueError(f"eps must be in (0, 1], got {eps}")
+
+
+class _SlidingFrequencyBase:
+    """State and query logic shared by all three variants."""
+
+    def __init__(self, window: int, eps: float, lam: float) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if not 0 < eps <= 1:
+            raise ValueError(f"eps must be in (0, 1], got {eps}")
+        self.window = int(window)
+        self.eps = float(eps)
+        self.lam = float(lam)
+        self.counters: dict[Hashable, SBBC] = {}
+        self.t = 0
+
+    def _new_counter(self) -> SBBC:
+        return SBBC(self.window, lam=self.lam, sigma=math.inf)
+
+    def _maybe_reset(self, batch: np.ndarray) -> np.ndarray:
+        """Enforce the WLOG µ < n assumption by restarting on huge
+        batches (keeps only the most recent n items)."""
+        if len(batch) >= self.window:
+            self.counters = {}
+            self.t += len(batch) - self.window
+            return batch[-self.window :]
+        return batch
+
+    def estimate(self, item: Hashable) -> float:
+        """f̂_e ∈ [f_e − εn, f_e] (f_e = frequency in the last n items)."""
+        counter = self.counters.get(item)
+        if counter is None:
+            return 0.0
+        return max(0.0, counter.raw_value() - self.lam)
+
+    def estimates(self) -> dict[Hashable, float]:
+        return {item: self.estimate(item) for item in self.counters}
+
+    def top_k(self, k: int) -> list[tuple[Hashable, float]]:
+        """The k tracked items with the largest estimates, descending.
+
+        Meaningful for k ≲ 1/ε: items beyond the summary's resolution
+        are indistinguishable from frequency ≤ εn.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        ranked = sorted(self.estimates().items(), key=lambda kv: -kv[1])
+        return ranked[:k]
+
+    def tracked_items(self) -> list[Hashable]:
+        return list(self.counters)
+
+    @property
+    def space(self) -> int:
+        """Total words across all SBBCs plus the directory."""
+        return sum(c.space for c in self.counters.values()) + len(self.counters)
+
+    @property
+    def window_length(self) -> int:
+        """Number of items actually in the window (min(t, n))."""
+        return min(self.t, self.window)
+
+
+class BasicSlidingFrequency(_SlidingFrequencyBase):
+    """§5.3.1 / Theorem 5.5 — an SBBC per distinct item in the window.
+
+    λ = n/S with S = ⌈1/ε⌉, so the per-item additive error is ≤ εn.
+    Space is O(|B| + ε⁻¹) where B can hold every distinct item in the
+    window — the blow-up the improved variants remove.
+    """
+
+    def __init__(self, window: int, eps: float) -> None:
+        _validate_params(window, eps)
+        capacity = math.ceil(1.0 / eps)
+        super().__init__(window, eps, lam=window / capacity)
+        self.capacity = capacity
+
+    def ingest(self, batch: Sequence[Hashable] | np.ndarray) -> None:
+        batch = np.asarray(batch)
+        batch = self._maybe_reset(batch)
+        mu = len(batch)
+        if mu == 0:
+            return
+        groups = group_positions_by_sort(batch)
+        keys = list(groups.keys() | self.counters.keys())
+        with parallel() as par:
+            for item in keys:
+                counter = self.counters.get(item)
+                if counter is None:
+                    counter = self._new_counter()
+                    self.counters[item] = counter
+                positions = groups.get(item)
+                css = CSS(
+                    length=mu,
+                    ones=positions
+                    if positions is not None
+                    else np.empty(0, dtype=np.int64),
+                )
+                par.run(counter.advance, css)
+        self.t += mu
+        # An SBBC value of 0 certifies zero occurrences in the window
+        # (val >= m), so dropping it loses nothing.
+        dead = [item for item, c in self.counters.items() if c.raw_value() == 0]
+        for item in dead:
+            del self.counters[item]
+
+    extend = ingest
+
+
+class SpaceEfficientSlidingFrequency(_SlidingFrequencyBase):
+    """§5.3.2 / Algorithm 2 / Theorem 5.8 — basic + Misra-Gries prune.
+
+    Space O(ε⁻¹); work still O(ε⁻¹ + µ log µ) because step 1 builds a
+    CSS for every batch item.
+    """
+
+    def __init__(self, window: int, eps: float) -> None:
+        _validate_params(window, eps)
+        capacity = math.ceil(8.0 / eps)
+        super().__init__(window, eps, lam=eps * window / 4.0)
+        self.capacity = capacity
+
+    def ingest(self, batch: Sequence[Hashable] | np.ndarray) -> None:
+        batch = np.asarray(batch)
+        batch = self._maybe_reset(batch)
+        mu = len(batch)
+        if mu == 0:
+            return
+        # Steps 1-2: CSS per item in T ∪ B; advance all in parallel.
+        groups = group_positions_by_sort(batch)
+        keys = list(groups.keys() | self.counters.keys())
+        with parallel() as par:
+            for item in keys:
+                counter = self.counters.get(item)
+                if counter is None:
+                    counter = self._new_counter()
+                    self.counters[item] = counter
+                positions = groups.get(item)
+                css = CSS(
+                    length=mu,
+                    ones=positions
+                    if positions is not None
+                    else np.empty(0, dtype=np.int64),
+                )
+                par.run(counter.advance, css)
+        self.t += mu
+        self._prune()
+
+    extend = ingest
+
+    def _prune(self) -> None:
+        """Step 3: decrement so at most S counters stay positive."""
+        if not self.counters:
+            return
+        values = np.fromiter(
+            (c.raw_value() for c in self.counters.values()),
+            dtype=np.int64,
+            count=len(self.counters),
+        )
+        phi = prune_cutoff(values, self.capacity)
+        survivors: dict[Hashable, SBBC] = {}
+        with parallel() as par:
+            for (item, counter), value in zip(list(self.counters.items()), values):
+                if value > phi:
+                    if phi:
+                        par.run(counter.decrement, phi)
+                    survivors[item] = counter
+        self.counters = {
+            item: c for item, c in survivors.items() if c.raw_value() > 0
+        }
+
+
+class WorkEfficientSlidingFrequency(_SlidingFrequencyBase):
+    """§5.3.3 / Theorem 5.4 — predict survivors, then sift.
+
+    O(ε⁻¹ + µ) work and O(ε⁻¹ + polylog µ) depth per minibatch with
+    O(ε⁻¹) space; estimates within εn as before.
+    """
+
+    def __init__(
+        self,
+        window: int,
+        eps: float,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        _validate_params(window, eps)
+        capacity = math.ceil(8.0 / eps)
+        super().__init__(window, eps, lam=eps * window / 4.0)
+        self.capacity = capacity
+        self._rng = rng if rng is not None else np.random.default_rng(0x51F7)
+
+    def _predict(
+        self, batch: np.ndarray
+    ) -> tuple[dict[Hashable, int], int]:
+        """The ``predict`` routine: post-advance counter values (shrunk
+        existing value + batch histogram), and the prune cutoff ϕ."""
+        mu = len(batch)
+        histogram = build_hist(batch, self._rng)
+        predicted: dict[Hashable, int] = {
+            item: counter.peek_shrunk_value(mu)
+            for item, counter in self.counters.items()
+        }
+        charge(work=max(1, len(histogram)), depth=1)
+        for item, freq in histogram.items():
+            predicted[item] = predicted.get(item, 0) + freq
+        values = np.fromiter(
+            predicted.values(), dtype=np.int64, count=len(predicted)
+        )
+        phi = prune_cutoff(values, self.capacity) if predicted.keys() else 0
+        return predicted, phi
+
+    def ingest(self, batch: Sequence[Hashable] | np.ndarray) -> None:
+        batch = np.asarray(batch)
+        batch = self._maybe_reset(batch)
+        mu = len(batch)
+        if mu == 0:
+            return
+        predicted, phi = self._predict(batch)
+        keep = [item for item, value in predicted.items() if value > phi]
+        segments = sift(batch, keep)
+        with parallel() as par:
+            for item in keep:
+                counter = self.counters.get(item)
+                if counter is None:
+                    counter = self._new_counter()
+                    self.counters[item] = counter
+                par.run(counter.advance, segments[item])
+        self.t += mu
+        survivors: dict[Hashable, SBBC] = {}
+        with parallel() as par:
+            for item in keep:
+                counter = self.counters[item]
+                if phi:
+                    par.run(counter.decrement, phi)
+                if counter.raw_value() > 0:
+                    survivors[item] = counter
+        self.counters = survivors
+
+    extend = ingest

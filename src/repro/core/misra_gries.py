@@ -1,0 +1,140 @@
+"""Misra-Gries summaries and the parallel batch merge (§5.1–5.2).
+
+:class:`MisraGriesSummary` is the classic sequential algorithm
+(Algorithm 1, [MG82]): at most S = ⌈1/ε⌉ counters; on arrival either
+increment, insert, or decrement *all* counters.  Lemma 5.1 gives
+``f_e − m/S <= C_e <= f_e``.
+
+:func:`mg_augment` is Lemma 5.3 — the paper's key parallel step: merge
+an MG summary with a minibatch *histogram* into a new MG summary by
+(1) adding corresponding counters, (2) selecting the cutoff ϕ so that
+at most S combined counters exceed it, and (3) subtracting ϕ from all
+counters and keeping the positive ones.  Subtracting ϕ is cost-
+equivalent to ϕ rounds of decrement-all, each hitting ≥ S distinct
+counters, so the Lemma 5.1 error argument carries over — but the whole
+thing runs in O(S + p) work and O(log(S + p)) depth instead of
+item-at-a-time.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Mapping
+
+import numpy as np
+
+from repro.pram.cost import charge
+from repro.pram.primitives import log2ceil
+from repro.pram.select import prune_cutoff
+
+__all__ = ["MisraGriesSummary", "mg_augment", "capacity_for_eps"]
+
+
+def capacity_for_eps(eps: float) -> int:
+    """S = ⌈1/ε⌉, the summary capacity for error parameter ε."""
+    if not 0 < eps <= 1:
+        raise ValueError(f"eps must be in (0, 1], got {eps}")
+    return math.ceil(1.0 / eps)
+
+
+class MisraGriesSummary:
+    """Sequential Misra-Gries (Algorithm 1) — also the E8/E12 baseline.
+
+    Parameters
+    ----------
+    eps:
+        Error parameter; capacity is S = ⌈1/ε⌉.  (Pass ``capacity``
+        instead to set S directly.)
+    """
+
+    def __init__(self, eps: float | None = None, *, capacity: int | None = None) -> None:
+        if (eps is None) == (capacity is None):
+            raise ValueError("pass exactly one of eps / capacity")
+        if capacity is None:
+            capacity = capacity_for_eps(eps)  # type: ignore[arg-type]
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.counters: dict[Hashable, int] = {}
+        self.stream_length = 0
+
+    def update(self, item: Hashable) -> None:
+        """Process one stream element (Algorithm 1)."""
+        self.stream_length += 1
+        counters = self.counters
+        if item in counters:
+            counters[item] += 1
+            return
+        if len(counters) < self.capacity:
+            counters[item] = 1
+            return
+        # Decrement every counter; drop those reaching zero.  The
+        # arriving item is "cancelled" against the S decrements.
+        dead = []
+        for key in counters:
+            counters[key] -= 1
+            if counters[key] == 0:
+                dead.append(key)
+        for key in dead:
+            del counters[key]
+
+    def extend(self, items) -> None:
+        for item in items:
+            item = item.item() if isinstance(item, np.generic) else item
+            self.update(item)
+
+    def estimate(self, item: Hashable) -> int:
+        """C_e, satisfying ``f_e − m/S <= C_e <= f_e`` (Lemma 5.1)."""
+        return self.counters.get(item, 0)
+
+    @property
+    def space(self) -> int:
+        return len(self.counters) + 2
+
+
+def mg_augment(
+    summary: Mapping[Hashable, int],
+    histogram: Mapping[Hashable, int],
+    capacity: int,
+) -> dict[Hashable, int]:
+    """Lemma 5.3: fold a minibatch histogram into an MG summary.
+
+    Parameters
+    ----------
+    summary:
+        Current MG summary F (item → counter), ≤ ``capacity`` entries.
+    histogram:
+        Minibatch histogram H (item → frequency), any size p.
+    capacity:
+        S = ⌈1/ε⌉.
+
+    Returns
+    -------
+    A new summary with ≤ S entries whose counters still satisfy
+    ``C_e ∈ [f_e − m/S, f_e]`` for the combined stream.
+
+    Cost: O(S + p) work, O(log(S + p)) charged depth.
+    """
+    if capacity < 1:
+        raise ValueError(f"capacity must be >= 1, got {capacity}")
+    if len(summary) > capacity:
+        raise ValueError(
+            f"input summary has {len(summary)} entries > capacity {capacity}"
+        )
+    total = len(summary) + len(histogram)
+    # Hash-join of the two count maps (paper: hash table of size O(S+p)).
+    charge(work=max(1, total), depth=1 + log2ceil(max(2, total)) ** 2)
+    combined: dict[Hashable, int] = dict(summary)
+    for item, freq in histogram.items():
+        if freq < 0:
+            raise ValueError(f"negative histogram frequency for {item!r}")
+        combined[item] = combined.get(item, 0) + freq
+
+    if len(combined) <= capacity:
+        return combined
+
+    counts = np.fromiter(combined.values(), dtype=np.int64, count=len(combined))
+    phi = prune_cutoff(counts, capacity)
+    # Subtract ϕ everywhere; keep strictly positive counters.
+    charge(work=max(1, len(combined)), depth=1)
+    return {item: c - phi for item, c in combined.items() if c > phi}

@@ -1,0 +1,260 @@
+"""The (σ, λ)-space-bounded block counter (Section 3.2, Theorem 3.4).
+
+An SBBC maintains a (λ/2)-snapshot of a sliding window over a binary
+stream, ingesting whole minibatches (encoded as CSSs) in parallel, with
+three extra twists over the static snapshot:
+
+* **capacity σ** — if the snapshot would exceed 2σ blocks, it is
+  truncated to cover a *smaller* window of size r < n; ``query`` then
+  reports OVERFLOWED, which certifies that the window holds at least
+  ≈ σ·λ ones (the coarse lower bound the basic-counting ladder uses);
+* **decrement(r)** — subtract exactly r from the counter's value, used
+  to mimic Misra-Gries decrements in the sliding-window frequency
+  algorithms (Section 5.3);
+* **value semantics** — by Corollary 3.5, when not overflowed,
+  ``m <= value <= m + λ`` for the true count m of 1s in the window.
+
+Block size is γ = max(1, ⌊λ/2⌋); for λ < 2 the counter degenerates to
+*exact* counting (every 1 is sampled into its own unit block), which is
+what the finest rung of the Theorem 4.1 ladder needs.
+
+Cost: ``advance`` charges O(#new samples + |Q|) work ≤ the theorem's
+O(min(σ, m/λ) + |T|/λ); ``decrement`` O(|Q|) = O(m/λ); ``query`` and
+``value`` O(1); all depths polylogarithmic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.snapshot import GammaSnapshot
+from repro.pram.cost import charge
+from repro.pram.css import CSS
+from repro.pram.primitives import log2ceil
+
+__all__ = ["SBBC", "OVERFLOWED", "Overflowed", "TruncationEvent"]
+
+
+class Overflowed:
+    """Sentinel type for the OVERFLOWED query result (Theorem 3.4)."""
+
+    _instance: "Overflowed | None" = None
+
+    def __new__(cls) -> "Overflowed":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "OVERFLOWED"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: The singleton returned by :meth:`SBBC.query` when the snapshot has
+#: been truncated below the requested window size.
+OVERFLOWED = Overflowed()
+
+
+@dataclass(frozen=True)
+class TruncationEvent:
+    """Recorded whenever capacity forces a snapshot truncation.
+
+    ``value_before`` is γ|Q|+ℓ just before dropping blocks — by
+    Lemma 3.2 the window then held at least ``value_before − 2γ`` ones,
+    the quantity benchmark E5 checks against the σ·λ bound.
+    """
+
+    t: int
+    blocks_before: int
+    value_before: int
+
+
+class SBBC:
+    """A (σ, λ)-space-bounded block counter for a size-``window`` sliding
+    window (Theorem 3.4).
+
+    Parameters
+    ----------
+    window:
+        The window size n.
+    lam:
+        λ — the additive-error / block-granularity parameter (> 0; may
+        be fractional, e.g. εn/2^i from the basic-counting ladder).
+    sigma:
+        σ — the space budget; the structure never stores more than 2σ
+        blocks.  ``math.inf`` (default) disables truncation, giving the
+        (∞, λ)-SBBC the frequency algorithms use.
+    """
+
+    __slots__ = (
+        "window",
+        "lam",
+        "sigma",
+        "gamma",
+        "t",
+        "r",
+        "_blocks",
+        "_ell",
+        "truncations",
+    )
+
+    def __init__(self, window: int, lam: float, sigma: float = math.inf) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if lam <= 0:
+            raise ValueError(f"lambda must be > 0, got {lam}")
+        if sigma <= 0:
+            raise ValueError(f"sigma must be > 0, got {sigma}")
+        self.window = int(window)
+        self.lam = float(lam)
+        self.sigma = sigma
+        self.gamma = max(1, int(lam // 2))
+        self.t = 0  # global stream length ingested
+        self.r = 0  # coverage: snapshot represents W_r(S_t)
+        self._blocks = np.empty(0, dtype=np.int64)
+        self._ell = 0
+        self.truncations: list[TruncationEvent] = []
+        charge(work=1, depth=1)  # new()
+
+    # ------------------------------------------------------------------
+    # Interface of Theorem 3.4
+    # ------------------------------------------------------------------
+    def advance(self, segment: CSS) -> None:
+        """Incorporate a minibatch encoded as a CSS.
+
+        Samples every γ-th 1 (continuing the phase ℓ left off at),
+        appends their block ids, evicts blocks that slid out of the
+        window, and truncates to capacity.
+        """
+        gamma = self.gamma
+        k0 = segment.count_ones
+
+        # --- sample every γ-th one among the incoming 1s ---------------
+        num_samples = (self._ell + k0) // gamma
+        if num_samples:
+            # 0-based indices into segment.ones of the sampled 1s.
+            first = gamma - self._ell - 1
+            idx = first + gamma * np.arange(num_samples, dtype=np.int64)
+            global_pos = self.t + segment.ones[idx]
+            new_blocks = (global_pos + gamma - 1) // gamma
+            self._ell = self._ell + k0 - num_samples * gamma
+        else:
+            new_blocks = np.empty(0, dtype=np.int64)
+            self._ell += k0
+
+        self.t += segment.length
+        self.r = min(self.r + segment.length, self.window)
+
+        blocks = np.concatenate([self._blocks, new_blocks])
+
+        # --- evict blocks that no longer overlap the covered window ----
+        window_start = self.t - self.r + 1
+        blocks = blocks[blocks * gamma >= window_start]
+
+        # --- capacity truncation (shrink coverage, not accuracy) -------
+        cap = 2 * self.sigma
+        if blocks.size > cap:
+            keep = int(cap)
+            value_before = gamma * int(blocks.size) + self._ell
+            self.truncations.append(
+                TruncationEvent(
+                    t=self.t, blocks_before=int(blocks.size), value_before=value_before
+                )
+            )
+            blocks = blocks[-keep:]
+            # Coverage starts at the first position of the oldest kept block.
+            self.r = min(self.r, self.t - (int(blocks[0]) - 1) * gamma)
+
+        self._blocks = blocks
+        q = int(blocks.size)
+        charge(
+            work=max(1, num_samples + q + 1),
+            depth=1 + log2ceil(max(2, num_samples + q)),
+        )
+
+    def query(self) -> GammaSnapshot | Overflowed:
+        """Return the window snapshot, or OVERFLOWED if the snapshot's
+        coverage r fell below the requested window (Theorem 3.4:
+        OVERFLOWED certifies m ≳ σ·λ)."""
+        charge(work=1, depth=1)
+        if self.overflowed:
+            return OVERFLOWED
+        return GammaSnapshot(gamma=self.gamma, blocks=self._blocks, ell=self._ell)
+
+    def decrement(self, amount: int) -> None:
+        """Subtract exactly ``amount`` from the counter's value.
+
+        Drops the newest blocks and adjusts ℓ so that the value drops by
+        exactly ``amount`` (clamped at zero).  O(|Q|) work.
+        """
+        if amount < 0:
+            raise ValueError(f"decrement amount must be >= 0, got {amount}")
+        q = int(self._blocks.size)
+        charge(work=max(1, q), depth=1 + log2ceil(max(2, q)))
+        if amount == 0:
+            return
+        gamma = self.gamma
+        value = gamma * q + self._ell
+        if amount >= value:
+            self._blocks = np.empty(0, dtype=np.int64)
+            self._ell = 0
+            return
+        if amount < self._ell:
+            self._ell -= amount
+            return
+        drop = -(-(amount - self._ell) // gamma)  # ceil division
+        self._blocks = self._blocks[: q - drop]
+        self._ell = gamma * drop - (amount - self._ell)
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    @property
+    def overflowed(self) -> bool:
+        """True when coverage is short of the full (available) window."""
+        return self.r < min(self.t, self.window)
+
+    def raw_value(self) -> int:
+        """γ|Q| + ℓ regardless of coverage (the counter's value over the
+        covered window W_r; equals the Theorem 3.4 value when not
+        overflowed)."""
+        charge(work=1, depth=1)
+        return self.gamma * int(self._blocks.size) + self._ell
+
+    def value(self) -> int | None:
+        """Corollary 3.5's m̂ ∈ [m, m+λ], or ``None`` when OVERFLOWED."""
+        charge(work=1, depth=1)
+        if self.overflowed:
+            return None
+        return self.gamma * int(self._blocks.size) + self._ell
+
+    def peek_shrunk_value(self, slide: int) -> int:
+        """The value this counter will report after the window slides by
+        ``slide`` more positions, *excluding* any new 1s — i.e.
+        ``val(shrink(Γ.query()))`` from the ``predict`` routine of
+        Theorem 5.4.  O(|Q|) work; does not mutate the counter.
+        """
+        if slide < 0:
+            raise ValueError("slide must be >= 0")
+        q = int(self._blocks.size)
+        charge(work=max(1, q), depth=1 + log2ceil(max(2, q)))
+        new_start = self.t + slide - min(self.r + slide, self.window) + 1
+        kept = int(np.count_nonzero(self._blocks * self.gamma >= new_start))
+        return self.gamma * kept + self._ell
+
+    @property
+    def space(self) -> int:
+        """Words of state: |Q| plus O(1) registers."""
+        return int(self._blocks.size) + 4
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "OVERFLOWED" if self.overflowed else f"val={self.raw_value()}"
+        return (
+            f"SBBC(window={self.window}, lam={self.lam}, sigma={self.sigma}, "
+            f"t={self.t}, r={self.r}, |Q|={self._blocks.size}, {state})"
+        )

@@ -1,0 +1,133 @@
+"""γ-snapshots (Section 3.1, after Lee & Ting [LT06a, LT06b]).
+
+A γ-snapshot summarizes a binary stream for a size-n window by
+remembering only the *blocks* (γ consecutive positions each) that
+contain every γ-th 1, plus the count ℓ of 1s after the last sampled 1.
+Definition 3.1 and Lemma 3.2:
+
+    val(SS) = γ·|Q| + ℓ   satisfies   m ≤ val(SS) ≤ m + 2γ,
+
+where m is the true number of 1s in the window, ℓ < γ, and
+|Q| ≤ O(m/γ).
+
+Conventions: stream positions and block ids are 1-based (as in the
+paper); block B_k covers positions (k−1)γ+1 … kγ.
+
+This module holds the *static* snapshot object plus reference
+constructors used by tests and benchmarks; the incrementally-maintained
+parallel version lives in :mod:`repro.core.sbbc`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.pram.cost import charge
+from repro.pram.primitives import log2ceil
+
+__all__ = ["GammaSnapshot", "snapshot_of_stream", "shrink_snapshot"]
+
+
+@dataclass(frozen=True)
+class GammaSnapshot:
+    """An immutable snapshot ``(Q, ℓ)`` with block size γ.
+
+    Attributes
+    ----------
+    gamma:
+        Block size γ >= 1.
+    blocks:
+        Strictly increasing ``int64`` array of sampled block ids (Q).
+    ell:
+        Count of 1s after the last sampled 1 (0 <= ℓ < γ).
+    """
+
+    gamma: int
+    blocks: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    ell: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "blocks", np.asarray(self.blocks, dtype=np.int64))
+        if self.gamma < 1:
+            raise ValueError(f"gamma must be >= 1, got {self.gamma}")
+        if not 0 <= self.ell < max(1, self.gamma):
+            if not (self.gamma == 1 and self.ell == 0):
+                raise ValueError(
+                    f"ell must satisfy 0 <= ell < gamma, got ell={self.ell}"
+                )
+        if self.blocks.size:
+            if self.blocks[0] < 1:
+                raise ValueError("block ids are 1-based (must be >= 1)")
+            if np.any(np.diff(self.blocks) <= 0):
+                raise ValueError("block ids must be strictly increasing")
+
+    @property
+    def value(self) -> int:
+        """val(SS) = γ·|Q| + ℓ — O(1) work (Section 3.1)."""
+        charge(work=1, depth=1)
+        return self.gamma * int(self.blocks.size) + self.ell
+
+    @property
+    def size(self) -> int:
+        """Space consumption in words: |Q| plus the ℓ register."""
+        return int(self.blocks.size) + 1
+
+
+def snapshot_of_stream(
+    bits: np.ndarray, gamma: int, window: int, *, clamp_ell: bool = True
+) -> GammaSnapshot:
+    """Reference (from-scratch) construction of ``SS_{γ,n}(S_t)``.
+
+    Used by tests as the oracle the incremental SBBC must agree with.
+    Follows Definition 3.1 literally:
+
+    * ``Q``: blocks of every γ-th 1 (positions ω_γ, ω_2γ, …) that
+      overlap the window ``[t−n+1, t]``;
+    * ``ℓ``: number of 1s after ``p* = max sampled position``, clamped
+      to the window start (all window 1s when nothing is sampled yet).
+
+    With ``clamp_ell=False``, ℓ counts *all* 1s after p* regardless of
+    the window — the quantity the incrementally-maintained SBBC tracks,
+    since unsampled 1s' positions are never stored and so cannot be
+    evicted when the window slides past them.  The difference is < γ
+    and is part of Lemma 3.2's 2γ budget; both variants satisfy
+    ``m <= val <= m + 2γ``.
+    """
+    bits = np.asarray(bits, dtype=np.int64)
+    if gamma < 1 or window < 1:
+        raise ValueError("gamma and window must be >= 1")
+    t = bits.size
+    ones = np.flatnonzero(bits) + 1  # 1-based positions of 1s
+    window_start = max(1, t - window + 1)
+
+    sampled_idx = np.arange(gamma, ones.size + 1, gamma) - 1  # ω_γ, ω_2γ, ...
+    sampled_pos = ones[sampled_idx]
+    block_ids = (sampled_pos + gamma - 1) // gamma
+    # Block B_k overlaps the window iff its last position kγ >= window start.
+    overlapping = block_ids[block_ids * gamma >= window_start]
+
+    if sampled_pos.size:
+        p_star = int(sampled_pos[-1])
+        tail_from = max(p_star + 1, window_start) if clamp_ell else p_star + 1
+    else:
+        tail_from = window_start if clamp_ell else 1
+    ell = int(np.count_nonzero(ones >= tail_from))
+    return GammaSnapshot(gamma=gamma, blocks=overlapping, ell=ell)
+
+
+def shrink_snapshot(ss: GammaSnapshot, t: int, new_window: int) -> GammaSnapshot:
+    """Lemma 3.3: restrict a snapshot to a smaller window ``n' <= n``.
+
+    Filters out blocks too old for ``W_{n'}(S_t)`` — O(|Q|) work,
+    O(log |Q|) depth.  ``t`` is the stream length the snapshot was taken
+    at (block ids are global, so the window start is ``t − n' + 1``).
+    """
+    if new_window < 1:
+        raise ValueError("new_window must be >= 1")
+    window_start = max(1, t - new_window + 1)
+    q = int(ss.blocks.size)
+    charge(work=max(1, q), depth=1 + log2ceil(max(2, q)))
+    kept = ss.blocks[ss.blocks * ss.gamma >= window_start]
+    return GammaSnapshot(gamma=ss.gamma, blocks=kept, ell=ss.ell)

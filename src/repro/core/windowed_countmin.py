@@ -1,0 +1,184 @@
+"""Sliding-window Count-Min sketch — SBBC cells inside the §6 sketch.
+
+A synthesis of the paper's two halves that the paper itself stops short
+of: replace every Count-Min cell with a (∞, λ)-space-bounded block
+counter so that point queries answer over the *last n items* instead of
+the whole stream.
+
+Guarantee.  Fix ε, δ and the window n.  With width w = ⌈e/ε⌉,
+pairwise-independent row hashes, and per-cell additive error λ = εn:
+
+* every cell's value ≥ the count of the queried item's occurrences in
+  the window (SBBC never undercounts, and all occurrences of an item
+  hash to the same cell), so the min never undercounts;
+* for each row, E[other items in e's cell] ≤ m_window/w ≤ εn/e, so by
+  Markov + the λ overcount,  min ≤ f_e + 2εn  with probability ≥ 1−δ
+  over the d = ⌈ln(1/δ)⌉ rows.
+
+Cost.  A minibatch touches, per row, only the cells its items hash to;
+untouched cells are *lazily* slid (an SBBC advanced by an all-zero
+segment only evicts, which commutes with later advances), so ingest is
+O(d·(µ + p)) work amortized and queries are O(d) cell catch-ups plus a
+min-reduce.  Space is Σ_cells O(m_cell/λ) + wd registers = O(d(w + 1/ε))
+words.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.core.sbbc import SBBC
+from repro.pram.cost import charge, parallel
+from repro.pram.css import CSS
+from repro.pram.hashing import KWiseHash, pairwise_hashes
+from repro.pram.histogram import build_hist
+from repro.pram.primitives import log2ceil, reduce_min
+from repro.pram.sort import int_sort_by_key
+
+__all__ = ["WindowedCountMin"]
+
+
+class WindowedCountMin:
+    """Point queries over the last ``window`` items, (ε, δ)-style.
+
+    Estimates satisfy ``f_e <= est`` always and ``est <= f_e + 2εn``
+    with probability ≥ 1 − δ (f_e = occurrences of e in the window).
+    """
+
+    def __init__(
+        self,
+        window: int,
+        eps: float,
+        delta: float,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if not 0 < eps < 1:
+            raise ValueError(f"eps must be in (0, 1), got {eps}")
+        if not 0 < delta < 1:
+            raise ValueError(f"delta must be in (0, 1), got {delta}")
+        rng = rng if rng is not None else np.random.default_rng(0x5CC5)
+        self.window = int(window)
+        self.eps = float(eps)
+        self.delta = float(delta)
+        self.lam = max(1.0, eps * window)
+        self.width = math.ceil(math.e / eps)
+        self.depth = max(1, math.ceil(math.log(1.0 / delta)))
+        self.hashes: list[KWiseHash] = pairwise_hashes(self.depth, self.width, rng)
+        # Cells are created lazily; an absent cell is an all-zero SBBC.
+        self._cells: list[dict[int, SBBC]] = [{} for _ in range(self.depth)]
+        # Lazy sliding: global time vs each cell's caught-up time.
+        self.t = 0
+        self._cell_time: list[dict[int, int]] = [{} for _ in range(self.depth)]
+        self._rng = rng
+
+    # ------------------------------------------------------------------
+    def _catch_up(self, row: int, col: int) -> SBBC | None:
+        """Advance a cell's SBBC by the zeros it missed (lazy slide)."""
+        cell = self._cells[row].get(col)
+        if cell is None:
+            return None
+        behind = self.t - self._cell_time[row][col]
+        if behind:
+            cell.advance(CSS(length=behind))
+            self._cell_time[row][col] = self.t
+        if cell.raw_value() == 0:
+            # Window slid past everything: reclaim the cell.
+            del self._cells[row][col]
+            del self._cell_time[row][col]
+            return None
+        return cell
+
+    def ingest(self, batch: Sequence[Hashable] | np.ndarray) -> None:
+        """Incorporate a minibatch: per row, group item positions by
+        column (stable intSort) and advance only the touched cells."""
+        mu = len(batch)
+        if mu == 0:
+            return
+        batch = np.asarray(batch)
+        keys = np.fromiter(
+            (self._key_of(item) for item in batch), dtype=np.int64, count=mu
+        )
+        positions = np.arange(1, mu + 1, dtype=np.int64)
+        with parallel() as par:
+            for row in range(self.depth):
+
+                def strand(row: int = row) -> None:
+                    cols = self.hashes[row](keys)
+                    sorted_cols, sorted_pos = int_sort_by_key(
+                        np.asarray(cols), positions, range_factor=self.width
+                    )
+                    boundaries = np.flatnonzero(np.diff(sorted_cols)) + 1
+                    starts = np.concatenate([[0], boundaries])
+                    ends = np.concatenate([boundaries, [mu]])
+                    charge(work=max(1, mu), depth=1 + log2ceil(max(2, mu)))
+                    for s, e in zip(starts, ends):
+                        col = int(sorted_cols[s])
+                        cell = self._catch_up(row, col)
+                        if cell is None:
+                            cell = SBBC(self.window, self.lam, sigma=math.inf)
+                            # A fresh cell implicitly holds t zeros.
+                            cell.advance(CSS(length=self.t))
+                            self._cells[row][col] = cell
+                            self._cell_time[row][col] = self.t
+                        ones = np.sort(sorted_pos[s:e])
+                        cell.advance(CSS(length=mu, ones=ones))
+                        self._cell_time[row][col] = self.t + mu
+
+                par.run(strand)
+        self.t += mu
+
+    extend = ingest
+
+    # ------------------------------------------------------------------
+    def point_query(self, item: Hashable) -> int:
+        """min over rows of the item's (caught-up) cell values.
+
+        ``f_e <= est``; ``est <= f_e + 2εn`` w.p. ≥ 1 − δ.
+        """
+        key = self._key_of(item)
+        values = np.empty(self.depth, dtype=np.int64)
+        for row in range(self.depth):
+            col = int(self.hashes[row](key))
+            cell = self._catch_up(row, col)
+            values[row] = 0 if cell is None else cell.raw_value()
+        return int(reduce_min(values))
+
+    estimate = point_query
+
+    def heavy_hitters_from(
+        self, candidates: Sequence[Hashable], phi: float
+    ) -> dict[Hashable, int]:
+        """Report candidates whose windowed estimate clears φ·min(t, n)
+        (a candidate set is needed — CMS cannot enumerate; pair with a
+        sliding MG tracker or the batch's own items)."""
+        if not 0 < phi < 1:
+            raise ValueError(f"phi must be in (0, 1), got {phi}")
+        threshold = phi * min(self.t, self.window)
+        out: dict[Hashable, int] = {}
+        for item in candidates:
+            estimate = self.point_query(item)
+            if estimate >= threshold:
+                out[item] = estimate
+        return out
+
+    @staticmethod
+    def _key_of(item: Hashable) -> int:
+        if isinstance(item, (int, np.integer)):
+            return int(item)
+        return hash(item) & ((1 << 61) - 1)
+
+    @property
+    def space(self) -> int:
+        """Live SBBC words across all cells plus the directories."""
+        return sum(
+            cell.space for row in self._cells for cell in row.values()
+        ) + 2 * sum(len(row) for row in self._cells)
+
+    @property
+    def live_cells(self) -> int:
+        return sum(len(row) for row in self._cells)

@@ -1,0 +1,130 @@
+"""Sliding-window ℓp norms and moments via the Sum reduction.
+
+The second [DGIM02] reduction the paper cites in §1: windowed "ℓp norms
+of vectors" reduce to basic counting through the Sum structure —
+maintain the windowed sum of |x|^p and take the p-th root.  Because the
+Sum estimate is one-sided within (1+ε), the norm inherits a one-sided
+(1+ε)^{1/p} ≤ (1+ε) relative guarantee.
+
+Also provided: windowed mean-of-squares and variance.  Variance is a
+*difference* of two one-sided estimates, so its error is additive:
+|est − var| ≤ ε·E[x²] + 2ε·E[x]²·(1+ε) ≤ 3ε·max(E[x²], E[x]²) — cheap,
+but callers who need tight variance at high relative precision should
+shrink ε accordingly (documented; tested).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.windowed_sum import ParallelWindowedSum
+from repro.pram.cost import parallel
+
+__all__ = ["WindowedLpNorm", "WindowedVariance"]
+
+
+class WindowedLpNorm:
+    """(Σ_{window} x^p)^{1/p} for nonnegative integer values, one-sided
+    within a (1+ε)^{1/p} factor.
+
+    Parameters
+    ----------
+    window, eps:
+        As for the Sum (Theorem 4.2).
+    max_value:
+        Domain bound R for the raw values; the internal Sum runs over
+        R^p (its log R^p = p·log R cost factor is inherited).
+    p:
+        The norm order (positive integer; p=1 is the plain Sum, p=2 the
+        Euclidean norm).
+    """
+
+    def __init__(self, window: int, eps: float, max_value: int, p: int = 2) -> None:
+        if p < 1:
+            raise ValueError(f"norm order must be >= 1, got {p}")
+        self.p = int(p)
+        self.max_value = int(max_value)
+        self._sum = ParallelWindowedSum(window, eps, max_value=max_value**p)
+
+    def ingest(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.int64)
+        if values.size and (values.min() < 0 or values.max() > self.max_value):
+            raise ValueError(
+                f"values must lie in [0, {self.max_value}]; got "
+                f"[{values.min()}, {values.max()}]"
+            )
+        self._sum.ingest(values**self.p)
+
+    extend = ingest
+
+    def query(self) -> float:
+        """‖x_window‖_p, one-sided: true <= est <= (1+ε)^(1/p) · true."""
+        return float(self._sum.query()) ** (1.0 / self.p)
+
+    def moment(self) -> int:
+        """The raw windowed p-th moment Σ x^p (one-sided within 1+ε)."""
+        return self._sum.query()
+
+    @property
+    def window(self) -> int:
+        return self._sum.window
+
+    @property
+    def eps(self) -> float:
+        return self._sum.eps
+
+    @property
+    def t(self) -> int:
+        return self._sum.t
+
+    @property
+    def space(self) -> int:
+        return self._sum.space
+
+
+class WindowedVariance:
+    """Windowed variance from two Sum structures (x and x²).
+
+    ``query()`` returns est ≈ E[x²] − E[x]² over the window with
+    additive error ≤ 3ε·max(E[x²], E[x]²); it is clamped at 0.  For a
+    tight *relative* variance estimate pick ε ≪ var/E[x²].
+    """
+
+    def __init__(self, window: int, eps: float, max_value: int) -> None:
+        self.window = int(window)
+        self.eps = float(eps)
+        self.max_value = int(max_value)
+        self._sum = ParallelWindowedSum(window, eps, max_value)
+        self._sumsq = ParallelWindowedSum(window, eps, max_value**2)
+        self.t = 0
+
+    def ingest(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.int64)
+        if values.size and (values.min() < 0 or values.max() > self.max_value):
+            raise ValueError(
+                f"values must lie in [0, {self.max_value}]; got "
+                f"[{values.min()}, {values.max()}]"
+            )
+        with parallel() as par:
+            par.run(self._sum.ingest, values)
+            par.run(lambda: self._sumsq.ingest(values**2))
+        self.t += int(values.size)
+
+    extend = ingest
+
+    def mean(self) -> float:
+        occupied = min(self.t, self.window)
+        return self._sum.query() / occupied if occupied else 0.0
+
+    def query(self) -> float:
+        """Estimated windowed population variance (clamped at 0)."""
+        occupied = min(self.t, self.window)
+        if occupied == 0:
+            return 0.0
+        mean_sq = self._sumsq.query() / occupied
+        mean = self._sum.query() / occupied
+        return max(0.0, mean_sq - mean * mean)
+
+    @property
+    def space(self) -> int:
+        return self._sum.space + self._sumsq.space

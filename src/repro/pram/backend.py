@@ -1,0 +1,90 @@
+"""Execution backends for fork-join task sets.
+
+The cost model (``repro.pram.cost``) is backend-independent: a set of
+strands charged sum-work / max-depth regardless of *where* they run.
+This module supplies two ways to actually execute them:
+
+* :class:`SerialBackend` — run strands in program order on the calling
+  thread.  This is the default everywhere: with CPython's GIL and this
+  environment's single core, it is also the fastest vehicle.
+* :class:`ThreadBackend` — run strands on a ``ThreadPoolExecutor``.
+  Useful when strands release the GIL (large NumPy kernels) or on a
+  true multicore host; provided so the task graph demonstrably *is*
+  parallelizable, per DESIGN.md's substitution note.
+
+Both produce identical results and identical ledger charges.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Protocol, Sequence
+
+from repro.pram.cost import Cost, CostLedger, _LEDGER, current_ledger
+
+__all__ = ["Backend", "SerialBackend", "ThreadBackend", "fork_join"]
+
+Task = Callable[[], Any]
+
+
+def _run_with_child_ledger(task: Task) -> tuple[Any, Cost]:
+    child = CostLedger()
+    token = _LEDGER.set(child)
+    try:
+        result = task()
+    finally:
+        _LEDGER.reset(token)
+    return result, child.snapshot()
+
+
+class Backend(Protocol):
+    """Anything that can execute a batch of independent strands."""
+
+    def run_all(self, tasks: Sequence[Task]) -> list[tuple[Any, Cost]]:
+        """Execute every task; return (result, cost) per task."""
+        ...
+
+
+class SerialBackend:
+    """Run strands sequentially on the calling thread."""
+
+    def run_all(self, tasks: Sequence[Task]) -> list[tuple[Any, Cost]]:
+        return [_run_with_child_ledger(t) for t in tasks]
+
+
+class ThreadBackend:
+    """Run strands on a shared thread pool.
+
+    Each strand gets its own :class:`CostLedger` installed in its
+    thread's context, so charges never race; the fork-join merge happens
+    on the caller's thread afterwards.
+    """
+
+    def __init__(self, max_workers: int = 4) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+
+    def run_all(self, tasks: Sequence[Task]) -> list[tuple[Any, Cost]]:
+        if not tasks:
+            return []
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            return list(pool.map(_run_with_child_ledger, tasks))
+
+
+def fork_join(tasks: Sequence[Task], backend: Backend | None = None) -> list[Any]:
+    """Execute independent zero-arg strands and fold their costs into
+    the ambient ledger with the fork-join rule.
+
+    >>> from repro.pram.cost import tracking, charge
+    >>> with tracking() as led:
+    ...     out = fork_join([lambda: charge(3, 5), lambda: charge(4, 2)])
+    >>> (led.work, led.depth)
+    (7, 5)
+    """
+    backend = backend if backend is not None else SerialBackend()
+    outcomes = backend.run_all(tasks)
+    parent = current_ledger()
+    if parent is not None:
+        parent.merge_parallel([cost for _, cost in outcomes])
+    return [result for result, _ in outcomes]

@@ -1,0 +1,255 @@
+"""Fork-join work/depth cost ledger.
+
+The paper analyzes all algorithms in the *work-depth* model (Section 2):
+``work`` is the total operation count and ``depth`` is the longest chain
+of sequential dependencies.  Because CPython's GIL makes wall-clock
+speedup unobservable, this module is the reproduction's measuring
+instrument: primitives charge their analytic work/depth as they execute,
+and benchmarks compare the accumulated charges against the theorems.
+
+Semantics
+---------
+* Sequential composition: ``charge(w1, d1); charge(w2, d2)`` accumulates
+  ``work = w1 + w2``, ``depth = d1 + d2``.
+* Parallel composition: inside ``with parallel() as par``, each
+  ``par.run(fn)`` executes under a *fresh child ledger*; when the region
+  closes, the parent is charged ``work = sum(child work)`` and
+  ``depth = max(child depth)`` — the fork-join rule.
+
+The ambient ledger is held in a :class:`contextvars.ContextVar`, so the
+instrumentation is thread-safe and nests correctly: library code simply
+calls :func:`charge` and composes regions without threading a ledger
+through every signature.  When no ledger is active the charge is dropped
+(near-zero overhead), so production use of the data structures pays
+almost nothing for the instrumentation.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "Cost",
+    "CostLedger",
+    "ParallelRegion",
+    "charge",
+    "current_ledger",
+    "measured",
+    "parallel",
+    "tracking",
+]
+
+
+@dataclass(frozen=True)
+class Cost:
+    """An immutable (work, depth) pair.
+
+    Supports the two composition rules of the model:
+
+    * ``a + b``  — sequential composition (work and depth both add).
+    * ``a | b``  — parallel composition (work adds, depth maxes).
+    """
+
+    work: int = 0
+    depth: int = 0
+
+    def __add__(self, other: "Cost") -> "Cost":
+        return Cost(self.work + other.work, self.depth + other.depth)
+
+    def __or__(self, other: "Cost") -> "Cost":
+        return Cost(self.work + other.work, max(self.depth, other.depth))
+
+    def __bool__(self) -> bool:
+        return self.work != 0 or self.depth != 0
+
+
+class CostLedger:
+    """Mutable accumulator of work/depth under sequential composition.
+
+    With ``record=True`` the ledger additionally captures the fork-join
+    *trace* — the sequence of primitive charges and parallel blocks —
+    which :mod:`repro.pram.schedule` replays on a simulated p-processor
+    machine to predict parallel running times (the substitution for
+    wall-clock speedup this host cannot measure; see DESIGN.md).
+    """
+
+    __slots__ = ("work", "depth", "trace")
+
+    def __init__(self, record: bool = False) -> None:
+        self.work: int = 0
+        self.depth: int = 0
+        #: When recording: list of ``("c", work, depth)`` charge items
+        #: and ``("p", [strand traces])`` parallel blocks, in program
+        #: order.  ``None`` when recording is off.
+        self.trace: list | None = [] if record else None
+
+    @property
+    def recording(self) -> bool:
+        return self.trace is not None
+
+    def charge(self, work: int, depth: int = 1) -> None:
+        """Charge a primitive step: ``work`` operations on a critical
+        path of length ``depth``."""
+        if work < 0 or depth < 0:
+            raise ValueError(f"negative cost charge: work={work} depth={depth}")
+        self.work += int(work)
+        self.depth += int(depth)
+        if self.trace is not None:
+            self.trace.append(("c", int(work), int(depth)))
+
+    def merge_parallel(
+        self, children: list[Cost], traces: list[list] | None = None
+    ) -> None:
+        """Fold the costs of concurrently-executed children into this
+        ledger using the fork-join rule."""
+        if not children:
+            return
+        self.work += sum(c.work for c in children)
+        self.depth += max(c.depth for c in children)
+        if self.trace is not None:
+            self.trace.append(("p", traces if traces is not None else []))
+
+    def snapshot(self) -> Cost:
+        return Cost(self.work, self.depth)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CostLedger(work={self.work}, depth={self.depth})"
+
+
+_LEDGER: contextvars.ContextVar[CostLedger | None] = contextvars.ContextVar(
+    "repro_pram_ledger", default=None
+)
+
+
+def current_ledger() -> CostLedger | None:
+    """The ambient ledger, or ``None`` when cost tracking is off."""
+    return _LEDGER.get()
+
+
+def charge(work: int, depth: int = 1) -> None:
+    """Charge the ambient ledger, if any."""
+    ledger = _LEDGER.get()
+    if ledger is not None:
+        ledger.charge(work, depth)
+
+
+@contextmanager
+def tracking(
+    ledger: CostLedger | None = None, *, record: bool = False
+) -> Iterator[CostLedger]:
+    """Install ``ledger`` (a fresh one by default) as the ambient ledger.
+
+    ``record=True`` captures the fork-join trace for the schedule
+    simulator (:mod:`repro.pram.schedule`).
+
+    >>> with tracking() as led:
+    ...     charge(10, 1)
+    >>> led.work
+    10
+    """
+    if ledger is None:
+        ledger = CostLedger(record=record)
+    token = _LEDGER.set(ledger)
+    try:
+        yield ledger
+    finally:
+        _LEDGER.reset(token)
+
+
+@contextmanager
+def measured() -> Iterator[Callable[[], Cost]]:
+    """Measure the cost of a block under the *current* ledger.
+
+    Yields a zero-arg callable returning the cost accrued so far inside
+    the block.  If no ledger is active, a temporary one is installed so
+    the measurement still works.
+
+    >>> with tracking():
+    ...     with measured() as get:
+    ...         charge(5, 2)
+    ...     c = get()
+    >>> (c.work, c.depth)
+    (5, 2)
+    """
+    ledger = _LEDGER.get()
+    if ledger is None:
+        with tracking() as ledger:
+            start = ledger.snapshot()
+            yield lambda: Cost(ledger.work - start.work, ledger.depth - start.depth)
+    else:
+        start = ledger.snapshot()
+        yield lambda: Cost(ledger.work - start.work, ledger.depth - start.depth)
+
+
+class ParallelRegion:
+    """Collects tasks whose costs combine with fork-join semantics.
+
+    Tasks run immediately (in program order) but each under its own
+    child ledger; the parent is charged sum-work / max-depth when the
+    region exits.  An optional *backend* (see :mod:`repro.pram.backend`)
+    may run the closures on real threads instead; the cost accounting is
+    identical either way.
+    """
+
+    def __init__(self, parent: CostLedger | None) -> None:
+        self._parent = parent
+        self._children: list[Cost] = []
+        self._traces: list[list] = []
+        self._closed = False
+        self._recording = parent is not None and parent.recording
+
+    def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        """Execute ``fn`` as one parallel strand and return its result."""
+        if self._closed:
+            raise RuntimeError("parallel region already closed")
+        child = CostLedger(record=self._recording)
+        token = _LEDGER.set(child)
+        try:
+            result = fn(*args, **kwargs)
+        finally:
+            _LEDGER.reset(token)
+        self._children.append(child.snapshot())
+        if self._recording:
+            self._traces.append(child.trace or [])
+        return result
+
+    def charge_strand(self, work: int, depth: int = 1) -> None:
+        """Record a strand's cost without running a closure (used when a
+        vectorized kernel already did the parallel step's data work)."""
+        if self._closed:
+            raise RuntimeError("parallel region already closed")
+        self._children.append(Cost(work, depth))
+        if self._recording:
+            self._traces.append([("c", int(work), int(depth))])
+
+    @property
+    def strand_costs(self) -> list[Cost]:
+        return list(self._children)
+
+    def _close(self) -> None:
+        self._closed = True
+        if self._parent is not None:
+            self._parent.merge_parallel(
+                self._children, self._traces if self._recording else None
+            )
+
+
+@contextmanager
+def parallel() -> Iterator[ParallelRegion]:
+    """Open a fork-join parallel region on the ambient ledger.
+
+    >>> with tracking() as led:
+    ...     with parallel() as par:
+    ...         _ = par.run(charge, 100, 4)
+    ...         _ = par.run(charge, 50, 9)
+    >>> (led.work, led.depth)
+    (150, 9)
+    """
+    region = ParallelRegion(_LEDGER.get())
+    try:
+        yield region
+    finally:
+        region._close()

@@ -1,0 +1,172 @@
+"""Compacted stream segments (Lemma 2.1) and ``sift`` (Lemma 5.9).
+
+A *compacted stream segment* (CSS) encodes a segment of a binary stream
+as the pair ``(length, positions-of-ones)``.  Positions are **1-based
+within the segment**, matching the paper's ``s_i = position of the i-th
+1 in T``; array storage is of course 0-indexed NumPy.
+
+``sift(T, K)`` is the work-efficiency workhorse of Theorem 5.4: given a
+minibatch ``T`` and the predicted survivor set ``K``, it builds the CSS
+of the indicator stream ``⟨1{T_j = κ}⟩_j`` for every ``κ ∈ K``
+simultaneously in O(|T| + |K|) work — the step that lets the sliding-
+window algorithm avoid building a CSS for items that the prune would
+discard anyway.  Its depth is O(|K| + log(|K| + |T|)), the one
+non-polylog depth in the paper (reflected in Theorem 5.4's
+O(ε⁻¹ + polylog µ) depth bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.pram.cost import charge
+from repro.pram.primitives import log2ceil, pack
+
+__all__ = ["CSS", "css_of_bits", "css_of_positions", "css_concat", "sift"]
+
+
+@dataclass(frozen=True)
+class CSS:
+    """A compacted stream segment ``(ℓ, s)``.
+
+    Attributes
+    ----------
+    length:
+        ``ℓ`` — the length of the underlying binary segment.
+    ones:
+        Sorted ``int64`` array; ``ones[i]`` is the **1-based** position
+        of the (i+1)-th 1 within the segment.
+    """
+
+    length: int
+    ones: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+
+    def __post_init__(self) -> None:
+        ones = np.asarray(self.ones, dtype=np.int64)
+        object.__setattr__(self, "ones", ones)
+        if self.length < 0:
+            raise ValueError("CSS length must be nonnegative")
+        if ones.size:
+            if ones[0] < 1 or ones[-1] > self.length:
+                raise ValueError(
+                    f"CSS positions must lie in [1, {self.length}], "
+                    f"got range [{ones[0]}, {ones[-1]}]"
+                )
+            if np.any(np.diff(ones) <= 0):
+                raise ValueError("CSS positions must be strictly increasing")
+
+    @property
+    def count_ones(self) -> int:
+        """``‖T‖₀`` — number of 1s in the segment."""
+        return int(self.ones.size)
+
+    def to_bits(self) -> np.ndarray:
+        """Materialize the binary segment (testing/oracle helper)."""
+        bits = np.zeros(self.length, dtype=np.int64)
+        if self.ones.size:
+            bits[self.ones - 1] = 1
+        return bits
+
+    def __len__(self) -> int:
+        return self.length
+
+
+def css_of_bits(bits: np.ndarray) -> CSS:
+    """Build the CSS of a binary segment (Lemma 2.1).
+
+    O(n) work and O(log n) depth via flag/pack over positions.
+    """
+    bits = np.asarray(bits)
+    if bits.ndim != 1:
+        raise ValueError("css_of_bits expects a 1-d bit array")
+    if bits.size and not np.isin(np.unique(bits), (0, 1)).all():
+        raise ValueError("css_of_bits expects entries in {0, 1}")
+    n = bits.size
+    positions = np.arange(1, n + 1, dtype=np.int64)
+    ones = pack(positions, bits.astype(bool))
+    return CSS(length=n, ones=ones)
+
+
+def css_of_positions(length: int, ones: Iterable[int]) -> CSS:
+    """Construct a CSS directly from 1-based positions of ones."""
+    arr = np.asarray(sorted(int(p) for p in ones), dtype=np.int64)
+    return CSS(length=int(length), ones=arr)
+
+
+def css_concat(first: CSS, second: CSS) -> CSS:
+    """Concatenate two segments: positions of ``second`` shift by
+    ``first.length``.  O(n) work, O(1) depth (a shifted copy)."""
+    charge(work=max(1, first.count_ones + second.count_ones), depth=1)
+    ones = np.concatenate([first.ones, second.ones + first.length])
+    return CSS(length=first.length + second.length, ones=ones)
+
+
+def sift(
+    segment: Sequence[Hashable] | np.ndarray,
+    keep: Iterable[Hashable],
+) -> Mapping[Hashable, CSS]:
+    """Lemma 5.9: per-item CSSs for every item in ``keep``, at once.
+
+    Parameters
+    ----------
+    segment:
+        The minibatch ``T = ⟨a_1, ..., a_|T|⟩`` (any hashable item ids,
+        or an integer NumPy array).
+    keep:
+        The survivor set ``K``.
+
+    Returns
+    -------
+    dict mapping each ``κ ∈ K`` to ``CSS(len(T), positions j where
+    T_j = κ)``.  Items of ``K`` absent from ``T`` map to an all-zero
+    CSS, so callers can advance their counters uniformly.
+
+    Cost: O(|T| + |K|) work and O(|K| + log(|K| + |T|)) depth, charged
+    per the lemma (the |K|-deep stage is the sequential radix pass over
+    each |K|-sized piece).
+    """
+    keep_list = list(dict.fromkeys(keep))  # preserve order, dedupe
+    k = len(keep_list)
+    t = len(segment)
+    charge(work=max(1, t + k), depth=max(1, k + log2ceil(max(2, t + k))))
+
+    # Vectorized path for integer batches with integer keys (the hot
+    # case: Theorem 5.4's per-minibatch call).  The charged cost above
+    # is the lemma's piece-parallel radix bound either way.
+    if (
+        isinstance(segment, np.ndarray)
+        and segment.dtype.kind in "iu"
+        and all(isinstance(item, (int, np.integer)) for item in keep_list)
+    ):
+        keep_sorted = np.asarray(sorted(int(item) for item in keep_list))
+        loc = np.searchsorted(keep_sorted, segment)
+        loc = np.minimum(loc, k - 1) if k else loc
+        hit = keep_sorted[loc] == segment if k else np.zeros(t, dtype=bool)
+        hit_keys = loc[hit]
+        hit_pos = np.flatnonzero(hit) + 1  # 1-based positions, ascending
+        order = np.argsort(hit_keys, kind="stable")  # ascending within key
+        sorted_keys = hit_keys[order]
+        sorted_pos = hit_pos[order]
+        starts = np.searchsorted(sorted_keys, np.arange(k))
+        ends = np.searchsorted(sorted_keys, np.arange(k), side="right")
+        by_value = {
+            int(keep_sorted[i]): CSS(length=t, ones=sorted_pos[starts[i] : ends[i]])
+            for i in range(k)
+        }
+        return {item: by_value[int(item)] for item in keep_list}
+
+    index_of = {item: i for i, item in enumerate(keep_list)}
+    buckets: list[list[int]] = [[] for _ in range(k)]
+    # Host-level single pass for arbitrary hashable items.
+    for pos, item in enumerate(segment, start=1):
+        item = item.item() if isinstance(item, np.generic) else item
+        idx = index_of.get(item)
+        if idx is not None:
+            buckets[idx].append(pos)
+    return {
+        item: CSS(length=t, ones=np.asarray(bucket, dtype=np.int64))
+        for item, bucket in zip(keep_list, buckets)
+    }

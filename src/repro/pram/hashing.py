@@ -1,0 +1,91 @@
+"""k-wise independent polynomial hash families.
+
+The proof of Theorem 2.3 (buildHist) needs an O(log µ)-wise independent
+family, and the Count-Min sketch (Section 6) needs pairwise-independent
+hashes.  Both are served by the classic construction: a random degree-
+(k−1) polynomial over a prime field, evaluated at the key and reduced to
+the target range.
+
+We work over the Mersenne prime ``p = 2^31 − 1`` so that Horner's rule
+stays inside ``uint64`` NumPy arithmetic (acc·x < 2^62), giving fully
+vectorized evaluation of a whole minibatch of keys at once.  Keys are
+reduced mod p first; the family is exactly k-wise independent over
+Z_p and remains a standard universal family for larger universes (two
+keys colliding mod p collide deterministically — irrelevant for the
+synthetic universes used here, and documented as a simulator constraint
+in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pram.cost import charge
+
+__all__ = ["MERSENNE_P", "KWiseHash", "pairwise_hashes"]
+
+#: Field prime for the polynomial family (Mersenne: 2^31 − 1).
+MERSENNE_P: int = (1 << 31) - 1
+
+
+class KWiseHash:
+    """A hash function drawn from a k-wise independent family.
+
+    Parameters
+    ----------
+    k:
+        Independence degree (>= 1).  ``k=2`` is the pairwise family used
+        by the Count-Min sketch; ``buildHist`` draws ``k = O(log µ)``.
+    range_size:
+        The hash maps into ``{0, ..., range_size − 1}``.
+    rng:
+        NumPy :class:`~numpy.random.Generator` supplying the random
+        coefficients (explicit for reproducibility).
+    """
+
+    __slots__ = ("k", "range_size", "coeffs")
+
+    def __init__(self, k: int, range_size: int, rng: np.random.Generator) -> None:
+        if k < 1:
+            raise ValueError(f"independence degree must be >= 1, got {k}")
+        if not (1 <= range_size <= MERSENNE_P):
+            raise ValueError(f"range_size must be in [1, p], got {range_size}")
+        self.k = int(k)
+        self.range_size = int(range_size)
+        # Leading coefficient nonzero keeps the polynomial degree exactly
+        # k-1 (conventional; k-wise independence holds either way).
+        coeffs = rng.integers(0, MERSENNE_P, size=k, dtype=np.uint64)
+        if k > 1 and coeffs[0] == 0:
+            coeffs[0] = 1
+        self.coeffs = coeffs
+
+    def __call__(self, keys: np.ndarray | int) -> np.ndarray | int:
+        """Hash ``keys`` (scalar or array of nonnegative ints) into
+        ``{0..range_size−1}``.
+
+        Charges O(n) work and O(log k) depth.  The per-key evaluation is
+        billed as unit cost, matching the paper's accounting: Theorem
+        2.3 claims O(µ) total work *while* using an O(log µ)-wise
+        family, i.e. the word-RAM model treats evaluating the Θ(k)-word
+        hash description as O(1) operations per key.  (The host actually
+        runs Horner's rule, whose k-step chain parallelizes to O(log k)
+        depth by fan-in-2 polynomial evaluation.)
+        """
+        scalar = np.isscalar(keys)
+        x = np.atleast_1d(np.asarray(keys, dtype=np.uint64)) % np.uint64(MERSENNE_P)
+        n = x.size
+        charge(work=max(1, n), depth=1 + max(0, (self.k - 1).bit_length()))
+        p = np.uint64(MERSENNE_P)
+        acc = np.full_like(x, self.coeffs[0])
+        for a in self.coeffs[1:]:
+            acc = (acc * x + a) % p
+        out = (acc % np.uint64(self.range_size)).astype(np.int64)
+        return int(out[0]) if scalar else out
+
+
+def pairwise_hashes(
+    d: int, range_size: int, rng: np.random.Generator
+) -> list[KWiseHash]:
+    """``d`` independent pairwise-independent hash functions — the rows
+    of a Count-Min sketch (Section 6)."""
+    return [KWiseHash(2, range_size, rng) for _ in range(d)]

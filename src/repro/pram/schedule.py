@@ -1,0 +1,162 @@
+"""Multicore schedule simulation over recorded fork-join traces.
+
+The reproduction's answer to "what would this actually run like on p
+cores?" — the question the GIL prevents measuring directly.  A trace
+recorded with ``tracking(record=True)`` is replayed on a simulated
+p-processor machine under standard greedy (work-stealing-style)
+scheduling assumptions:
+
+* a primitive **charge** ``(w, d)`` is a *malleable* data-parallel step:
+  on p′ processors it takes ``max(d, ⌈w/p′⌉)`` time (it cannot beat its
+  span, nor its work share);
+* a **sequence** of steps runs back to back;
+* a **parallel block** of s strands on p′ processors:
+
+  - if s ≤ p′, processors are split among strands proportionally to
+    strand work (each strand gets ≥ 1), recursively — nested
+    parallelism is exploited;
+  - if s > p′, strands are list-scheduled (LPT) onto the p′ processors,
+    each strand running sequentially on its processor (its T₁).
+
+The classic bracketing theorems hold by construction and are asserted
+in the tests:  ``max(D, W/p) ≤ T_p ≤ W/p + D`` (Brent), and T_p is
+nonincreasing in p.  ``speedup_curve`` packages the sweep the
+benchmarks (E15) and `examples/cost_model_demo.py` report.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+
+from repro.pram.cost import CostLedger
+
+__all__ = ["simulate", "speedup_curve", "trace_summary", "SpeedupPoint"]
+
+Trace = list  # recorded items: ("c", w, d) | ("p", [Trace, ...])
+
+
+def _charge_time(work: int, depth: int, procs: int) -> float:
+    return float(max(depth, math.ceil(work / procs))) if work else float(depth)
+
+
+def _strand_work(trace: Trace) -> int:
+    total = 0
+    for item in trace:
+        if item[0] == "c":
+            total += item[1]
+        else:
+            total += sum(_strand_work(strand) for strand in item[1])
+    return total
+
+
+def _simulate(trace: Trace, procs: int) -> float:
+    if procs < 1:
+        raise ValueError("need at least one processor")
+    time = 0.0
+    for item in trace:
+        if item[0] == "c":
+            time += _charge_time(item[1], item[2], procs)
+            continue
+        strands = item[1]
+        if not strands:
+            continue
+        if len(strands) <= procs:
+            # Split processors proportionally to strand work (each
+            # strand gets at least one; the total never exceeds procs).
+            works = [max(1, _strand_work(s)) for s in strands]
+            total = sum(works)
+            shares = [max(1, int(procs * w / total)) for w in works]
+            order = sorted(range(len(strands)), key=lambda i: -works[i])
+            # Reclaim oversubscription from the lightest strands
+            # (len(strands) <= procs guarantees all-ones always fits).
+            excess = sum(shares) - procs
+            while excess > 0:
+                for i in reversed(order):
+                    if excess <= 0:
+                        break
+                    if shares[i] > 1:
+                        shares[i] -= 1
+                        excess -= 1
+            # Hand any spare processors to the heaviest strands.
+            leftover = procs - sum(shares)
+            for i in order:
+                if leftover <= 0:
+                    break
+                shares[i] += 1
+                leftover -= 1
+            time += max(
+                _simulate(strand, share)
+                for strand, share in zip(strands, shares)
+            )
+        else:
+            # LPT list scheduling of sequential strands onto procs.
+            durations = sorted(
+                (_simulate(strand, 1) for strand in strands), reverse=True
+            )
+            finish = [0.0] * procs
+            heapq.heapify(finish)
+            for d in durations:
+                earliest = heapq.heappop(finish)
+                heapq.heappush(finish, earliest + d)
+            time += max(finish)
+    return time
+
+
+def simulate(ledger_or_trace: CostLedger | Trace, procs: int) -> float:
+    """Predicted running time of a recorded trace on ``procs`` cores."""
+    if isinstance(ledger_or_trace, CostLedger):
+        if ledger_or_trace.trace is None:
+            raise ValueError(
+                "ledger has no trace — create it with tracking(record=True)"
+            )
+        trace = ledger_or_trace.trace
+    else:
+        trace = ledger_or_trace
+    return _simulate(trace, procs)
+
+
+@dataclass(frozen=True)
+class SpeedupPoint:
+    procs: int
+    time: float
+    speedup: float
+    efficiency: float
+
+
+def speedup_curve(
+    ledger: CostLedger, procs_list: list[int] | None = None
+) -> list[SpeedupPoint]:
+    """T_p, speedup T₁/T_p, and efficiency speedup/p across a sweep."""
+    procs_list = procs_list or [1, 2, 4, 8, 16, 32, 64]
+    t1 = simulate(ledger, 1)
+    points = []
+    for p in procs_list:
+        tp = simulate(ledger, p)
+        speedup = t1 / tp if tp else float("inf")
+        points.append(
+            SpeedupPoint(procs=p, time=tp, speedup=speedup, efficiency=speedup / p)
+        )
+    return points
+
+
+def trace_summary(ledger: CostLedger) -> dict[str, int]:
+    """Count the recorded trace's structure (for sanity checks)."""
+    if ledger.trace is None:
+        raise ValueError("ledger has no trace")
+    charges = blocks = strands = 0
+
+    def walk(trace: Trace) -> None:
+        nonlocal charges, blocks, strands
+        for item in trace:
+            if item[0] == "c":
+                charges += 1
+            else:
+                blocks += 1
+                strands += len(item[1])
+                for strand in item[1]:
+                    walk(strand)
+
+    walk(ledger.trace)
+    return {"charges": charges, "parallel_blocks": blocks, "strands": strands}

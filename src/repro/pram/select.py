@@ -1,0 +1,59 @@
+"""Parallel rank selection and the Misra-Gries prune cutoff ϕ.
+
+Lemma 5.3 (and step 3a of Algorithm 2) needs "an integer ϕ such that at
+most S items have freq ≥ ϕ", computable from an arbitrarily ordered
+count sequence in O(n) work and O(log² n) depth via a parallel variant
+of quickselect.  We expose the general :func:`rank_select` plus the
+specific :func:`prune_cutoff` rule used by the frequency-estimation
+algorithms.
+
+The cutoff choice ``ϕ = (S+1)-th largest count`` (0 when there are at
+most S counts) satisfies both sides of the proof of Lemma 5.3:
+
+* after subtracting ϕ, only items with count > ϕ survive — at most S of
+  them, so the summary fits; and
+* for every decrement batch i ≤ ϕ, at least S+1 ≥ S distinct counters
+  have count ≥ i, so the εm error argument of Lemma 5.1 goes through.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pram.cost import charge
+from repro.pram.primitives import log2ceil
+
+__all__ = ["rank_select", "prune_cutoff"]
+
+
+def rank_select(values: np.ndarray, rank: int) -> int | float:
+    """Return the ``rank``-th smallest element (1-based rank).
+
+    Charged O(n) work and O(log² n) depth — the bound for randomized
+    parallel selection; :func:`numpy.partition` is the execution
+    vehicle.
+    """
+    values = np.asarray(values)
+    n = values.size
+    if not 1 <= rank <= n:
+        raise ValueError(f"rank must be in [1, {n}], got {rank}")
+    charge(work=max(1, n), depth=max(1, log2ceil(max(2, n)) ** 2))
+    return values[np.argpartition(values, rank - 1)[rank - 1]].item()
+
+
+def prune_cutoff(counts: np.ndarray, capacity: int) -> int:
+    """The prune threshold ϕ for a summary of capacity ``S``.
+
+    Given the combined counts ``H'`` (any order) and the capacity
+    ``S = capacity``, returns ϕ such that at most ``S`` counts exceed ϕ
+    (strictly), and every batch i ≤ ϕ decrements at least S counters.
+    """
+    if capacity < 1:
+        raise ValueError(f"capacity must be >= 1, got {capacity}")
+    counts = np.asarray(counts)
+    n = counts.size
+    if n <= capacity:
+        charge(work=1, depth=1)
+        return 0
+    # (S+1)-th largest == (n - S)-th smallest, 1-based.
+    return int(rank_select(counts, n - capacity))

@@ -1,0 +1,49 @@
+"""Discretized-stream machinery: workload generators, exact oracles,
+window bookkeeping, and the minibatch pipeline driver (Section 1's
+Spark-Streaming-style processing model)."""
+
+from repro.stream.generators import (
+    adversarial_hh_stream,
+    bit_stream,
+    bursty_bit_stream,
+    bursty_stream,
+    flash_crowd_stream,
+    minibatches,
+    packet_trace,
+    uniform_stream,
+    zipf_stream,
+)
+from repro.stream.minibatch import BatchReport, MinibatchDriver, StreamOperator
+from repro.stream.monitor import HeavyHitterEvent, HeavyHitterMonitor
+from repro.stream.watermark import WatermarkReorderer
+from repro.stream.oracle import (
+    ExactInfiniteFrequencies,
+    ExactWindowCounter,
+    ExactWindowFrequencies,
+    ExactWindowSum,
+)
+from repro.stream.windows import window_bounds, in_window
+
+__all__ = [
+    "adversarial_hh_stream",
+    "bit_stream",
+    "bursty_bit_stream",
+    "bursty_stream",
+    "flash_crowd_stream",
+    "minibatches",
+    "packet_trace",
+    "uniform_stream",
+    "zipf_stream",
+    "BatchReport",
+    "MinibatchDriver",
+    "StreamOperator",
+    "HeavyHitterEvent",
+    "HeavyHitterMonitor",
+    "WatermarkReorderer",
+    "ExactInfiniteFrequencies",
+    "ExactWindowCounter",
+    "ExactWindowFrequencies",
+    "ExactWindowSum",
+    "window_bounds",
+    "in_window",
+]

@@ -1,0 +1,217 @@
+"""Synthetic workload generators.
+
+The paper's motivating workloads — network monitoring [EV03, CH10] and
+social-media monitoring (the DARPA SMISC acknowledgment) — are
+proprietary traces we do not have.  Per the substitution rule, these
+generators produce the closest synthetic equivalents: heavy-tailed
+(Zipf) item streams, flash-crowd bursts, adversarial heavy-hitter-hiding
+patterns, and packet-trace-like flow records.  All aggregate guarantees
+in the paper are distribution-free, so any generator exercises the same
+code paths; the skewed ones make heavy hitters and frequency estimates
+*interesting*.
+
+All generators take an explicit ``rng`` (or ``seed``) and return NumPy
+arrays; item universes are dense nonnegative integers so the vectorized
+fast paths engage.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "zipf_stream",
+    "uniform_stream",
+    "bursty_stream",
+    "flash_crowd_stream",
+    "adversarial_hh_stream",
+    "bit_stream",
+    "bursty_bit_stream",
+    "packet_trace",
+    "minibatches",
+]
+
+
+def _rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def zipf_probabilities(universe: int, alpha: float) -> np.ndarray:
+    """Normalized Zipf(alpha) pmf over items ``0..universe-1``."""
+    if universe < 1:
+        raise ValueError("universe must be >= 1")
+    ranks = np.arange(1, universe + 1, dtype=np.float64)
+    weights = ranks ** (-float(alpha))
+    return weights / weights.sum()
+
+
+def zipf_stream(
+    n: int,
+    universe: int = 10_000,
+    alpha: float = 1.1,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """A bounded-universe Zipf(alpha) item stream.
+
+    Item ``i`` has probability ∝ (i+1)^(−alpha): item 0 is the hottest.
+    alpha ≈ 1.0–1.3 matches the skew of the packet and word-frequency
+    streams the heavy-hitter literature cites.
+    """
+    gen = _rng(rng)
+    probs = zipf_probabilities(universe, alpha)
+    return gen.choice(universe, size=n, p=probs).astype(np.int64)
+
+
+def uniform_stream(
+    n: int,
+    universe: int = 10_000,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """A uniform item stream — the no-heavy-hitter stress case."""
+    gen = _rng(rng)
+    return gen.integers(0, universe, size=n, dtype=np.int64)
+
+
+def bursty_stream(
+    n: int,
+    universe: int = 10_000,
+    burst_item: int = 0,
+    burst_len: int = 200,
+    period: int = 2_000,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Uniform background with periodic solid bursts of one hot item.
+
+    Every ``period`` positions, ``burst_len`` consecutive arrivals are
+    all ``burst_item`` — the pattern that stresses *sliding-window*
+    trackers, because the hot item's window frequency swings sharply as
+    bursts enter and leave the window.
+    """
+    if not 0 < burst_len <= period:
+        raise ValueError("need 0 < burst_len <= period")
+    gen = _rng(rng)
+    out = gen.integers(0, universe, size=n, dtype=np.int64)
+    positions = np.arange(n)
+    out[(positions % period) < burst_len] = burst_item
+    return out
+
+
+def flash_crowd_stream(
+    n: int,
+    universe: int = 10_000,
+    crowd_item: int = 1,
+    onset: float = 0.5,
+    crowd_share: float = 0.4,
+    alpha: float = 1.1,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Zipf background; after ``onset``·n arrivals, ``crowd_item``
+    suddenly takes a ``crowd_share`` fraction of all arrivals.
+
+    Models the flash-crowd / trending-topic events the paper's
+    monitoring motivation describes: an item that was cold becomes a
+    heavy hitter mid-stream, so infinite-window and sliding-window
+    trackers must disagree for a while.
+    """
+    if not 0 <= onset <= 1 or not 0 <= crowd_share < 1:
+        raise ValueError("onset in [0,1], crowd_share in [0,1) required")
+    gen = _rng(rng)
+    out = zipf_stream(n, universe, alpha, gen)
+    start = int(onset * n)
+    hot = gen.random(n - start) < crowd_share
+    out[start:][hot] = crowd_item
+    return out
+
+
+def adversarial_hh_stream(
+    n: int,
+    phi: float = 0.05,
+    universe: int = 10_000,
+    hidden_item: int = 7,
+    margin: float = 1.2,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """A stream where the only heavy hitter is maximally spread out.
+
+    ``hidden_item`` occurs exactly ``ceil(margin·φ·n)`` times at evenly
+    spaced positions; everything else is a fresh (near-unique) filler.
+    This is the pattern behind the Lemma 5.10 lower bound: an algorithm
+    that skips a constant fraction of positions risks missing the
+    spread-out heavy hitter entirely.
+    """
+    if not 0 < phi < 1:
+        raise ValueError("phi in (0,1) required")
+    gen = _rng(rng)
+    occurrences = min(n, int(np.ceil(margin * phi * n)))
+    # Distinct filler ids (shuffled) so no filler item is ever frequent.
+    filler = universe + gen.permutation(n).astype(np.int64)
+    positions = np.linspace(0, n - 1, occurrences).astype(np.int64)
+    filler[positions] = hidden_item
+    return filler
+
+
+def bit_stream(
+    n: int,
+    density: float = 0.5,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """An i.i.d. Bernoulli(density) {0,1}-stream for basic counting."""
+    if not 0 <= density <= 1:
+        raise ValueError("density in [0,1] required")
+    gen = _rng(rng)
+    return (gen.random(n) < density).astype(np.int64)
+
+
+def bursty_bit_stream(
+    n: int,
+    low: float = 0.02,
+    high: float = 0.9,
+    period: int = 5_000,
+    duty: float = 0.2,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """A {0,1}-stream alternating sparse and dense phases.
+
+    Exercises the whole geometric ladder of Theorem 4.1's basic counter:
+    sparse phases are answered by fine (small-λ) SBBCs, dense phases by
+    coarse ones, and the OVERFLOWED hand-over happens at every phase
+    transition.
+    """
+    gen = _rng(rng)
+    positions = np.arange(n)
+    in_burst = (positions % period) < int(duty * period)
+    p = np.where(in_burst, high, low)
+    return (gen.random(n) < p).astype(np.int64)
+
+
+def packet_trace(
+    n: int,
+    flows: int = 2_000,
+    alpha: float = 1.2,
+    max_packet: int = 1_500,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """A synthetic packet trace: (flow_id, packet_bytes) per arrival.
+
+    Flow popularity is Zipf (elephants and mice, per [EV03]); packet
+    sizes are bimodal (ACK-sized vs MTU-sized) like real traces.  Used
+    by the network-monitoring example and the Sum benchmarks.
+    """
+    gen = _rng(rng)
+    flow_ids = zipf_stream(n, flows, alpha, gen)
+    small = gen.integers(40, 100, size=n)
+    large = gen.integers(1_000, max_packet + 1, size=n)
+    sizes = np.where(gen.random(n) < 0.4, small, large).astype(np.int64)
+    return flow_ids, sizes
+
+
+def minibatches(stream: np.ndarray, batch_size: int) -> Iterator[np.ndarray]:
+    """Chop a stream into consecutive minibatches (last may be short)."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    for start in range(0, len(stream), batch_size):
+        yield stream[start : start + batch_size]

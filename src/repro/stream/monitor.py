@@ -1,0 +1,102 @@
+"""Continuous-monitoring change events over heavy-hitter trackers.
+
+The paper's motivation is continuous monitoring — an operator cares
+about the *moment* an item becomes (or stops being) heavy, not about
+re-reading the full report every batch.  :class:`HeavyHitterMonitor`
+wraps any tracker exposing ``ingest``/``query`` and emits
+enter/exit events by diffing consecutive reports, with optional
+hysteresis to suppress flapping at the φ boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Protocol, Sequence
+
+import numpy as np
+
+__all__ = ["HeavyHitterEvent", "HeavyHitterMonitor"]
+
+
+class _Tracker(Protocol):
+    def ingest(self, batch) -> None: ...
+
+    def query(self) -> dict: ...
+
+
+@dataclass(frozen=True)
+class HeavyHitterEvent:
+    """One membership change in the heavy-hitter set."""
+
+    batch_index: int
+    item: Hashable
+    kind: str  # "enter" | "exit"
+    estimate: float
+
+
+class HeavyHitterMonitor:
+    """Diff a tracker's reports across batches into enter/exit events.
+
+    Parameters
+    ----------
+    tracker:
+        Any heavy-hitter tracker (``InfiniteHeavyHitters``,
+        ``SlidingHeavyHitters``, or compatible).
+    hysteresis:
+        An item must stay absent for this many consecutive reports
+        before an "exit" fires (0 = immediate).  Suppresses flapping
+        for items oscillating around the φ threshold.
+    """
+
+    def __init__(self, tracker: _Tracker, *, hysteresis: int = 0) -> None:
+        if hysteresis < 0:
+            raise ValueError(f"hysteresis must be >= 0, got {hysteresis}")
+        self.tracker = tracker
+        self.hysteresis = int(hysteresis)
+        self.events: list[HeavyHitterEvent] = []
+        self._active: dict[Hashable, float] = {}
+        self._missing_streak: dict[Hashable, int] = {}
+        self._batch_index = 0
+
+    def ingest(self, batch: Sequence[Hashable] | np.ndarray) -> list[HeavyHitterEvent]:
+        """Feed one minibatch; return the events it triggered."""
+        self.tracker.ingest(batch)
+        report = self.tracker.query()
+        new_events: list[HeavyHitterEvent] = []
+
+        for item, estimate in report.items():
+            self._missing_streak.pop(item, None)
+            if item not in self._active:
+                new_events.append(
+                    HeavyHitterEvent(self._batch_index, item, "enter", estimate)
+                )
+            self._active[item] = estimate
+
+        for item in list(self._active):
+            if item in report:
+                continue
+            streak = self._missing_streak.get(item, 0) + 1
+            if streak > self.hysteresis:
+                new_events.append(
+                    HeavyHitterEvent(
+                        self._batch_index, item, "exit", self._active[item]
+                    )
+                )
+                del self._active[item]
+                self._missing_streak.pop(item, None)
+            else:
+                self._missing_streak[item] = streak
+
+        self.events.extend(new_events)
+        self._batch_index += 1
+        return new_events
+
+    extend = ingest
+
+    def active(self) -> dict[Hashable, float]:
+        """The currently-heavy set as the monitor sees it."""
+        return dict(self._active)
+
+    def history(self, item: Hashable) -> list[HeavyHitterEvent]:
+        """All events for one item, in order."""
+        return [e for e in self.events if e.item == item]

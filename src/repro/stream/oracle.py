@@ -1,0 +1,134 @@
+"""Exact reference aggregates (ground truth for every accuracy check).
+
+These oracles store the whole window — exactly the cost the paper's
+synopses avoid — and answer queries exactly.  Every accuracy assertion
+in tests and every max-error column in the benchmarks compares a
+synopsis estimate against one of these.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Hashable, Iterable
+
+import numpy as np
+
+__all__ = [
+    "ExactWindowCounter",
+    "ExactWindowSum",
+    "ExactWindowFrequencies",
+    "ExactInfiniteFrequencies",
+]
+
+
+class ExactWindowCounter:
+    """Exact number of 1s in the last ``n`` bits (basic counting oracle)."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError("window size must be >= 1")
+        self.n = n
+        self._bits: deque[int] = deque()
+        self._count = 0
+        self.t = 0
+
+    def extend(self, bits: Iterable[int] | np.ndarray) -> None:
+        for b in np.asarray(bits, dtype=np.int64):
+            b = int(b)
+            if b not in (0, 1):
+                raise ValueError(f"bit stream entry must be 0/1, got {b}")
+            self._bits.append(b)
+            self._count += b
+            if len(self._bits) > self.n:
+                self._count -= self._bits.popleft()
+            self.t += 1
+
+    def query(self) -> int:
+        """Exact m = number of 1s in W_n(S_t)."""
+        return self._count
+
+
+class ExactWindowSum:
+    """Exact sum of the last ``n`` nonnegative integers."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError("window size must be >= 1")
+        self.n = n
+        self._vals: deque[int] = deque()
+        self._sum = 0
+        self.t = 0
+
+    def extend(self, values: Iterable[int] | np.ndarray) -> None:
+        for v in np.asarray(values, dtype=np.int64):
+            v = int(v)
+            if v < 0:
+                raise ValueError(f"sum stream entries must be >= 0, got {v}")
+            self._vals.append(v)
+            self._sum += v
+            if len(self._vals) > self.n:
+                self._sum -= self._vals.popleft()
+            self.t += 1
+
+    def query(self) -> int:
+        return self._sum
+
+
+class ExactWindowFrequencies:
+    """Exact per-item frequencies within the last ``n`` items."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError("window size must be >= 1")
+        self.n = n
+        self._items: deque[Hashable] = deque()
+        self._counts: Counter = Counter()
+        self.t = 0
+
+    def extend(self, items: Iterable[Hashable] | np.ndarray) -> None:
+        for item in items:
+            item = item.item() if isinstance(item, np.generic) else item
+            self._items.append(item)
+            self._counts[item] += 1
+            if len(self._items) > self.n:
+                old = self._items.popleft()
+                self._counts[old] -= 1
+                if self._counts[old] == 0:
+                    del self._counts[old]
+            self.t += 1
+
+    def frequency(self, item: Hashable) -> int:
+        return self._counts.get(item, 0)
+
+    def heavy_hitters(self, phi: float) -> dict[Hashable, int]:
+        """Items with window frequency >= φ·min(t, n)."""
+        window_len = min(self.t, self.n)
+        threshold = phi * window_len
+        return {e: c for e, c in self._counts.items() if c >= threshold}
+
+    def counts(self) -> Counter:
+        return Counter(self._counts)
+
+
+class ExactInfiniteFrequencies:
+    """Exact per-item frequencies over the whole stream so far."""
+
+    def __init__(self) -> None:
+        self._counts: Counter = Counter()
+        self.t = 0
+
+    def extend(self, items: Iterable[Hashable] | np.ndarray) -> None:
+        for item in items:
+            item = item.item() if isinstance(item, np.generic) else item
+            self._counts[item] += 1
+            self.t += 1
+
+    def frequency(self, item: Hashable) -> int:
+        return self._counts.get(item, 0)
+
+    def heavy_hitters(self, phi: float) -> dict[Hashable, int]:
+        threshold = phi * self.t
+        return {e: c for e, c in self._counts.items() if c >= threshold}
+
+    def counts(self) -> Counter:
+        return Counter(self._counts)

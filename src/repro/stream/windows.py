@@ -1,0 +1,44 @@
+"""Count-based sliding-window bookkeeping.
+
+Positions follow the paper's convention: the stream is ``e_1 e_2 …``
+(1-based) and the window of size ``n`` at time ``t`` is
+``W_n(S_t) = e_{t−n+1}, …, e_t`` (clamped at the stream start).
+"""
+
+from __future__ import annotations
+
+__all__ = ["window_bounds", "in_window", "block_of", "block_range"]
+
+
+def window_bounds(t: int, n: int) -> tuple[int, int]:
+    """Inclusive 1-based ``(start, end)`` of ``W_n(S_t)``.
+
+    For ``t < n`` the window is the whole prefix.  An empty stream
+    yields ``(1, 0)`` (an empty interval).
+    """
+    if t < 0 or n < 1:
+        raise ValueError(f"need t >= 0 and n >= 1, got t={t}, n={n}")
+    return max(1, t - n + 1), t
+
+
+def in_window(pos: int, t: int, n: int) -> bool:
+    """Is 1-based stream position ``pos`` inside ``W_n(S_t)``?"""
+    start, end = window_bounds(t, n)
+    return start <= pos <= end
+
+
+def block_of(pos: int, gamma: int) -> int:
+    """β(pos): the id of the γ-block containing 1-based position ``pos``.
+
+    Block ``B_k`` covers positions ``(k−1)·γ + 1 … k·γ`` (Section 3.1).
+    """
+    if pos < 1 or gamma < 1:
+        raise ValueError(f"need pos >= 1 and gamma >= 1, got {pos}, {gamma}")
+    return (pos + gamma - 1) // gamma
+
+
+def block_range(block_id: int, gamma: int) -> tuple[int, int]:
+    """Inclusive 1-based position range covered by block ``block_id``."""
+    if block_id < 1 or gamma < 1:
+        raise ValueError("block_id and gamma must be >= 1")
+    return (block_id - 1) * gamma + 1, block_id * gamma

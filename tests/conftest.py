@@ -1,0 +1,23 @@
+"""Shared fixtures and hypothesis settings for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# One conservative default profile: property tests on algorithmic
+# invariants, no wall-clock deadline (single-core CI boxes jitter).
+settings.register_profile(
+    "repro",
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic per-test random generator."""
+    return np.random.default_rng(0x5EED)

@@ -1,0 +1,118 @@
+"""Tests for the analysis helpers (bounds, fits, report tables)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.bounds import (
+    basic_counting_space_bound,
+    basic_counting_work_bound,
+    buildhist_work_bound,
+    cms_space_bound,
+    cms_work_bound,
+    freq_infinite_work_bound,
+    freq_sliding_work_bound,
+    independent_memory_bound,
+    sbbc_advance_work_bound,
+    sbbc_space_bound,
+    sum_space_bound,
+    sum_work_bound,
+)
+from repro.analysis.fit import fit_loglog_slope, linear_r2
+from repro.analysis.report import format_cell, format_table, markdown_table
+
+
+class TestBounds:
+    def test_sbbc_space_min(self):
+        assert sbbc_space_bound(sigma=10, m=1000, lam=2.0) == 10
+        assert sbbc_space_bound(sigma=10**9, m=1000, lam=100.0) == 10
+
+    def test_sbbc_advance_grows_with_batch(self):
+        a = sbbc_advance_work_bound(10, 100, 5.0, 100)
+        b = sbbc_advance_work_bound(10, 100, 5.0, 10_000)
+        assert b > a
+
+    def test_basic_counting_bounds_monotone(self):
+        assert basic_counting_space_bound(0.05, 1024) > basic_counting_space_bound(
+            0.1, 1024
+        )
+        assert basic_counting_work_bound(0.1, 1024, 10_000) > 10_000
+
+    def test_sum_bounds_scale_with_log_r(self):
+        assert sum_space_bound(0.1, 1024, 1 << 20) > sum_space_bound(0.1, 1024, 2)
+        assert sum_work_bound(0.1, 1024, 1 << 10, 100) > basic_counting_work_bound(
+            0.1, 1024, 100
+        )
+
+    def test_buildhist_linear(self):
+        assert buildhist_work_bound(500) == 500.0
+
+    def test_freq_bounds(self):
+        assert freq_infinite_work_bound(0.01, 1000) == pytest.approx(1100)
+        we = freq_sliding_work_bound(0.01, 1 << 12, variant="work_efficient")
+        se = freq_sliding_work_bound(0.01, 1 << 12, variant="space_efficient")
+        assert se > we
+        with pytest.raises(ValueError):
+            freq_sliding_work_bound(0.1, 10, variant="bogus")
+
+    def test_cms_bounds(self):
+        assert cms_space_bound(0.01, 0.01) == pytest.approx(np.log(100) / 0.01)
+        assert cms_work_bound(0.01, 0.01, 10) == pytest.approx(np.log(100) * 100)
+
+    def test_independent_memory(self):
+        assert independent_memory_bound(8, 0.1) == 80.0
+
+
+class TestFits:
+    def test_linear_data_slope_one(self):
+        xs = np.array([1, 2, 4, 8, 16])
+        assert fit_loglog_slope(xs, 3 * xs) == pytest.approx(1.0)
+
+    def test_quadratic_data_slope_two(self):
+        xs = np.array([1.0, 2, 4, 8])
+        assert fit_loglog_slope(xs, xs**2) == pytest.approx(2.0)
+
+    def test_flat_data_slope_zero(self):
+        assert fit_loglog_slope([1, 10, 100], [5, 5, 5]) == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_loglog_slope([1], [1])
+        with pytest.raises(ValueError):
+            fit_loglog_slope([0, 1], [1, 2])
+
+    def test_r2_perfect(self):
+        assert linear_r2([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_r2_constant_target(self):
+        assert linear_r2([1, 2, 3], [4, 4, 4]) == pytest.approx(1.0)
+
+    def test_r2_noisy_lower(self):
+        rng = np.random.default_rng(0)
+        xs = np.arange(50.0)
+        assert linear_r2(xs, rng.random(50)) < 0.5
+
+
+class TestReport:
+    def test_format_cell(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(0.0) == "0"
+        assert format_cell(123456.0) == "1.23e+05"
+        assert format_cell("abc") == "abc"
+
+    def test_format_table_alignment(self):
+        out = format_table(["col", "x"], [[1, 2.0], [100, 3.5]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_markdown_table(self):
+        out = markdown_table(["a", "b"], [[1, 2]])
+        assert out.splitlines()[0] == "| a | b |"
+        assert out.splitlines()[1] == "|---|---|"
+        assert out.splitlines()[2] == "| 1 | 2 |"

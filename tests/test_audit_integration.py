@@ -1,0 +1,122 @@
+"""Whole-library accuracy audit: every aggregate, several adversarially
+chosen workloads, zero contract violations.
+
+This is the closest thing to a release gate: if any structure's
+guarantee regresses on any canned workload, exactly one of these
+parameterized cases fails with the audit's recorded evidence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.validate import (
+    audit_basic_counting,
+    audit_cms,
+    audit_frequency_estimator,
+    audit_heavy_hitters,
+    audit_windowed_sum,
+)
+from repro.core import (
+    BasicSlidingFrequency,
+    InfiniteHeavyHitters,
+    ParallelBasicCounter,
+    ParallelCountMin,
+    ParallelFrequencyEstimator,
+    ParallelWindowedSum,
+    SlidingHeavyHitters,
+    SpaceEfficientSlidingFrequency,
+    WorkEfficientSlidingFrequency,
+)
+from repro.stream.generators import (
+    adversarial_hh_stream,
+    bit_stream,
+    bursty_bit_stream,
+    bursty_stream,
+    flash_crowd_stream,
+    uniform_stream,
+    zipf_stream,
+)
+
+WINDOW = 800
+
+ITEM_WORKLOADS = {
+    "zipf": lambda: zipf_stream(6_000, 500, 1.3, rng=1),
+    "uniform": lambda: uniform_stream(6_000, 2_000, rng=2),
+    "bursty": lambda: bursty_stream(6_000, 300, burst_len=150, period=1_200, rng=3),
+    "flash-crowd": lambda: flash_crowd_stream(6_000, 500, crowd_item=9, rng=4),
+    "adversarial": lambda: adversarial_hh_stream(6_000, phi=0.05, rng=5),
+}
+
+BIT_WORKLOADS = {
+    "dense": lambda: bit_stream(5_000, 0.8, rng=6),
+    "sparse": lambda: bit_stream(5_000, 0.02, rng=7),
+    "bursty": lambda: bursty_bit_stream(5_000, period=900, rng=8),
+}
+
+
+@pytest.mark.parametrize("workload", sorted(BIT_WORKLOADS))
+def test_basic_counting_audit(workload):
+    counter = ParallelBasicCounter(WINDOW, eps=0.1)
+    report = audit_basic_counting(counter, BIT_WORKLOADS[workload](), 173)
+    assert report.ok, report.details
+
+
+@pytest.mark.parametrize("workload", sorted(ITEM_WORKLOADS))
+def test_windowed_sum_audit(workload):
+    values = ITEM_WORKLOADS[workload]() % 1024  # reuse shapes as values
+    summer = ParallelWindowedSum(WINDOW, eps=0.1, max_value=1023)
+    report = audit_windowed_sum(summer, values, 211)
+    assert report.ok, report.details
+
+
+@pytest.mark.parametrize("workload", sorted(ITEM_WORKLOADS))
+def test_infinite_frequency_audit(workload):
+    est = ParallelFrequencyEstimator(eps=0.02)
+    stream = ITEM_WORKLOADS[workload]()
+    report = audit_frequency_estimator(
+        est, stream, probes=list(set(stream[:40].tolist())), batch_size=307
+    )
+    assert report.ok, report.details
+
+
+@pytest.mark.parametrize(
+    "variant",
+    [BasicSlidingFrequency, SpaceEfficientSlidingFrequency, WorkEfficientSlidingFrequency],
+)
+@pytest.mark.parametrize("workload", ["zipf", "bursty", "flash-crowd"])
+def test_sliding_frequency_audit(variant, workload):
+    est = variant(WINDOW, eps=0.1)
+    stream = ITEM_WORKLOADS[workload]()
+    report = audit_frequency_estimator(
+        est, stream, probes=list(range(12)), batch_size=193, window=WINDOW
+    )
+    assert report.ok, report.details
+
+
+@pytest.mark.parametrize("workload", sorted(ITEM_WORKLOADS))
+def test_infinite_heavy_hitters_audit(workload):
+    tracker = InfiniteHeavyHitters(phi=0.05, eps=0.02)
+    report = audit_heavy_hitters(tracker, ITEM_WORKLOADS[workload](), 401)
+    assert report.ok, report.details
+
+
+@pytest.mark.parametrize("workload", ["zipf", "bursty", "flash-crowd"])
+def test_sliding_heavy_hitters_audit(workload):
+    tracker = SlidingHeavyHitters(WINDOW, phi=0.08, eps=0.03)
+    report = audit_heavy_hitters(
+        tracker, ITEM_WORKLOADS[workload](), 401, window=WINDOW
+    )
+    assert report.ok, report.details
+
+
+@pytest.mark.parametrize("conservative", [False, True])
+@pytest.mark.parametrize("workload", ["zipf", "uniform", "adversarial"])
+def test_cms_audit(workload, conservative):
+    sketch = ParallelCountMin(0.01, 0.01, conservative=conservative)
+    stream = ITEM_WORKLOADS[workload]()
+    report = audit_cms(
+        sketch, stream, probes=list(set(stream[:30].tolist())), batch_size=509
+    )
+    assert report.ok, report.details

@@ -1,0 +1,78 @@
+"""Tests for the serial and thread fork-join execution backends."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.pram.backend import SerialBackend, ThreadBackend, fork_join
+from repro.pram.cost import Cost, charge, tracking
+
+
+class TestSerialBackend:
+    def test_results_and_costs(self):
+        outcomes = SerialBackend().run_all(
+            [lambda: (charge(5, 2), "a")[1], lambda: (charge(7, 9), "b")[1]]
+        )
+        assert [r for r, _ in outcomes] == ["a", "b"]
+        assert [c for _, c in outcomes] == [Cost(5, 2), Cost(7, 9)]
+
+    def test_empty(self):
+        assert SerialBackend().run_all([]) == []
+
+
+class TestThreadBackend:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThreadBackend(0)
+
+    def test_results_in_order(self):
+        backend = ThreadBackend(4)
+        outcomes = backend.run_all([lambda i=i: i * i for i in range(10)])
+        assert [r for r, _ in outcomes] == [i * i for i in range(10)]
+
+    def test_costs_isolated_per_strand(self):
+        backend = ThreadBackend(4)
+        outcomes = backend.run_all(
+            [lambda w=w: charge(w, 1) for w in (10, 20, 30)]
+        )
+        assert [c.work for _, c in outcomes] == [10, 20, 30]
+
+    def test_actually_uses_threads(self):
+        seen: set[int] = set()
+        barrier = threading.Barrier(2, timeout=5)
+
+        def task() -> None:
+            seen.add(threading.get_ident())
+            barrier.wait()  # forces two strands to be live concurrently
+
+        ThreadBackend(2).run_all([task, task])
+        assert len(seen) == 2
+
+    def test_empty(self):
+        assert ThreadBackend(2).run_all([]) == []
+
+
+class TestForkJoin:
+    def test_merges_into_ambient_ledger(self):
+        with tracking() as led:
+            results = fork_join([lambda: charge(3, 5) or 1, lambda: charge(4, 2) or 2])
+        assert results == [1, 2]
+        assert (led.work, led.depth) == (7, 5)
+
+    def test_backend_equivalence(self):
+        def make_tasks():
+            return [lambda w=w: charge(w, w % 3 + 1) for w in range(1, 8)]
+
+        with tracking() as serial_led:
+            fork_join(make_tasks(), SerialBackend())
+        with tracking() as thread_led:
+            fork_join(make_tasks(), ThreadBackend(4))
+        assert (serial_led.work, serial_led.depth) == (
+            thread_led.work,
+            thread_led.depth,
+        )
+
+    def test_works_without_ambient_ledger(self):
+        assert fork_join([lambda: 42]) == [42]

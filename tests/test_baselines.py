@@ -1,0 +1,192 @@
+"""Tests for the sequential baselines (DGIM, Lee-Ting, Space-Saving,
+Lossy Counting, sequential CMS, exact counters)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    DGIMCounter,
+    ExactCounters,
+    LeeTingCounter,
+    LossyCounting,
+    SequentialMisraGries,
+    SpaceSaving,
+    sequential_heavy_hitters,
+)
+from repro.pram.cost import tracking
+from repro.stream.generators import bit_stream, minibatches, zipf_stream
+from repro.stream.oracle import ExactInfiniteFrequencies, ExactWindowCounter
+
+
+class TestDGIM:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DGIMCounter(0, 0.1)
+        with pytest.raises(ValueError):
+            DGIMCounter(10, 0.0)
+        with pytest.raises(ValueError):
+            DGIMCounter(10, 0.1).update(2)
+
+    @given(
+        st.integers(10, 150),
+        st.sampled_from([0.5, 0.25, 0.1]),
+        st.floats(0.0, 1.0),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=30)
+    def test_relative_error(self, window, eps, density, seed):
+        rng = np.random.default_rng(seed)
+        bits = (rng.random(3 * window) < density).astype(np.int64)
+        dgim = DGIMCounter(window, eps)
+        oracle = ExactWindowCounter(window)
+        dgim.extend(bits)
+        oracle.extend(bits)
+        m = oracle.query()
+        assert abs(dgim.query() - m) <= eps * max(m, 1) + 1
+
+    def test_space_logarithmic(self):
+        dgim = DGIMCounter(1 << 14, 0.2)
+        dgim.extend(np.ones(1 << 14, dtype=np.int64))
+        # O(k log n) buckets.
+        assert dgim.space <= 5 * (1 / 0.2) * 14 + 10
+
+    def test_sequential_depth_equals_work(self):
+        dgim = DGIMCounter(100, 0.5)
+        with tracking() as led:
+            dgim.extend(bit_stream(200, 0.5, rng=1))
+        assert led.depth == led.work
+
+
+class TestLeeTing:
+    @given(
+        st.integers(10, 150),
+        st.floats(2.0, 30.0),
+        st.floats(0.0, 1.0),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=30)
+    def test_additive_error(self, window, lam, density, seed):
+        rng = np.random.default_rng(seed)
+        bits = (rng.random(2 * window) < density).astype(np.int64)
+        lt = LeeTingCounter(window, lam)
+        oracle = ExactWindowCounter(window)
+        lt.extend(bits)
+        oracle.extend(bits)
+        m = oracle.query()
+        assert m <= lt.query() <= m + lam
+
+    def test_agrees_with_parallel_sbbc(self):
+        """The SBBC is the parallelization of this counter: same γ, same
+        stream ⇒ same value."""
+        from repro.core.sbbc import SBBC
+        from repro.pram.css import css_of_bits
+
+        rng = np.random.default_rng(2)
+        bits = (rng.random(500) < 0.4).astype(np.int64)
+        lt = LeeTingCounter(100, 8.0)
+        sbbc = SBBC(100, 8.0)
+        lt.extend(bits)
+        for chunk in minibatches(bits, 50):
+            sbbc.advance(css_of_bits(chunk))
+        assert lt.query() == sbbc.value()
+
+
+class TestSpaceSaving:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            SpaceSaving()
+        with pytest.raises(ValueError):
+            SpaceSaving(eps=0.1, capacity=3)
+        with pytest.raises(ValueError):
+            SpaceSaving(capacity=0)
+
+    def test_capacity_respected(self):
+        ss = SpaceSaving(capacity=5)
+        ss.extend(range(100))
+        assert len(ss.counters) == 5
+
+    @given(st.lists(st.integers(0, 30), max_size=400), st.integers(2, 20))
+    def test_overestimate_bracket(self, items, capacity):
+        ss = SpaceSaving(capacity=capacity)
+        ss.extend(items)
+        true = Counter(items)
+        m = len(items)
+        for item in set(items):
+            est = ss.estimate(item)
+            if item in ss.counters:
+                assert est >= true[item]
+                assert est <= true[item] + m / capacity
+            else:
+                assert true[item] <= m / capacity
+
+    def test_heavy_hitters_contain_true(self):
+        stream = zipf_stream(10_000, 1_000, 1.5, rng=3)
+        ss = SpaceSaving(eps=0.01)
+        ss.extend(stream)
+        true = Counter(stream.tolist())
+        for item, count in true.items():
+            if count >= 0.05 * len(stream):
+                assert item in ss.heavy_hitters(0.05)
+
+
+class TestLossyCounting:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LossyCounting(0.0)
+
+    @given(st.lists(st.integers(0, 30), max_size=400), st.sampled_from([0.5, 0.2, 0.1]))
+    def test_underestimate_bracket(self, items, eps):
+        lc = LossyCounting(eps)
+        lc.extend(items)
+        true = Counter(items)
+        m = len(items)
+        for item in set(items):
+            est = lc.estimate(item)
+            assert est <= true[item]
+            assert est >= true[item] - eps * m - 1
+
+    def test_space_stays_small_on_uniform(self):
+        lc = LossyCounting(0.02)
+        lc.extend(np.arange(20_000) % 5_000)
+        # Lossy counting keeps O(ε⁻¹ log(εm)) entries.
+        assert len(lc.entries) <= (1 / 0.02) * np.log2(0.02 * 20_000) * 4
+
+
+class TestSequentialMG:
+    def test_charged_sequentially(self):
+        mg = SequentialMisraGries(capacity=4)
+        with tracking() as led:
+            mg.extend(range(50))
+        assert led.depth == led.work
+        assert led.work >= 50
+
+    def test_heavy_hitters_helper(self):
+        stream = np.concatenate([np.zeros(600, dtype=np.int64), np.arange(400)])
+        found = sequential_heavy_hitters(stream, phi=0.5, eps=0.1)
+        assert 0 in found
+
+    def test_helper_validation(self):
+        with pytest.raises(ValueError):
+            sequential_heavy_hitters([1], phi=0.1, eps=0.2)
+
+
+class TestExactCounters:
+    def test_exactness(self):
+        ec = ExactCounters()
+        stream = zipf_stream(2_000, 100, 1.1, rng=4)
+        ec.extend(stream)
+        true = Counter(stream.tolist())
+        for item in set(stream.tolist()):
+            assert ec.estimate(item) == true[item]
+        assert ec.space == len(true) + 1
+
+    def test_heavy_hitters_exact(self):
+        ec = ExactCounters()
+        ec.extend([1, 1, 1, 2])
+        assert ec.heavy_hitters(0.5) == {1: 3}

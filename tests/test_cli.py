@@ -1,0 +1,191 @@
+"""Tests for the command-line front-end."""
+
+from __future__ import annotations
+
+import io
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.stream.generators import zipf_stream
+
+
+@pytest.fixture
+def zipf_file(tmp_path):
+    path = tmp_path / "items.txt"
+    stream = zipf_stream(20_000, 500, 1.4, rng=1)
+    path.write_text("\n".join(str(int(x)) for x in stream))
+    return path, stream
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_heavy_hitters_args(self):
+        args = build_parser().parse_args(
+            ["heavy-hitters", "--phi", "0.1", "--window", "100", "f.txt"]
+        )
+        assert args.phi == 0.1
+        assert args.window == 100
+        assert args.file == "f.txt"
+
+
+class TestHeavyHitters:
+    def test_infinite_window(self, zipf_file):
+        path, stream = zipf_file
+        code, output = run_cli(
+            ["heavy-hitters", "--phi", "0.05", "--eps", "0.01", str(path)]
+        )
+        assert code == 0
+        assert f"items processed: {len(stream)}" in output
+        assert "(0," in output  # hottest Zipf item reported
+
+    def test_sliding_window(self, zipf_file):
+        path, _ = zipf_file
+        code, output = run_cli(
+            ["heavy-hitters", "--phi", "0.05", "--window", "5000", str(path)]
+        )
+        assert code == 0
+        assert "(0," in output
+
+    def test_report_every(self, zipf_file):
+        path, _ = zipf_file
+        code, output = run_cli(
+            ["--report-every", "2", "heavy-hitters", "--phi", "0.1", str(path)]
+        )
+        assert code == 0
+        assert output.count("[") >= 2
+
+
+class TestFrequency:
+    def test_point_estimates(self, zipf_file):
+        path, stream = zipf_file
+        code, output = run_cli(
+            ["frequency", "--eps", "0.01", str(path), "--query", "0", "1"]
+        )
+        assert code == 0
+        true0 = int((stream == 0).sum())
+        # the printed estimate for item 0 is within eps*m of truth
+        estimate = int(output.split("(0, ")[1].split(")")[0])
+        assert true0 - 0.01 * len(stream) <= estimate <= true0
+
+
+class TestCountAndSum:
+    def test_count(self, tmp_path):
+        path = tmp_path / "bits.txt"
+        rng = np.random.default_rng(2)
+        bits = (rng.random(5_000) < 0.3).astype(int)
+        path.write_text(" ".join(map(str, bits)))
+        code, output = run_cli(["count", "--window", "1000", "--eps", "0.1", str(path)])
+        assert code == 0
+        true = int(bits[-1000:].sum())
+        answer = int(output.splitlines()[-1].split(": ")[1])
+        assert true <= answer <= 1.1 * true
+
+    def test_sum(self, tmp_path):
+        path = tmp_path / "vals.txt"
+        rng = np.random.default_rng(3)
+        vals = rng.integers(0, 100, size=3_000)
+        path.write_text(" ".join(map(str, vals)))
+        code, output = run_cli(
+            ["sum", "--window", "500", "--eps", "0.1", "--max-value", "99", str(path)]
+        )
+        assert code == 0
+        true = int(vals[-500:].sum())
+        answer = int(output.splitlines()[-1].split(": ")[1])
+        assert true <= answer <= 1.1 * true + 1
+
+
+class TestCms:
+    def test_point_queries_never_undercount(self, zipf_file):
+        path, stream = zipf_file
+        code, output = run_cli(
+            ["cms", "--eps", "0.001", str(path), "--query", "0", "3"]
+        )
+        assert code == 0
+        est0 = int(output.split("(0, ")[1].split(")")[0])
+        assert est0 >= int((stream == 0).sum())
+
+    def test_conservative_flag(self, zipf_file):
+        path, _ = zipf_file
+        code, _ = run_cli(
+            ["cms", "--conservative", str(path), "--query", "0"]
+        )
+        assert code == 0
+
+
+class TestCostsAndErrors:
+    def test_costs_flag(self, zipf_file):
+        path, _ = zipf_file
+        code, output = run_cli(
+            ["--costs", "heavy-hitters", "--phi", "0.1", str(path)]
+        )
+        assert code == 0
+        assert "charged work:" in output
+
+    def test_missing_file_is_clean_error(self):
+        code, _ = run_cli(["count", "--window", "10", "/nonexistent/file.txt"])
+        assert code == 2
+
+    def test_bad_params_clean_error(self, zipf_file):
+        path, _ = zipf_file
+        code, _ = run_cli(["heavy-hitters", "--phi", "2.0", str(path)])
+        assert code == 2
+
+
+class TestSubprocess:
+    def test_python_dash_m_entrypoint(self, tmp_path):
+        path = tmp_path / "items.txt"
+        path.write_text("1 1 1 2 3 1 1\n")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "heavy-hitters", "--phi", "0.4",
+             str(path)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "items processed: 7" in proc.stdout
+        assert "(1," in proc.stdout
+
+
+class TestQuantileCommand:
+    def test_quantiles(self, tmp_path):
+        rng = np.random.default_rng(11)
+        vals = rng.integers(0, 1000, size=4_000)
+        path = tmp_path / "vals.txt"
+        path.write_text(" ".join(map(str, vals)))
+        code, output = run_cli(
+            ["quantile", "--window", "1000", "--max-value", "999", str(path),
+             "--q", "0.5"]
+        )
+        assert code == 0
+        est = float(output.split("(0.5, ")[1].split(")")[0])
+        true = float(np.quantile(vals[-1000:], 0.5))
+        assert abs(est - true) <= 100  # within a couple of 15.6-wide buckets
+
+
+class TestVarianceCommand:
+    def test_mean_and_variance(self, tmp_path):
+        rng = np.random.default_rng(12)
+        vals = rng.integers(40, 61, size=3_000)
+        path = tmp_path / "vals.txt"
+        path.write_text(" ".join(map(str, vals)))
+        code, output = run_cli(
+            ["variance", "--window", "500", "--max-value", "100", str(path)]
+        )
+        assert code == 0
+        assert "'mean':" in output and "'variance':" in output
+        mean = float(output.split("'mean': ")[1].split(",")[0])
+        assert 48 <= mean <= 53

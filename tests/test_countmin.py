@@ -1,0 +1,195 @@
+"""Tests for the parallel Count-Min sketch (Theorem 6.1) and the
+dyadic range/quantile/heavy-hitter applications."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.sequential_cms import SequentialCountMin
+from repro.core.countmin import DyadicCountMin, ParallelCountMin
+from repro.pram.cost import tracking
+from repro.stream.generators import minibatches, zipf_stream
+from repro.stream.oracle import ExactInfiniteFrequencies
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParallelCountMin(0.0, 0.1)
+        with pytest.raises(ValueError):
+            ParallelCountMin(0.1, 1.0)
+
+    def test_dimensions(self):
+        cm = ParallelCountMin(0.01, 0.01)
+        assert cm.width == int(np.ceil(np.e / 0.01))
+        assert cm.depth == int(np.ceil(np.log(100)))
+
+    def test_space(self):
+        cm = ParallelCountMin(0.1, 0.1)
+        assert cm.space == cm.width * cm.depth + 2 * cm.depth
+
+
+class TestGuarantees:
+    def test_never_undercounts(self):
+        cm = ParallelCountMin(0.01, 0.05)
+        oracle = ExactInfiniteFrequencies()
+        stream = zipf_stream(20_000, 5_000, 1.1, rng=1)
+        for chunk in minibatches(stream, 1_000):
+            cm.ingest(chunk)
+            oracle.extend(chunk)
+        for item in range(200):
+            assert cm.point_query(item) >= oracle.frequency(item)
+
+    def test_overcount_bounded_whp(self):
+        eps, delta = 0.005, 0.01
+        cm = ParallelCountMin(eps, delta, np.random.default_rng(2))
+        oracle = ExactInfiniteFrequencies()
+        stream = zipf_stream(30_000, 3_000, 1.1, rng=3)
+        for chunk in minibatches(stream, 1_500):
+            cm.ingest(chunk)
+            oracle.extend(chunk)
+        violations = sum(
+            1
+            for item in range(500)
+            if cm.point_query(item) > oracle.frequency(item) + eps * oracle.t
+        )
+        # Each query fails w.p. <= δ = 1%; 500 queries ⇒ ~5 expected.
+        assert violations <= 25
+
+    def test_batched_equals_item_at_a_time(self):
+        """The parallel update must produce *exactly* the same table as
+        the sequential baseline given the same hash functions."""
+        par = ParallelCountMin(0.02, 0.05, np.random.default_rng(4))
+        seq = SequentialCountMin(0.02, 0.05, np.random.default_rng(4))
+        stream = zipf_stream(5_000, 500, 1.2, rng=5)
+        for chunk in minibatches(stream, 500):
+            par.ingest(chunk)
+        seq.extend(stream)
+        np.testing.assert_array_equal(par.table, seq.table)
+
+    def test_update_single_item(self):
+        cm = ParallelCountMin(0.1, 0.1)
+        cm.update("x", 5)
+        cm.update("x")
+        assert cm.point_query("x") >= 6
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelCountMin(0.1, 0.1).update("x", -1)
+
+    @given(st.lists(st.integers(0, 50), max_size=300), st.integers(0, 2**31 - 1))
+    @settings(max_examples=25)
+    def test_property_one_sided(self, items, seed):
+        from collections import Counter
+
+        cm = ParallelCountMin(0.05, 0.1, np.random.default_rng(seed))
+        cm.ingest(np.array(items, dtype=np.int64))
+        true = Counter(items)
+        for item in set(items):
+            assert cm.point_query(item) >= true[item]
+
+
+class TestInnerProduct:
+    def test_lower_bounded_by_true_inner_product(self):
+        rng_a = np.random.default_rng(6)
+        a = ParallelCountMin(0.01, 0.05, np.random.default_rng(99))
+        b = ParallelCountMin(0.01, 0.05, np.random.default_rng(99))
+        sa = zipf_stream(5_000, 100, 1.2, rng=rng_a)
+        sb = zipf_stream(5_000, 100, 1.2, rng=rng_a)
+        a.ingest(sa)
+        b.ingest(sb)
+        ca = np.bincount(sa, minlength=100)
+        cb = np.bincount(sb, minlength=100)
+        true = int(np.dot(ca, cb))
+        est = a.inner_product(b)
+        assert est >= true
+        assert est <= true + 0.01 * 5_000 * 5_000
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelCountMin(0.1, 0.1).inner_product(ParallelCountMin(0.01, 0.1))
+
+
+class TestCosts:
+    def test_batch_work_bound(self):
+        """Theorem 6.1: O(µ + (µ + w)·d) per minibatch."""
+        eps, delta = 0.01, 0.01
+        cm = ParallelCountMin(eps, delta)
+        mu = 1 << 13
+        batch = zipf_stream(mu, 10_000, 1.1, rng=7)
+        with tracking() as led:
+            cm.ingest(batch)
+        bound = mu + (mu + cm.width) * cm.depth
+        assert led.work <= 8 * bound
+
+    def test_query_cost(self):
+        cm = ParallelCountMin(0.01, 0.001)
+        cm.update(1, 5)
+        with tracking() as led:
+            cm.point_query(1)
+        assert led.work <= 4 * cm.depth
+
+
+class TestDyadic:
+    @pytest.fixture()
+    def loaded(self):
+        dc = DyadicCountMin(0.005, 0.01, universe_bits=10, rng=np.random.default_rng(8))
+        data = zipf_stream(20_000, 1024, 1.05, rng=9)
+        dc.ingest(data)
+        return dc, data
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DyadicCountMin(0.1, 0.1, universe_bits=0)
+        dc = DyadicCountMin(0.1, 0.1, universe_bits=4)
+        with pytest.raises(ValueError):
+            dc.ingest(np.array([16]))
+
+    def test_range_query_accuracy(self, loaded):
+        dc, data = loaded
+        for lo, hi in [(0, 10), (100, 300), (0, 1023), (512, 600)]:
+            true = int(((data >= lo) & (data <= hi)).sum())
+            est = dc.range_query(lo, hi)
+            assert est >= true
+            assert est <= true + 0.05 * len(data)
+
+    def test_range_query_degenerate(self, loaded):
+        dc, _ = loaded
+        assert dc.range_query(5, 4) == 0
+        assert dc.range_query(7, 7) == dc.levels[0].point_query(7)
+
+    def test_quantiles_monotone(self, loaded):
+        dc, data = loaded
+        qs = [dc.quantile(q) for q in (0.1, 0.25, 0.5, 0.75, 0.9)]
+        assert qs == sorted(qs)
+
+    def test_median_close_to_true(self, loaded):
+        dc, data = loaded
+        true_median = int(np.median(data))
+        est = dc.quantile(0.5)
+        true_rank = float((data <= est).mean())
+        assert 0.4 <= true_rank <= 0.6 or est == true_median
+
+    def test_heavy_hitters_descent(self, loaded):
+        dc, data = loaded
+        phi = 0.05
+        reported = dc.heavy_hitters(phi)
+        counts = np.bincount(data, minlength=1024)
+        true_hh = {int(i) for i in np.flatnonzero(counts >= phi * len(data))}
+        assert true_hh <= set(reported)  # no false negatives
+        for item in reported:
+            assert counts[item] >= (phi - 0.02) * len(data)
+
+    def test_quantile_validation(self, loaded):
+        dc, _ = loaded
+        with pytest.raises(ValueError):
+            dc.quantile(1.5)
+        with pytest.raises(ValueError):
+            dc.heavy_hitters(0.0)
+
+    def test_empty_heavy_hitters(self):
+        dc = DyadicCountMin(0.1, 0.1, universe_bits=4)
+        assert dc.heavy_hitters(0.5) == {}

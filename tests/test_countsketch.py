@@ -1,0 +1,114 @@
+"""Tests for the parallel Count-Sketch extension [CCFC02]."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.countsketch import ParallelCountSketch
+from repro.pram.cost import tracking
+from repro.stream.generators import minibatches, zipf_stream
+
+
+def l2_norm(counts: Counter) -> float:
+    return float(np.sqrt(sum(c * c for c in counts.values())))
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParallelCountSketch(0.0, 0.1)
+        with pytest.raises(ValueError):
+            ParallelCountSketch(0.1, 1.0)
+
+    def test_width_is_inverse_eps_squared(self):
+        cs = ParallelCountSketch(0.1, 0.1)
+        assert cs.width == int(np.ceil(3 / 0.01))
+
+    def test_depth_is_odd(self):
+        for delta in (0.5, 0.1, 0.01, 0.001):
+            assert ParallelCountSketch(0.2, delta).depth % 2 == 1
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelCountSketch(0.2, 0.1).update("x", -1)
+
+
+class TestAccuracy:
+    def test_l2_error_bound(self):
+        eps, delta = 0.05, 0.01
+        cs = ParallelCountSketch(eps, delta, np.random.default_rng(1))
+        stream = zipf_stream(30_000, 3_000, 1.1, rng=2)
+        for chunk in minibatches(stream, 1_000):
+            cs.ingest(chunk)
+        true = Counter(stream.tolist())
+        budget = eps * l2_norm(true)
+        violations = sum(
+            1 for e in range(500) if abs(cs.point_query(e) - true.get(e, 0)) > budget
+        )
+        assert violations <= 25  # 500 queries * delta = 5 expected
+
+    def test_unseen_item_near_zero(self):
+        cs = ParallelCountSketch(0.05, 0.01, np.random.default_rng(3))
+        cs.ingest(zipf_stream(10_000, 100, 1.2, rng=4))
+        # unseen item: |est| <= eps * l2 <= eps * m
+        assert abs(cs.point_query(999_999)) <= 0.05 * 10_000
+
+    def test_tighter_than_cms_on_skew(self):
+        """The point of Count-Sketch: ε‖f‖₂ ≪ ε‖f‖₁ on skewed data."""
+        from repro.core.countmin import ParallelCountMin
+
+        stream = zipf_stream(30_000, 5_000, 1.3, rng=5)
+        true = Counter(stream.tolist())
+        cs = ParallelCountSketch(0.1, 0.01, np.random.default_rng(6))
+        cm = ParallelCountMin(0.01, 0.01, np.random.default_rng(7))
+        for chunk in minibatches(stream, 1_500):
+            cs.ingest(chunk)
+            cm.ingest(chunk)
+        # Compare total absolute error over the mid-tail (where CMS's
+        # one-sided εm bites), at comparable (space-constrained) size.
+        assert cs.space < 1.5 * cm.space
+        tail = range(50, 250)
+        err_cs = sum(abs(cs.point_query(e) - true.get(e, 0)) for e in tail)
+        err_cm = sum(abs(cm.point_query(e) - true.get(e, 0)) for e in tail)
+        assert err_cs < err_cm
+
+    @given(st.lists(st.integers(0, 40), max_size=200), st.integers(0, 2**31 - 1))
+    @settings(max_examples=20)
+    def test_exact_on_light_load(self, items, seed):
+        """With few distinct items and a wide table, the median row is
+        collision-free whp: estimates are near-exact."""
+        cs = ParallelCountSketch(0.05, 0.001, np.random.default_rng(seed))
+        cs.ingest(np.array(items, dtype=np.int64))
+        true = Counter(items)
+        for item in set(items):
+            assert abs(cs.point_query(item) - true[item]) <= 2
+
+
+class TestBatching:
+    def test_batched_equals_single_updates(self):
+        stream = zipf_stream(2_000, 100, 1.2, rng=8)
+        a = ParallelCountSketch(0.1, 0.05, np.random.default_rng(9))
+        b = ParallelCountSketch(0.1, 0.05, np.random.default_rng(9))
+        a.ingest(stream)
+        for item in stream:
+            b.update(int(item))
+        np.testing.assert_array_equal(a.table, b.table)
+
+    def test_empty_batch_noop(self):
+        cs = ParallelCountSketch(0.1, 0.1)
+        cs.ingest(np.array([], dtype=np.int64))
+        assert cs.stream_length == 0
+
+    def test_batch_work_shape(self):
+        cs = ParallelCountSketch(0.05, 0.01)
+        batch = zipf_stream(1 << 12, 500, 1.1, rng=10)
+        with tracking() as led:
+            cs.ingest(batch)
+        bound = (1 << 12) + ((1 << 12) + cs.width) * cs.depth
+        assert led.work <= 8 * bound
+        assert led.depth < 400

@@ -1,0 +1,132 @@
+"""Tests for compacted stream segments (Lemma 2.1) and sift (Lemma 5.9)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.pram.cost import tracking
+from repro.pram.css import CSS, css_concat, css_of_bits, css_of_positions, sift
+
+bit_arrays = hnp.arrays(
+    dtype=np.int64, shape=st.integers(0, 200), elements=st.integers(0, 1)
+)
+
+
+class TestCSSValidation:
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            CSS(length=-1)
+
+    def test_positions_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            CSS(length=3, ones=np.array([4]))
+        with pytest.raises(ValueError):
+            CSS(length=3, ones=np.array([0]))
+
+    def test_non_increasing_rejected(self):
+        with pytest.raises(ValueError):
+            CSS(length=5, ones=np.array([2, 2]))
+        with pytest.raises(ValueError):
+            CSS(length=5, ones=np.array([3, 1]))
+
+    def test_len_protocol(self):
+        assert len(CSS(length=7)) == 7
+
+
+class TestCssOfBits:
+    @given(bit_arrays)
+    def test_roundtrip(self, bits):
+        css = css_of_bits(bits)
+        np.testing.assert_array_equal(css.to_bits(), bits)
+
+    @given(bit_arrays)
+    def test_count_ones(self, bits):
+        assert css_of_bits(bits).count_ones == bits.sum()
+
+    def test_positions_are_one_based(self):
+        css = css_of_bits(np.array([1, 0, 0, 1]))
+        np.testing.assert_array_equal(css.ones, [1, 4])
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError):
+            css_of_bits(np.array([0, 2]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            css_of_bits(np.zeros((2, 3), dtype=np.int64))
+
+    def test_linear_work_log_depth(self):
+        with tracking() as led:
+            css_of_bits(np.ones(1024, dtype=np.int64))
+        assert led.work <= 4 * 1024
+        assert led.depth <= 1 + 2 * 10
+
+
+class TestCssOfPositions:
+    def test_sorts_input(self):
+        css = css_of_positions(10, [7, 2, 5])
+        np.testing.assert_array_equal(css.ones, [2, 5, 7])
+
+
+class TestCssConcat:
+    @given(bit_arrays, bit_arrays)
+    def test_matches_bit_concat(self, a, b):
+        got = css_concat(css_of_bits(a), css_of_bits(b))
+        expected = css_of_bits(np.concatenate([a, b]))
+        assert got.length == expected.length
+        np.testing.assert_array_equal(got.ones, expected.ones)
+
+
+class TestSift:
+    def test_basic(self):
+        out = sift(["a", "b", "a", "c", "a"], ["a", "c"])
+        assert set(out) == {"a", "c"}
+        np.testing.assert_array_equal(out["a"].ones, [1, 3, 5])
+        np.testing.assert_array_equal(out["c"].ones, [4])
+        assert out["a"].length == 5
+
+    def test_absent_key_gets_zero_css(self):
+        out = sift(["a", "b"], ["z"])
+        assert out["z"].count_ones == 0
+        assert out["z"].length == 2
+
+    def test_empty_segment(self):
+        out = sift([], ["a"])
+        assert out["a"].length == 0
+
+    def test_empty_keep(self):
+        assert sift(["a", "b"], []) == {}
+
+    def test_duplicate_keep_deduped(self):
+        out = sift(["a"], ["a", "a"])
+        assert len(out) == 1
+
+    @given(
+        st.lists(st.integers(0, 6), max_size=100),
+        st.sets(st.integers(0, 6), max_size=7),
+    )
+    def test_matches_indicator_streams(self, segment, keep):
+        out = sift(np.array(segment, dtype=np.int64), sorted(keep))
+        assert set(out) == set(keep)
+        arr = np.array(segment, dtype=np.int64)
+        for key, css in out.items():
+            indicator = (arr == key).astype(np.int64)
+            np.testing.assert_array_equal(css.to_bits(), indicator)
+
+    def test_work_linear_in_t_plus_k(self):
+        segment = np.arange(10_000) % 50
+        with tracking() as led:
+            sift(segment, list(range(25)))
+        assert led.work <= 3 * (10_000 + 25)
+
+    def test_depth_linear_in_k(self):
+        segment = np.arange(1000) % 50
+        keep = list(range(40))
+        with tracking() as led:
+            sift(segment, keep)
+        assert led.depth >= len(keep)  # the paper's O(|K| + log) depth
+        assert led.depth <= len(keep) + 30

@@ -1,0 +1,131 @@
+"""Determinism guarantees: identical inputs + seeds → identical
+estimates AND identical ledger charges.
+
+Reproducibility is a stated library contract (every randomized
+component takes an explicit rng and defaults to a fixed seed); the
+charge determinism also underpins the benchmark harness — noisy charges
+would make the theory-vs-measured tables unrepeatable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ParallelBasicCounter,
+    ParallelCountMin,
+    ParallelFrequencyEstimator,
+    ParallelWindowedSum,
+    WorkEfficientSlidingFrequency,
+)
+from repro.pram.cost import tracking
+from repro.stream.generators import bit_stream, minibatches, zipf_stream
+
+
+def run_twice(make, feed):
+    outs, charges = [], []
+    for _ in range(2):
+        structure = make()
+        with tracking() as ledger:
+            result = feed(structure)
+        outs.append(result)
+        charges.append((ledger.work, ledger.depth))
+    return outs, charges
+
+
+ITEMS = zipf_stream(5_000, 400, 1.2, rng=123)
+BITS = bit_stream(5_000, 0.4, rng=124)
+
+
+class TestEstimateDeterminism:
+    def test_frequency_estimator(self):
+        def feed(est):
+            for chunk in minibatches(ITEMS, 500):
+                est.ingest(chunk)
+            return est.estimates()
+
+        outs, charges = run_twice(lambda: ParallelFrequencyEstimator(0.02), feed)
+        assert outs[0] == outs[1]
+        assert charges[0] == charges[1]
+
+    def test_sliding_frequency(self):
+        def feed(est):
+            for chunk in minibatches(ITEMS, 500):
+                est.ingest(chunk)
+            return sorted(est.estimates().items())
+
+        outs, charges = run_twice(
+            lambda: WorkEfficientSlidingFrequency(1_000, 0.05), feed
+        )
+        assert outs[0] == outs[1]
+        assert charges[0] == charges[1]
+
+    def test_basic_counting(self):
+        def feed(counter):
+            for chunk in minibatches(BITS, 512):
+                counter.ingest(chunk)
+            return counter.query()
+
+        outs, charges = run_twice(lambda: ParallelBasicCounter(800, 0.1), feed)
+        assert outs[0] == outs[1]
+        assert charges[0] == charges[1]
+
+    def test_windowed_sum(self):
+        values = ITEMS % 256
+
+        def feed(summer):
+            for chunk in minibatches(values, 512):
+                summer.ingest(chunk)
+            return summer.query()
+
+        outs, charges = run_twice(
+            lambda: ParallelWindowedSum(800, 0.1, max_value=255), feed
+        )
+        assert outs[0] == outs[1]
+        assert charges[0] == charges[1]
+
+    def test_cms_tables(self):
+        def feed(cm):
+            for chunk in minibatches(ITEMS, 500):
+                cm.ingest(chunk)
+            return cm.table.copy()
+
+        outs, charges = run_twice(
+            lambda: ParallelCountMin(0.01, 0.01, np.random.default_rng(7)), feed
+        )
+        np.testing.assert_array_equal(outs[0], outs[1])
+        assert charges[0] == charges[1]
+
+    def test_different_seeds_change_hashes_not_guarantees(self):
+        a = ParallelCountMin(0.01, 0.01, np.random.default_rng(1))
+        b = ParallelCountMin(0.01, 0.01, np.random.default_rng(2))
+        a.ingest(ITEMS)
+        b.ingest(ITEMS)
+        assert not np.array_equal(a.table, b.table)
+        true0 = int((ITEMS == 0).sum())
+        assert a.point_query(0) >= true0
+        assert b.point_query(0) >= true0
+
+
+class TestGeneratorDeterminism:
+    def test_all_generators_reproducible(self):
+        from repro.stream.generators import (
+            adversarial_hh_stream,
+            bursty_bit_stream,
+            flash_crowd_stream,
+            packet_trace,
+        )
+
+        for gen in (
+            lambda s: zipf_stream(500, 50, 1.2, rng=s),
+            lambda s: bit_stream(500, 0.3, rng=s),
+            lambda s: flash_crowd_stream(500, 50, rng=s),
+            lambda s: adversarial_hh_stream(500, 0.05, rng=s),
+            lambda s: bursty_bit_stream(500, rng=s),
+        ):
+            np.testing.assert_array_equal(gen(9), gen(9))
+        f1, s1 = packet_trace(500, rng=9)
+        f2, s2 = packet_trace(500, rng=9)
+        np.testing.assert_array_equal(f1, f2)
+        np.testing.assert_array_equal(s1, s2)

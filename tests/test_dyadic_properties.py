@@ -1,0 +1,112 @@
+"""Property tests for the dyadic Count-Min applications and a
+distributed-merge integration scenario."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.countmin import DyadicCountMin, ParallelCountMin
+from repro.core.windowed_countmin import WindowedCountMin
+from repro.core.heavy_hitters import SlidingHeavyHitters
+from repro.stream.generators import minibatches, zipf_stream
+
+
+class TestDyadicRangeProperties:
+    @given(
+        st.integers(0, 2**31 - 1),
+        st.data(),
+    )
+    @settings(max_examples=15)
+    def test_random_ranges_one_sided(self, seed, data):
+        bits = 8
+        rng = np.random.default_rng(seed)
+        stream = rng.integers(0, 1 << bits, size=2_000)
+        dc = DyadicCountMin(0.01, 0.02, universe_bits=bits,
+                            rng=np.random.default_rng(seed + 1))
+        dc.ingest(stream)
+        lo = data.draw(st.integers(0, (1 << bits) - 1))
+        hi = data.draw(st.integers(lo, (1 << bits) - 1))
+        true = int(((stream >= lo) & (stream <= hi)).sum())
+        est = dc.range_query(lo, hi)
+        assert est >= true
+        # 2·bits dyadic pieces, each over by <= eps·m whp; allow slack.
+        assert est <= true + 4 * bits * 0.01 * len(stream) + 1
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=10)
+    def test_adjacent_ranges_superadditive(self, seed):
+        """est[a,c] <= est[a,b] + est[b+1,c] — each side's noise only adds."""
+        bits = 8
+        rng = np.random.default_rng(seed)
+        stream = rng.integers(0, 1 << bits, size=1_500)
+        dc = DyadicCountMin(0.02, 0.05, universe_bits=bits,
+                            rng=np.random.default_rng(seed + 2))
+        dc.ingest(stream)
+        a, b, c = 10, 100, 200
+        whole = dc.range_query(a, c)
+        split = dc.range_query(a, b) + dc.range_query(b + 1, c)
+        true = int(((stream >= a) & (stream <= c)).sum())
+        assert whole >= true
+        assert split >= true
+        # Splitting uses more dyadic pieces, hence >= noise.
+        assert split >= whole - 1
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=10)
+    def test_full_range_counts_everything(self, seed):
+        bits = 6
+        rng = np.random.default_rng(seed)
+        stream = rng.integers(0, 1 << bits, size=500)
+        dc = DyadicCountMin(0.02, 0.05, universe_bits=bits,
+                            rng=np.random.default_rng(seed + 3))
+        dc.ingest(stream)
+        assert dc.range_query(0, (1 << bits) - 1) >= 500
+
+
+class TestDistributedMergeScenario:
+    """The [ACH+13] merge applied across 'sites': sketches built on
+    disjoint shards merge into one answering union queries — the role
+    Figure 1's left side gives the independent approach, done with
+    CMS's cleanly mergeable tables."""
+
+    def test_sharded_cms_equals_central(self):
+        shards = [zipf_stream(3_000, 400, 1.2, rng=s) for s in range(4)]
+        sketches = []
+        for shard in shards:
+            cm = ParallelCountMin(0.01, 0.05, np.random.default_rng(77))
+            for chunk in minibatches(shard, 1_000):
+                cm.ingest(chunk)
+            sketches.append(cm)
+        merged = sketches[0]
+        for other in sketches[1:]:
+            merged.merge(other)
+
+        central = ParallelCountMin(0.01, 0.05, np.random.default_rng(77))
+        central.ingest(np.concatenate(shards))
+        np.testing.assert_array_equal(merged.table, central.table)
+        assert merged.stream_length == central.stream_length
+
+
+class TestCandidatePipeline:
+    """Pairing the sliding MG tracker (candidate enumeration) with the
+    windowed CMS (accurate per-candidate counts) — the composition the
+    two structures are designed for."""
+
+    def test_mg_candidates_cms_counts(self):
+        window = 1_500
+        hh = SlidingHeavyHitters(window, phi=0.05, eps=0.02)
+        wcm = WindowedCountMin(window, eps=0.005, delta=0.01)
+        stream = zipf_stream(6_000, 500, 1.4, rng=9)
+        for chunk in minibatches(stream, 500):
+            hh.ingest(chunk)
+            wcm.ingest(chunk)
+        candidates = list(hh.query())
+        assert candidates
+        refined = wcm.heavy_hitters_from(candidates, phi=0.05)
+        tail = stream[-window:]
+        for item, estimate in refined.items():
+            exact = int((tail == item).sum())
+            assert exact <= estimate <= exact + 2 * 0.005 * window + 1

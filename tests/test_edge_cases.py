@@ -1,0 +1,234 @@
+"""Gap-filling tests: API surfaces and edge paths the module-focused
+suites don't reach."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GammaSnapshot,
+    ParallelCountMin,
+    SBBC,
+    SlidingHeavyHitters,
+    WorkEfficientSlidingFrequency,
+)
+from repro.core.freq_sliding import SpaceEfficientSlidingFrequency
+from repro.pram.css import CSS, css_of_positions
+from repro.pram.histogram import build_hist
+from repro.pram.schedule import simulate, trace_summary
+from repro.pram.cost import CostLedger, tracking
+from repro.stream.generators import minibatches, zipf_stream
+from repro.stream.minibatch import MinibatchDriver
+
+
+class TestCssEdges:
+    def test_css_of_positions_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            css_of_positions(10, [3, 3])
+
+    def test_to_bits_empty(self):
+        assert CSS(length=0).to_bits().size == 0
+
+    def test_snapshot_size_property(self):
+        assert GammaSnapshot(gamma=4, blocks=np.array([2, 9]), ell=3).size == 3
+
+
+class TestSBBCEdges:
+    def test_peek_shrunk_on_truncated_counter(self):
+        sbbc = SBBC(window=100, lam=4.0, sigma=3)
+        sbbc.advance(CSS(length=100, ones=np.arange(1, 101, dtype=np.int64)))
+        assert sbbc.overflowed
+        # Peeking further slides is still well defined and monotone.
+        values = [sbbc.peek_shrunk_value(slide) for slide in (0, 10, 50, 200)]
+        assert values == sorted(values, reverse=True)
+
+    def test_advance_with_empty_segment_slides_window(self):
+        sbbc = SBBC(window=10, lam=2.0)
+        sbbc.advance(CSS(length=10, ones=np.arange(1, 11, dtype=np.int64)))
+        full = sbbc.value()
+        sbbc.advance(CSS(length=5))
+        assert sbbc.value() < full
+
+    def test_zero_length_advance_is_noop(self):
+        sbbc = SBBC(window=10, lam=2.0)
+        sbbc.advance(CSS(length=0))
+        assert sbbc.t == 0
+        assert sbbc.value() == 0
+
+
+class TestHashableItemStreams:
+    """String/object item ids flow through the non-vectorized paths."""
+
+    def test_build_hist_mixed_hashables(self):
+        items = ["GET /", ("tcp", 443), "GET /", 7]
+        hist = build_hist(items)
+        assert hist["GET /"] == 2
+        assert hist[("tcp", 443)] == 1
+
+    def test_sliding_frequency_on_strings(self):
+        est = SpaceEfficientSlidingFrequency(window=50, eps=0.2)
+        batch = np.array(["a", "b", "a", "a", "c"] * 4)
+        est.ingest(batch)
+        assert 10 <= est.estimate("a") + est.lam + 1e-9
+        assert est.estimate("a") <= 12
+
+    def test_sliding_hh_on_strings(self):
+        tracker = SlidingHeavyHitters(window=100, phi=0.4, eps=0.1)
+        tracker.ingest(np.array(["x"] * 30 + ["y"] * 10))
+        assert "x" in tracker.query()
+
+    def test_cms_on_strings(self):
+        cm = ParallelCountMin(0.05, 0.05)
+        cm.ingest(np.array(["alpha"] * 10 + ["beta"]))
+        assert cm.point_query("alpha") >= 10
+
+
+class TestSlidingAccessors:
+    def test_estimates_and_tracked_items(self):
+        est = WorkEfficientSlidingFrequency(window=200, eps=0.1)
+        est.ingest(zipf_stream(150, 20, 1.5, rng=1))
+        tracked = est.tracked_items()
+        assert set(est.estimates()) == set(tracked)
+        assert est.window_length == 150
+
+    def test_window_length_caps_at_n(self):
+        est = WorkEfficientSlidingFrequency(window=100, eps=0.2)
+        for chunk in minibatches(zipf_stream(350, 10, 1.0, rng=2), 50):
+            est.ingest(chunk)
+        assert est.window_length == 100
+
+
+class TestHeavyHitterAccessors:
+    def test_infinite_properties(self):
+        from repro.core import InfiniteHeavyHitters
+
+        hh = InfiniteHeavyHitters(0.2, 0.05)
+        hh.ingest(np.zeros(100, dtype=np.int64))
+        assert hh.stream_length == 100
+        assert hh.space >= 1
+
+    def test_sliding_space(self):
+        shh = SlidingHeavyHitters(100, 0.2, 0.05, variant="basic")
+        shh.ingest(np.zeros(50, dtype=np.int64))
+        assert shh.space >= 1
+        assert shh.variant == "basic"
+
+
+class TestCmsMerge:
+    def test_merge_equals_union_stream(self):
+        rng_seed = 9
+        a = ParallelCountMin(0.02, 0.05, np.random.default_rng(rng_seed))
+        b = ParallelCountMin(0.02, 0.05, np.random.default_rng(rng_seed))
+        union = ParallelCountMin(0.02, 0.05, np.random.default_rng(rng_seed))
+        s1 = zipf_stream(2_000, 100, 1.2, rng=1)
+        s2 = zipf_stream(2_000, 100, 1.2, rng=2)
+        a.ingest(s1)
+        b.ingest(s2)
+        union.ingest(np.concatenate([s1, s2]))
+        a.merge(b)
+        np.testing.assert_array_equal(a.table, union.table)
+        assert a.stream_length == 4_000
+
+    def test_merge_rejects_different_hashes(self):
+        a = ParallelCountMin(0.02, 0.05, np.random.default_rng(1))
+        b = ParallelCountMin(0.02, 0.05, np.random.default_rng(2))
+        with pytest.raises(ValueError, match="hash"):
+            a.merge(b)
+
+    def test_merge_rejects_different_shapes(self):
+        a = ParallelCountMin(0.02, 0.05)
+        b = ParallelCountMin(0.1, 0.05)
+        with pytest.raises(ValueError, match="dimensions"):
+            a.merge(b)
+
+    def test_merge_rejects_conservative(self):
+        a = ParallelCountMin(0.05, 0.05, np.random.default_rng(3), conservative=True)
+        b = ParallelCountMin(0.05, 0.05, np.random.default_rng(3), conservative=True)
+        with pytest.raises(ValueError, match="conservative"):
+            a.merge(b)
+
+
+class TestDriverEdges:
+    def test_list_input_accepted(self):
+        from repro.core import ParallelFrequencyEstimator
+
+        driver = MinibatchDriver({"f": ParallelFrequencyEstimator(0.1)})
+        reports = driver.run([1, 2, 3, 1, 1], 2)
+        assert driver.total_items() == 5
+        assert len(reports) == 3
+
+    def test_empty_stream(self):
+        from repro.core import ParallelFrequencyEstimator
+
+        driver = MinibatchDriver({"f": ParallelFrequencyEstimator(0.1)})
+        assert driver.run(np.array([], dtype=np.int64), 10) == []
+        assert driver.throughput_items_per_sec() == float("inf")
+
+
+class TestScheduleEdges:
+    def test_empty_parallel_block(self):
+        led = CostLedger(record=True)
+        led.merge_parallel([], None)  # no children: nothing recorded
+        assert simulate(led, 4) == 0.0
+
+    def test_trace_summary_requires_recording(self):
+        with pytest.raises(ValueError):
+            trace_summary(CostLedger())
+
+    def test_raw_trace_accepted(self):
+        assert simulate([("c", 10, 1)], 2) == 5
+
+
+class TestCliStdin:
+    def test_reads_stdin_when_no_file(self, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("1 1 2 1\n1 3\n"))
+        out = io.StringIO()
+        assert main(["heavy-hitters", "--phi", "0.4"], out=out) == 0
+        assert "items processed: 6" in out.getvalue()
+
+    def test_custom_batch_size(self, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(" ".join(["7"] * 10)))
+        out = io.StringIO()
+        assert main(["--batch", "3", "count", "--window", "5"], out=out) == 2
+        # bits must be 0/1: item 7 triggers the clean-error path.
+
+
+class TestTopK:
+    def test_infinite_top_k_ordered(self):
+        from repro.core import ParallelFrequencyEstimator
+
+        est = ParallelFrequencyEstimator(0.02)
+        est.ingest(zipf_stream(8_000, 500, 1.5, rng=21))
+        top = est.top_k(5)
+        values = [v for _, v in top]
+        assert values == sorted(values, reverse=True)
+        assert top[0][0] == 0  # hottest Zipf item first
+
+    def test_sliding_top_k(self):
+        est = WorkEfficientSlidingFrequency(1_000, 0.05)
+        est.ingest(zipf_stream(2_000, 100, 1.5, rng=22))
+        top = est.top_k(3)
+        assert len(top) == 3
+        assert top[0][1] >= top[1][1] >= top[2][1]
+
+    def test_k_larger_than_tracked(self):
+        from repro.core import ParallelFrequencyEstimator
+
+        est = ParallelFrequencyEstimator(0.5)  # capacity 2
+        est.ingest(np.array([1, 1, 2]))
+        assert len(est.top_k(100)) <= 2
+
+    def test_k_validation(self):
+        from repro.core import ParallelFrequencyEstimator
+
+        with pytest.raises(ValueError):
+            ParallelFrequencyEstimator(0.1).top_k(0)
+        with pytest.raises(ValueError):
+            WorkEfficientSlidingFrequency(10, 0.5).top_k(0)

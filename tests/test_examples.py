@@ -1,0 +1,44 @@
+"""Smoke tests: every shipped example must run clean, end to end.
+
+Each example asserts its own scenario internally (trend detected,
+alert fired, guarantee held), so a passing exit code is a meaningful
+check, not just an import test.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_example_inventory_is_complete():
+    """Every example on disk is in the parametrized list below (keeps
+    the smoke suite honest when examples are added)."""
+    assert set(ALL_EXAMPLES) == {
+        "quickstart.py",
+        "network_monitor.py",
+        "trending_topics.py",
+        "latency_quantiles.py",
+        "windowed_sketch.py",
+        "sensor_monitor.py",
+        "out_of_order.py",
+        "cost_model_demo.py",
+    }
+
+
+@pytest.mark.parametrize("script", ALL_EXAMPLES)
+def test_example_runs_clean(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, f"{script} failed:\n{proc.stderr[-2000:]}"
+    assert proc.stdout.strip(), f"{script} produced no output"

@@ -1,0 +1,121 @@
+"""Exhaustive verification on small universes.
+
+Random testing samples the input space; these tests *enumerate* it.
+For every binary stream of length ≤ 8, every window size, and every
+small γ, the γ-snapshot bounds, the SBBC's agreement with the
+from-scratch reference, and decrement exactness are checked — no
+randomness, no escape hatches.  Failures here would localize a logic
+bug precisely.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+import pytest
+
+from repro.core.misra_gries import MisraGriesSummary, mg_augment
+from repro.core.sbbc import SBBC
+from repro.core.snapshot import snapshot_of_stream
+from repro.pram.css import css_of_bits
+from repro.pram.select import prune_cutoff
+
+MAX_LEN = 8
+
+
+def all_bit_streams(length: int):
+    for mask in range(1 << length):
+        yield np.array([(mask >> i) & 1 for i in range(length)], dtype=np.int64)
+
+
+class TestSnapshotExhaustive:
+    @pytest.mark.parametrize("gamma", [1, 2, 3])
+    @pytest.mark.parametrize("window", [1, 2, 4, 8])
+    def test_lemma_32_bounds_all_streams(self, gamma, window):
+        for length in range(0, MAX_LEN + 1):
+            for bits in all_bit_streams(length):
+                m = int(bits[-window:].sum()) if length else 0
+                for clamp in (True, False):
+                    ss = snapshot_of_stream(bits, gamma, window, clamp_ell=clamp)
+                    assert m <= ss.value <= m + 2 * gamma, (
+                        bits.tolist(), gamma, window, clamp
+                    )
+
+
+class TestSBBCExhaustive:
+    @pytest.mark.parametrize("gamma", [1, 2, 3])
+    @pytest.mark.parametrize("window", [2, 5, 8])
+    def test_incremental_matches_reference_all_streams(self, gamma, window):
+        lam = 2.0 * gamma
+        for length in range(1, MAX_LEN + 1):
+            for bits in all_bit_streams(length):
+                # Every 2-way split of the stream into minibatches.
+                for cut in range(length + 1):
+                    sbbc = SBBC(window, lam)
+                    if cut:
+                        sbbc.advance(css_of_bits(bits[:cut]))
+                    if length - cut:
+                        sbbc.advance(css_of_bits(bits[cut:]))
+                    ref = snapshot_of_stream(bits, gamma, window, clamp_ell=False)
+                    got = sbbc.query()
+                    assert got.ell == ref.ell, (bits.tolist(), cut)
+                    np.testing.assert_array_equal(got.blocks, ref.blocks)
+
+    def test_decrement_exact_all_small_cases(self):
+        for length in range(0, MAX_LEN + 1):
+            bits = np.ones(length, dtype=np.int64)
+            for amount in range(0, length + 3):
+                sbbc = SBBC(window=8, lam=4.0)
+                if length:
+                    sbbc.advance(css_of_bits(bits))
+                before = sbbc.raw_value()
+                sbbc.decrement(amount)
+                assert sbbc.raw_value() == max(0, before - amount)
+
+
+class TestMGExhaustive:
+    def test_lemma_51_all_streams_over_tiny_universe(self):
+        """All 3^7 streams over {0,1,2}, capacity 1 and 2."""
+        from collections import Counter
+
+        for capacity in (1, 2):
+            for stream in product(range(3), repeat=7):
+                mg = MisraGriesSummary(capacity=capacity)
+                for item in stream:
+                    mg.update(item)
+                true = Counter(stream)
+                for item in range(3):
+                    est = mg.estimate(item)
+                    assert est <= true[item]
+                    assert est >= true[item] - len(stream) / capacity
+
+    def test_mg_augment_all_tiny_batchings(self):
+        """All 3^6 streams over {0,1,2}, every batch split, capacity 2."""
+        from collections import Counter
+
+        capacity = 2
+        for stream in product(range(3), repeat=6):
+            for cut in range(7):
+                summary: dict = {}
+                for part in (stream[:cut], stream[cut:]):
+                    if part:
+                        summary = mg_augment(summary, Counter(part), capacity)
+                true = Counter(stream)
+                for item in range(3):
+                    est = summary.get(item, 0)
+                    assert est <= true[item]
+                    assert est >= true[item] - len(stream) / capacity
+
+
+class TestPruneCutoffExhaustive:
+    def test_all_count_multisets(self):
+        """Every multiset of ≤ 5 counts from {1..4}, every capacity."""
+        for length in range(1, 6):
+            for counts in product(range(1, 5), repeat=length):
+                arr = np.array(counts)
+                for capacity in range(1, 6):
+                    phi = prune_cutoff(arr, capacity)
+                    assert (arr > phi).sum() <= capacity
+                    if phi > 0:
+                        assert (arr >= phi).sum() >= capacity + 1

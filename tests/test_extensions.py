@@ -1,0 +1,111 @@
+"""Tests for the extension features: conservative-update Count-Min and
+the windowed mean reduction (§4.1)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.countmin import ParallelCountMin
+from repro.core.windowed_sum import ParallelWindowedMean
+from repro.stream.generators import minibatches, zipf_stream
+from repro.stream.oracle import ExactWindowSum
+
+
+class TestConservativeCountMin:
+    def _pair(self, seed: int = 5):
+        return (
+            ParallelCountMin(0.01, 0.01, np.random.default_rng(seed)),
+            ParallelCountMin(0.01, 0.01, np.random.default_rng(seed), conservative=True),
+        )
+
+    def test_never_undercounts(self):
+        _std, con = self._pair()
+        stream = zipf_stream(20_000, 2_000, 1.1, rng=1)
+        for chunk in minibatches(stream, 1_000):
+            con.ingest(chunk)
+        true = Counter(stream.tolist())
+        for item in range(300):
+            assert con.point_query(item) >= true.get(item, 0)
+
+    def test_strictly_reduces_overestimates(self):
+        std, con = self._pair()
+        stream = zipf_stream(20_000, 2_000, 1.1, rng=2)
+        for chunk in minibatches(stream, 1_000):
+            std.ingest(chunk)
+            con.ingest(chunk)
+        true = Counter(stream.tolist())
+        over_std = sum(std.point_query(e) - true.get(e, 0) for e in range(300))
+        over_con = sum(con.point_query(e) - true.get(e, 0) for e in range(300))
+        assert over_con <= over_std
+        assert over_con < over_std / 2  # substantially better on skew
+
+    def test_cells_dominated_by_standard(self):
+        """Every conservative cell <= the standard cell (same hashes)."""
+        std, con = self._pair(seed=11)
+        stream = zipf_stream(5_000, 200, 1.2, rng=3)
+        for chunk in minibatches(stream, 500):
+            std.ingest(chunk)
+            con.ingest(chunk)
+        assert (con.table <= std.table).all()
+
+    @given(st.lists(st.integers(0, 30), max_size=200), st.integers(0, 2**31 - 1))
+    @settings(max_examples=20)
+    def test_property_one_sided(self, items, seed):
+        con = ParallelCountMin(
+            0.05, 0.1, np.random.default_rng(seed), conservative=True
+        )
+        for start in range(0, len(items), 37):
+            con.ingest(np.array(items[start : start + 37], dtype=np.int64))
+        true = Counter(items)
+        for item in set(items):
+            assert con.point_query(item) >= true[item]
+
+    def test_single_update_path(self):
+        con = ParallelCountMin(0.1, 0.1, conservative=True)
+        for _ in range(5):
+            con.update("x")
+        assert con.point_query("x") >= 5
+
+
+class TestWindowedMean:
+    def test_empty_is_zero(self):
+        assert ParallelWindowedMean(10, 0.1, 100).query() == 0.0
+
+    def test_partial_window_uses_true_occupancy(self):
+        wm = ParallelWindowedMean(100, 0.1, 10)
+        wm.ingest(np.full(10, 10, dtype=np.int64))
+        # 10 items of value 10: mean 10 (not diluted by the empty slots)
+        assert 10.0 <= wm.query() <= 11.0
+
+    @given(
+        st.integers(20, 150),
+        st.sampled_from([0.3, 0.1]),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=20)
+    def test_relative_error(self, window, eps, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.integers(0, 256, size=2 * window)
+        wm = ParallelWindowedMean(window, eps, max_value=255)
+        oracle = ExactWindowSum(window)
+        for chunk in minibatches(values, 29):
+            wm.ingest(chunk)
+            oracle.extend(chunk)
+            occupancy = min(oracle.t, window)
+            true_mean = oracle.query() / occupancy
+            est = wm.query()
+            assert est >= true_mean - 1e-9
+            assert est <= true_mean + eps * max(true_mean, 1) + 1e-9
+
+    def test_properties_exposed(self):
+        wm = ParallelWindowedMean(64, 0.2, 7)
+        wm.ingest(np.arange(8, dtype=np.int64) % 8)
+        assert wm.window == 64
+        assert wm.eps == 0.2
+        assert wm.t == 8
+        assert wm.space > 0

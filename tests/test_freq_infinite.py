@@ -1,0 +1,118 @@
+"""Tests for parallel infinite-window frequency estimation (Thm 5.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.freq_infinite import ParallelFrequencyEstimator
+from repro.pram.cost import tracking
+from repro.stream.generators import minibatches, uniform_stream, zipf_stream
+from repro.stream.oracle import ExactInfiniteFrequencies
+
+
+class TestBasics:
+    def test_empty_batch_is_noop(self):
+        est = ParallelFrequencyEstimator(0.1)
+        est.ingest(np.array([], dtype=np.int64))
+        assert est.stream_length == 0
+
+    def test_unseen_item_estimates_zero(self):
+        est = ParallelFrequencyEstimator(0.1)
+        est.ingest(np.array([1, 2, 3]))
+        assert est.estimate(99) == 0
+
+    def test_single_hot_item(self):
+        est = ParallelFrequencyEstimator(0.1)
+        est.ingest(np.zeros(1000, dtype=np.int64))
+        assert est.estimate(0) == 1000
+
+
+class TestTheorem52Accuracy:
+    @given(
+        st.sampled_from([0.5, 0.1, 0.02]),
+        st.integers(50, 2000),
+        st.integers(1, 300),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=25)
+    def test_estimate_bracket(self, eps, length, batch, seed):
+        rng = np.random.default_rng(seed)
+        stream = zipf_stream(length, universe=100, alpha=1.2, rng=rng)
+        est = ParallelFrequencyEstimator(eps, rng)
+        oracle = ExactInfiniteFrequencies()
+        for chunk in minibatches(stream, batch):
+            est.ingest(chunk)
+            oracle.extend(chunk)
+            m = oracle.t
+            for item in list(oracle.counts())[:20]:
+                f = oracle.frequency(item)
+                fh = est.estimate(item)
+                assert fh <= f
+                assert fh >= f - eps * m
+
+    def test_uniform_worst_case(self):
+        eps = 0.05
+        rng = np.random.default_rng(1)
+        stream = uniform_stream(5000, universe=10_000, rng=rng)
+        est = ParallelFrequencyEstimator(eps, rng)
+        oracle = ExactInfiniteFrequencies()
+        for chunk in minibatches(stream, 500):
+            est.ingest(chunk)
+            oracle.extend(chunk)
+        for item in stream[:50]:
+            item = int(item)
+            assert oracle.frequency(item) - eps * 5000 <= est.estimate(item)
+            assert est.estimate(item) <= oracle.frequency(item)
+
+
+class TestSpace:
+    @pytest.mark.parametrize("eps", [0.5, 0.1, 0.01])
+    def test_space_bounded_by_capacity(self, eps):
+        est = ParallelFrequencyEstimator(eps)
+        for chunk in minibatches(zipf_stream(20_000, 5_000, 1.05, rng=2), 1_000):
+            est.ingest(chunk)
+            assert len(est.counters) <= est.capacity
+        assert est.space <= est.capacity + 2
+
+
+class TestTheorem52Work:
+    def test_per_item_work_constant_when_mu_large(self):
+        """O(ε⁻¹ + µ) work ⇒ O(1) amortized per item for µ = Ω(1/ε)."""
+        eps = 0.01
+        est = ParallelFrequencyEstimator(eps)
+        rng = np.random.default_rng(3)
+        per_item = []
+        for mu in (1 << 10, 1 << 12, 1 << 14):
+            batch = zipf_stream(mu, 10_000, 1.1, rng)
+            with tracking() as led:
+                est.ingest(batch)
+            per_item.append(led.work / mu)
+        assert per_item[-1] <= 2 * per_item[0] + 1
+
+    def test_depth_polylog(self):
+        eps = 0.01
+        est = ParallelFrequencyEstimator(eps)
+        batch = zipf_stream(1 << 14, 10_000, 1.1, rng=4)
+        with tracking() as led:
+            est.ingest(batch)
+        assert led.depth <= 6 * (np.log2(1 << 14) ** 2)
+
+
+class TestEquivalenceToSequentialGuarantee:
+    @given(st.lists(st.integers(0, 15), min_size=1, max_size=300), st.integers(1, 40))
+    @settings(max_examples=30)
+    def test_batched_equals_mg_error_class(self, items, batch):
+        """Batch-parallel estimates satisfy the same error class as
+        item-at-a-time MG (not necessarily identical values)."""
+        eps = 0.2
+        est = ParallelFrequencyEstimator(eps)
+        for start in range(0, len(items), batch):
+            est.ingest(np.array(items[start : start + batch]))
+        from collections import Counter
+
+        true = Counter(items)
+        for item in set(items):
+            assert true[item] - eps * len(items) <= est.estimate(item) <= true[item]

@@ -1,0 +1,151 @@
+"""Tests for the synthetic workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stream.generators import (
+    adversarial_hh_stream,
+    bit_stream,
+    bursty_bit_stream,
+    bursty_stream,
+    flash_crowd_stream,
+    minibatches,
+    packet_trace,
+    uniform_stream,
+    zipf_stream,
+    zipf_probabilities,
+)
+
+
+class TestZipf:
+    def test_shape_and_range(self):
+        s = zipf_stream(1_000, universe=50, rng=0)
+        assert s.shape == (1_000,)
+        assert s.min() >= 0 and s.max() < 50
+
+    def test_probabilities_normalized_and_decreasing(self):
+        p = zipf_probabilities(100, 1.2)
+        assert p.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(p) < 0)
+
+    def test_universe_validation(self):
+        with pytest.raises(ValueError):
+            zipf_probabilities(0, 1.0)
+
+    def test_skew_increases_with_alpha(self):
+        flat = zipf_stream(20_000, 100, 0.5, rng=1)
+        steep = zipf_stream(20_000, 100, 2.0, rng=1)
+        assert (steep == 0).mean() > (flat == 0).mean()
+
+    def test_deterministic_with_seed(self):
+        np.testing.assert_array_equal(
+            zipf_stream(100, 10, 1.1, rng=7), zipf_stream(100, 10, 1.1, rng=7)
+        )
+
+
+class TestUniform:
+    def test_roughly_flat(self):
+        s = uniform_stream(50_000, universe=10, rng=2)
+        counts = np.bincount(s, minlength=10)
+        assert counts.min() > 4_000
+        assert counts.max() < 6_000
+
+
+class TestBursty:
+    def test_burst_positions_are_hot_item(self):
+        s = bursty_stream(4_000, burst_item=99, burst_len=100, period=1_000, rng=3)
+        for start in (0, 1_000, 2_000, 3_000):
+            assert (s[start : start + 100] == 99).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bursty_stream(100, burst_len=0)
+        with pytest.raises(ValueError):
+            bursty_stream(100, burst_len=200, period=100)
+
+
+class TestFlashCrowd:
+    def test_crowd_item_cold_before_onset(self):
+        s = flash_crowd_stream(
+            10_000, universe=1_000, crowd_item=7, onset=0.5, crowd_share=0.5, rng=4
+        )
+        before = (s[:5_000] == 7).mean()
+        after = (s[5_000:] == 7).mean()
+        assert after > 0.3
+        assert before < 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            flash_crowd_stream(10, onset=2.0)
+        with pytest.raises(ValueError):
+            flash_crowd_stream(10, crowd_share=1.0)
+
+
+class TestAdversarial:
+    def test_hidden_item_frequency(self):
+        n, phi = 10_000, 0.05
+        s = adversarial_hh_stream(n, phi=phi, hidden_item=3, margin=1.2, rng=5)
+        count = int((s == 3).sum())
+        assert count >= phi * n
+        assert count <= 1.5 * phi * n
+
+    def test_hidden_item_spread_out(self):
+        s = adversarial_hh_stream(10_000, phi=0.05, hidden_item=3, rng=6)
+        positions = np.flatnonzero(s == 3)
+        gaps = np.diff(positions)
+        assert gaps.max() <= 2 * gaps.min() + 2
+
+    def test_filler_is_near_unique(self):
+        s = adversarial_hh_stream(5_000, phi=0.05, hidden_item=3, rng=7)
+        filler = s[s != 3]
+        _, counts = np.unique(filler, return_counts=True)
+        assert counts.max() <= 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            adversarial_hh_stream(10, phi=0.0)
+
+
+class TestBitStreams:
+    def test_density(self):
+        bits = bit_stream(100_000, density=0.3, rng=8)
+        assert 0.28 < bits.mean() < 0.32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bit_stream(10, density=1.5)
+
+    def test_bursty_bits_alternate_density(self):
+        bits = bursty_bit_stream(10_000, low=0.01, high=0.95, period=1_000, duty=0.2, rng=9)
+        in_burst = bits[:200]
+        out_burst = bits[300:1_000]
+        assert in_burst.mean() > 0.8
+        assert out_burst.mean() < 0.1
+
+
+class TestPacketTrace:
+    def test_shapes_and_ranges(self):
+        flows, sizes = packet_trace(5_000, flows=100, max_packet=1_500, rng=10)
+        assert flows.shape == sizes.shape == (5_000,)
+        assert flows.max() < 100
+        assert sizes.min() >= 40 and sizes.max() <= 1_500
+
+    def test_bimodal_sizes(self):
+        _, sizes = packet_trace(20_000, rng=11)
+        small = (sizes < 200).mean()
+        large = (sizes >= 1_000).mean()
+        assert small > 0.3 and large > 0.5
+
+
+class TestMinibatches:
+    def test_chunks_cover_stream(self):
+        s = np.arange(10)
+        chunks = list(minibatches(s, 3))
+        assert [len(c) for c in chunks] == [3, 3, 3, 1]
+        np.testing.assert_array_equal(np.concatenate(chunks), s)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(minibatches(np.arange(5), 0))

@@ -1,0 +1,92 @@
+"""Tests for the k-wise independent hash families."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pram.cost import tracking
+from repro.pram.hashing import MERSENNE_P, KWiseHash, pairwise_hashes
+
+
+class TestConstruction:
+    def test_invalid_k(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            KWiseHash(0, 10, rng)
+
+    def test_invalid_range(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            KWiseHash(2, 0, rng)
+        with pytest.raises(ValueError):
+            KWiseHash(2, MERSENNE_P + 1, rng)
+
+    def test_mersenne_prime_value(self):
+        assert MERSENNE_P == 2**31 - 1
+        # Miller-Rabin sanity via sympy-free trial: known Mersenne prime.
+        for p in (2, 3, 5, 7, 11, 13, 17, 19, 23):
+            assert MERSENNE_P % p != 0
+
+
+class TestEvaluation:
+    @given(st.integers(1, 8), st.integers(1, 10**6), st.integers(0, 2**40))
+    def test_range(self, k, range_size, key):
+        h = KWiseHash(k, range_size, np.random.default_rng(1))
+        assert 0 <= h(key) < range_size
+
+    def test_scalar_and_array_agree(self):
+        h = KWiseHash(3, 1000, np.random.default_rng(2))
+        keys = np.array([0, 5, 17, 123456], dtype=np.int64)
+        vec = h(keys)
+        for key, expected in zip(keys, vec):
+            assert h(int(key)) == expected
+
+    def test_deterministic_per_instance(self):
+        h = KWiseHash(4, 64, np.random.default_rng(3))
+        keys = np.arange(100)
+        np.testing.assert_array_equal(h(keys), h(keys))
+
+    def test_different_seeds_differ(self):
+        keys = np.arange(1000)
+        h1 = KWiseHash(2, 1 << 20, np.random.default_rng(4))
+        h2 = KWiseHash(2, 1 << 20, np.random.default_rng(5))
+        assert not np.array_equal(h1(keys), h2(keys))
+
+    def test_charges_unit_work_per_key(self):
+        # Paper's RAM-model accounting: O(1) work per key, O(log k) depth.
+        h = KWiseHash(5, 100, np.random.default_rng(6))
+        with tracking() as led:
+            h(np.arange(200))
+        assert led.work == 200
+        assert led.depth == 1 + 3  # 1 + ceil(log2(k-1..)) for k=5
+
+
+class TestDistribution:
+    def test_roughly_uniform_buckets(self):
+        # Chi-square-ish sanity: 100k keys into 100 buckets.
+        h = KWiseHash(2, 100, np.random.default_rng(7))
+        counts = np.bincount(h(np.arange(100_000)), minlength=100)
+        assert counts.min() > 500  # expected 1000 each
+        assert counts.max() < 2000
+
+    def test_pairwise_collision_rate(self):
+        # For a pairwise family, Pr[h(x) = h(y)] ~= 1/R.
+        R = 1 << 10
+        rng = np.random.default_rng(8)
+        collisions = 0
+        trials = 200
+        for _ in range(trials):
+            h = KWiseHash(2, R, rng)
+            if h(12345) == h(67890):
+                collisions += 1
+        assert collisions <= 6  # expected 200/1024 ~= 0.2
+
+    def test_pairwise_hashes_factory(self):
+        rows = pairwise_hashes(5, 64, np.random.default_rng(9))
+        assert len(rows) == 5
+        keys = np.arange(64)
+        outputs = {tuple(h(keys).tolist()) for h in rows}
+        assert len(outputs) == 5  # independent draws

@@ -1,0 +1,141 @@
+"""Tests for φ-heavy-hitter tracking over both window models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.heavy_hitters import InfiniteHeavyHitters, SlidingHeavyHitters
+from repro.stream.generators import (
+    adversarial_hh_stream,
+    flash_crowd_stream,
+    minibatches,
+    zipf_stream,
+)
+from repro.stream.oracle import ExactInfiniteFrequencies, ExactWindowFrequencies
+
+
+class TestValidation:
+    def test_phi_range(self):
+        with pytest.raises(ValueError):
+            InfiniteHeavyHitters(0.0)
+        with pytest.raises(ValueError):
+            InfiniteHeavyHitters(1.0)
+
+    def test_eps_must_be_below_phi(self):
+        with pytest.raises(ValueError):
+            InfiniteHeavyHitters(0.1, eps=0.1)
+        with pytest.raises(ValueError):
+            InfiniteHeavyHitters(0.1, eps=0.2)
+
+    def test_default_eps_is_half_phi(self):
+        assert InfiniteHeavyHitters(0.1).eps == pytest.approx(0.05)
+
+    def test_unknown_sliding_variant(self):
+        with pytest.raises(ValueError):
+            SlidingHeavyHitters(100, 0.1, variant="nope")
+
+
+class TestInfiniteWindow:
+    def test_no_false_negatives(self):
+        """Every item with f >= φN must be reported (§5 reduction)."""
+        phi, eps = 0.05, 0.02
+        tracker = InfiniteHeavyHitters(phi, eps)
+        oracle = ExactInfiniteFrequencies()
+        stream = zipf_stream(20_000, 2_000, 1.4, rng=1)
+        for chunk in minibatches(stream, 512):
+            tracker.ingest(chunk)
+            oracle.extend(chunk)
+            reported = tracker.query()
+            for item in oracle.heavy_hitters(phi):
+                assert item in reported
+
+    def test_no_false_positives_below_phi_minus_eps(self):
+        phi, eps = 0.05, 0.02
+        tracker = InfiniteHeavyHitters(phi, eps)
+        oracle = ExactInfiniteFrequencies()
+        stream = zipf_stream(20_000, 2_000, 1.2, rng=2)
+        for chunk in minibatches(stream, 512):
+            tracker.ingest(chunk)
+            oracle.extend(chunk)
+        for item in tracker.query():
+            assert oracle.frequency(item) > (phi - eps) * oracle.t - 1
+
+    def test_adversarial_spread_out_hitter_found(self):
+        """The Lemma 5.10 pattern: the only heavy hitter is evenly
+        spread; a correct algorithm must still flag it."""
+        phi = 0.05
+        stream = adversarial_hh_stream(10_000, phi=phi, hidden_item=7, rng=3)
+        tracker = InfiniteHeavyHitters(phi, 0.01)
+        for chunk in minibatches(stream, 250):
+            tracker.ingest(chunk)
+        assert 7 in tracker.query()
+
+    def test_empty_stream_reports_nothing(self):
+        assert InfiniteHeavyHitters(0.1).query() == {}
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=15)
+    def test_property_no_false_negatives(self, seed):
+        phi, eps = 0.1, 0.04
+        stream = zipf_stream(3_000, 100, 1.5, rng=seed)
+        tracker = InfiniteHeavyHitters(phi, eps)
+        oracle = ExactInfiniteFrequencies()
+        for chunk in minibatches(stream, 300):
+            tracker.ingest(chunk)
+            oracle.extend(chunk)
+        assert set(oracle.heavy_hitters(phi)) <= set(tracker.query())
+
+
+@pytest.mark.parametrize("variant", ["basic", "space_efficient", "work_efficient"])
+class TestSlidingWindow:
+    def test_no_false_negatives(self, variant):
+        window, phi, eps = 1_000, 0.08, 0.03
+        tracker = SlidingHeavyHitters(window, phi, eps, variant=variant)
+        oracle = ExactWindowFrequencies(window)
+        stream = zipf_stream(5_000, 300, 1.4, rng=4)
+        for chunk in minibatches(stream, 200):
+            tracker.ingest(chunk)
+            oracle.extend(chunk)
+            reported = tracker.query()
+            for item in oracle.heavy_hitters(phi):
+                assert item in reported, (variant, item)
+
+    def test_flash_crowd_detected_then_dropped(self, variant):
+        """A flash-crowd item becomes a window heavy hitter soon after
+        onset, and stops being one after the crowd passes."""
+        window, phi = 1_000, 0.2
+        tracker = SlidingHeavyHitters(window, phi, 0.05, variant=variant)
+        stream = flash_crowd_stream(
+            8_000, universe=500, crowd_item=42, onset=0.25, crowd_share=0.5, rng=5
+        )
+        seen_during = False
+        for i, chunk in enumerate(minibatches(stream, 250)):
+            tracker.ingest(chunk)
+            if 10 <= i < 30:
+                seen_during = seen_during or (42 in tracker.query())
+        assert seen_during
+        # Flush the window with cold items: 42 must drop out.
+        tracker.ingest(zipf_stream(1_200, 500, 1.0, rng=6) + 1_000)
+        assert 42 not in tracker.query()
+
+
+class TestCrossModelConsistency:
+    def test_infinite_vs_sliding_disagree_after_distribution_shift(self):
+        """The reason sliding windows exist: after a shift, the sliding
+        tracker reflects the new regime while infinite-window still
+        averages over history."""
+        window = 500
+        inf_tracker = InfiniteHeavyHitters(0.3, 0.1)
+        win_tracker = SlidingHeavyHitters(window, 0.3, 0.1)
+        old = np.zeros(5_000, dtype=np.int64)       # item 0 dominates
+        new = np.ones(600, dtype=np.int64)          # then item 1 does
+        for chunk in minibatches(np.concatenate([old, new]), 200):
+            inf_tracker.ingest(chunk)
+            win_tracker.ingest(chunk)
+        assert 0 in inf_tracker.query()
+        assert 1 not in inf_tracker.query()
+        assert 1 in win_tracker.query()
+        assert 0 not in win_tracker.query()

@@ -1,0 +1,124 @@
+"""Tests for buildHist (Theorem 2.3)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pram.cost import tracking
+from repro.pram.histogram import (
+    build_hist,
+    build_hist_collectbin,
+    build_hist_vectorized,
+    collect_bin,
+)
+
+
+class TestCollectBin:
+    def test_empty(self):
+        assert collect_bin(np.array([], dtype=np.int64)) == []
+
+    def test_counts_distinct(self):
+        pairs = collect_bin(np.array([3, 1, 3, 3, 1, 2]))
+        assert dict(pairs) == {3: 3, 1: 2, 2: 1}
+
+    @given(st.lists(st.integers(0, 5), max_size=60))
+    def test_matches_counter(self, items):
+        pairs = collect_bin(np.array(items, dtype=np.int64))
+        assert dict(pairs) == dict(Counter(items))
+
+
+class TestBuildHist:
+    def test_empty(self):
+        assert build_hist(np.array([], dtype=np.int64)) == {}
+
+    @given(st.lists(st.integers(0, 10**9), max_size=300))
+    def test_matches_counter_ints(self, items):
+        got = build_hist(np.array(items, dtype=np.int64))
+        assert dict(got) == dict(Counter(items))
+
+    @given(st.lists(st.sampled_from(["a", "bb", "ccc", "dd", "e"]), max_size=120))
+    def test_matches_counter_strings(self, items):
+        got = build_hist(items)
+        assert dict(got) == dict(Counter(items))
+
+    def test_total_mass_preserved(self, rng):
+        items = rng.integers(0, 50, size=5000)
+        got = build_hist(items)
+        assert sum(got.values()) == 5000
+
+    def test_deterministic_given_rng(self):
+        items = np.arange(100) % 7
+        a = build_hist(items, np.random.default_rng(11))
+        b = build_hist(items, np.random.default_rng(11))
+        assert dict(a) == dict(b)
+
+    def test_expected_linear_work(self, rng):
+        # Work/µ must stay bounded as µ grows (Theorem 2.3).
+        ratios = []
+        for mu in (1 << 10, 1 << 12, 1 << 14):
+            items = rng.integers(0, mu, size=mu)
+            with tracking() as led:
+                build_hist(items, rng)
+            ratios.append(led.work / mu)
+        assert max(ratios) < 40
+        assert ratios[-1] < ratios[0] * 2  # not super-linear
+
+    def test_heavy_skew_single_item(self):
+        items = np.zeros(10_000, dtype=np.int64)
+        got = build_hist(items)
+        assert dict(got) == {0: 10_000}
+
+    def test_all_distinct(self):
+        items = np.arange(2_000)
+        got = build_hist(items)
+        assert len(got) == 2_000
+        assert set(got.values()) == {1}
+
+
+class TestBuildHistVectorized:
+    @given(st.lists(st.integers(-50, 50), max_size=200))
+    def test_matches_counter(self, items):
+        got = build_hist_vectorized(np.array(items, dtype=np.int64))
+        assert dict(got) == dict(Counter(items))
+
+    def test_agrees_with_buildhist(self, rng):
+        items = rng.integers(0, 100, size=3000)
+        assert dict(build_hist(items, rng)) == dict(build_hist_vectorized(items))
+
+    def test_hashable_items(self):
+        items = [("tuple", 1), ("tuple", 1), "str"]
+        got = build_hist_vectorized(items)
+        assert got[("tuple", 1)] == 2
+        assert got["str"] == 1
+
+
+class TestCollectbinEquivalence:
+    """The vectorized build_hist and the literal proof-text collectBin
+    version must produce identical histograms on identical inputs."""
+
+    @given(st.lists(st.integers(0, 10**6), max_size=250), st.integers(0, 2**31 - 1))
+    def test_identical_output(self, items, seed):
+        arr = np.array(items, dtype=np.int64)
+        fast = build_hist(arr, np.random.default_rng(seed))
+        literal = build_hist_collectbin(arr, np.random.default_rng(seed))
+        assert dict(fast) == dict(literal)
+
+    def test_identical_on_strings(self):
+        items = ["a", "b", "a", "c", "a", "b"]
+        fast = build_hist(items, np.random.default_rng(3))
+        literal = build_hist_collectbin(items, np.random.default_rng(3))
+        assert dict(fast) == dict(literal)
+
+    def test_charges_same_asymptotics(self, rng):
+        items = rng.integers(0, 1 << 12, size=1 << 14)
+        with tracking() as fast_led:
+            build_hist(items, np.random.default_rng(4))
+        with tracking() as lit_led:
+            build_hist_collectbin(items, np.random.default_rng(4))
+        assert 0.3 <= fast_led.work / lit_led.work <= 3.0
+        assert 0.2 <= fast_led.depth / lit_led.depth <= 5.0

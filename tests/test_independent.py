@@ -1,0 +1,119 @@
+"""Tests for the independent-data-structure approach (§5.4, Fig. 1)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.baselines.independent import IndependentMGEnsemble, mg_merge
+from repro.core.freq_infinite import ParallelFrequencyEstimator
+from repro.pram.cost import tracking
+from repro.stream.generators import minibatches, zipf_stream
+
+
+class TestMGMerge:
+    def test_adds_and_prunes(self):
+        a = {1: 10, 2: 5}
+        b = {1: 3, 3: 4}
+        out = mg_merge(a, b, capacity=2)
+        assert len(out) <= 2
+        assert out[1] <= 13
+
+    def test_no_prune_when_fits(self):
+        assert mg_merge({1: 2}, {2: 3}, capacity=5) == {1: 2, 2: 3}
+
+    def test_merge_error_bounded(self):
+        """[ACH+13]: merging preserves the MG error class."""
+        rng = np.random.default_rng(0)
+        s1 = zipf_stream(2_000, 50, 1.3, rng=rng)
+        s2 = zipf_stream(2_000, 50, 1.3, rng=rng)
+        capacity = 20
+        from repro.core.misra_gries import MisraGriesSummary
+
+        mg1, mg2 = MisraGriesSummary(capacity=capacity), MisraGriesSummary(capacity=capacity)
+        mg1.extend(s1)
+        mg2.extend(s2)
+        merged = mg_merge(dict(mg1.counters), dict(mg2.counters), capacity)
+        true = Counter(np.concatenate([s1, s2]).tolist())
+        m = 4_000
+        for item in true:
+            got = merged.get(item, 0)
+            assert got <= true[item]
+            assert got >= true[item] - m / capacity
+
+
+class TestEnsemble:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IndependentMGEnsemble(0, 0.1)
+        with pytest.raises(ValueError):
+            IndependentMGEnsemble(4, 0.0)
+
+    def test_memory_scales_with_p(self):
+        """§5.4's headline criticism: memory is Θ(p/ε)."""
+        stream = zipf_stream(20_000, 2_000, 1.05, rng=1)
+        spaces = {}
+        for p in (1, 4, 16):
+            ens = IndependentMGEnsemble(p, 0.02)
+            ens.ingest(stream)
+            spaces[p] = ens.space
+        assert spaces[4] > 2.5 * spaces[1]
+        assert spaces[16] > 2.5 * spaces[4]
+
+    def test_estimate_error_class(self):
+        eps, p = 0.02, 8
+        stream = zipf_stream(10_000, 500, 1.3, rng=2)
+        ens = IndependentMGEnsemble(p, eps)
+        for chunk in minibatches(stream, 1_000):
+            ens.ingest(chunk)
+        true = Counter(stream.tolist())
+        for item in range(20):
+            got = ens.estimate(item)
+            assert got <= true[item]
+            # merged p summaries lose at most m/S overall (ACH+13)
+            assert got >= true[item] - 2 * eps * len(stream)
+
+    def test_chain_and_tree_merge_agree_on_error_class(self):
+        stream = zipf_stream(5_000, 200, 1.4, rng=3)
+        ens = IndependentMGEnsemble(8, 0.05)
+        ens.ingest(stream)
+        chain = ens.merged(tree=False)
+        tree = ens.merged(tree=True)
+        true = Counter(stream.tolist())
+        for merged in (chain, tree):
+            for item, count in merged.items():
+                assert count <= true[item]
+
+    def test_merge_depth_dominates_shared_structure(self):
+        """The Ω(ε⁻¹ log p) merge bottleneck vs polylog for the shared
+        structure (the crux of Figure 1 / §5.4)."""
+        eps, p = 0.01, 16
+        stream = zipf_stream(20_000, 5_000, 1.05, rng=4)
+
+        ens = IndependentMGEnsemble(p, eps)
+        ens.ingest(stream)
+        with tracking() as led_ens:
+            ens.merged(tree=True)
+
+        shared = ParallelFrequencyEstimator(eps)
+        per_batch_depths = []
+        for chunk in minibatches(stream, 2_000):
+            with tracking() as led_shared:
+                shared.ingest(chunk)
+            per_batch_depths.append(led_shared.depth)
+
+        # Query-time merge depth of the ensemble exceeds the shared
+        # structure's depth for processing an entire minibatch.
+        assert led_ens.depth > max(per_batch_depths)
+
+    def test_ingest_depth_is_stripe_length(self):
+        p = 4
+        ens = IndependentMGEnsemble(p, 0.1)
+        batch = zipf_stream(1_000, 100, 1.2, rng=5)
+        with tracking() as led:
+            ens.ingest(batch)
+        # Fork-join over p strands, each sequential over µ/p items.
+        assert led.depth >= 1_000 // p
+        assert led.depth < led.work

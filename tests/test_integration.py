@@ -1,0 +1,177 @@
+"""Cross-module integration tests: whole pipelines, interleaved queries,
+agreement between independent implementations of the same aggregate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DGIMCounter,
+    LossyCounting,
+    SequentialCountMin,
+    SequentialMisraGries,
+    SpaceSaving,
+)
+from repro.core import (
+    InfiniteHeavyHitters,
+    ParallelBasicCounter,
+    ParallelCountMin,
+    ParallelFrequencyEstimator,
+    ParallelWindowedSum,
+    SlidingHeavyHitters,
+    WorkEfficientSlidingFrequency,
+)
+from repro.stream.generators import (
+    bit_stream,
+    flash_crowd_stream,
+    minibatches,
+    packet_trace,
+    zipf_stream,
+)
+from repro.stream.minibatch import MinibatchDriver
+from repro.stream.oracle import (
+    ExactInfiniteFrequencies,
+    ExactWindowCounter,
+    ExactWindowFrequencies,
+    ExactWindowSum,
+)
+
+
+class TestNetworkMonitoringPipeline:
+    """The intro's motivating scenario: heavy flows + bytes-per-window
+    on a packet stream, all from one pass."""
+
+    def test_flows_and_bytes(self):
+        window, eps = 2_000, 0.05
+        flows, sizes = packet_trace(10_000, flows=500, rng=1)
+
+        hh = SlidingHeavyHitters(window, phi=0.05, eps=0.02)
+        byte_sum = ParallelWindowedSum(window, eps, max_value=1_500)
+        flow_oracle = ExactWindowFrequencies(window)
+        byte_oracle = ExactWindowSum(window)
+
+        for flow_chunk, size_chunk in zip(
+            minibatches(flows, 500), minibatches(sizes, 500)
+        ):
+            hh.ingest(flow_chunk)
+            byte_sum.ingest(size_chunk)
+            flow_oracle.extend(flow_chunk)
+            byte_oracle.extend(size_chunk)
+
+        # Heavy flows found.
+        for flow in flow_oracle.heavy_hitters(0.05):
+            assert flow in hh.query()
+        # Window byte count within ε.
+        true_bytes = byte_oracle.query()
+        assert true_bytes <= byte_sum.query() <= (1 + eps) * true_bytes
+
+
+class TestAllEstimatorsAgreeOnGroundTruth:
+    """Five frequency trackers, one stream: every estimate must bracket
+    the exact count per its own guarantee."""
+
+    def test_cross_algorithm_brackets(self):
+        eps = 0.02
+        stream = zipf_stream(15_000, 1_000, 1.3, rng=2)
+        exact = ExactInfiniteFrequencies()
+
+        par_mg = ParallelFrequencyEstimator(eps)
+        seq_mg = SequentialMisraGries(eps=eps)
+        ss = SpaceSaving(eps=eps)
+        lc = LossyCounting(eps)
+        cms = ParallelCountMin(eps, 0.01)
+
+        for chunk in minibatches(stream, 1_000):
+            for sink in (par_mg, seq_mg, ss, lc, cms):
+                sink.ingest(chunk)
+            exact.extend(chunk)
+
+        m = exact.t
+        for item in range(30):
+            f = exact.frequency(item)
+            assert f - eps * m <= par_mg.estimate(item) <= f
+            assert f - eps * m <= seq_mg.estimate(item) <= f
+            assert f - eps * m - 1 <= lc.estimate(item) <= f
+            if item in ss.counters:
+                assert f <= ss.estimate(item) <= f + eps * m
+            assert f <= cms.point_query(item) <= f + eps * m + 1
+
+
+class TestInterleavedUpdatesAndQueries:
+    def test_queries_between_every_batch(self):
+        """The paper's no-locking interleaving: query after every batch
+        without perturbing subsequent accuracy."""
+        window, eps = 500, 0.1
+        counter = ParallelBasicCounter(window, eps)
+        oracle = ExactWindowCounter(window)
+        for chunk in minibatches(bit_stream(4_000, 0.4, rng=3), 137):
+            counter.ingest(chunk)
+            oracle.extend(chunk)
+            for _ in range(3):  # repeated queries are harmless
+                est = counter.query()
+            m = oracle.query()
+            assert m <= est <= m + eps * max(m, 1)
+
+
+class TestDriverEndToEnd:
+    def test_full_pipeline_via_driver(self):
+        window = 1_000
+        freq = WorkEfficientSlidingFrequency(window, 0.05)
+        hh = InfiniteHeavyHitters(0.1, 0.04)
+        driver = MinibatchDriver(
+            {"sliding": freq, "infinite": hh},
+            query_every=4,
+            queries={"hh": lambda: sorted(hh.query())},
+        )
+        stream = flash_crowd_stream(8_000, crowd_item=5, crowd_share=0.5, rng=4)
+        reports = driver.run(stream, 400)
+        assert driver.total_items() == 8_000
+        answered = [r for r in reports if r.query_results]
+        assert answered, "queries must have fired"
+        assert 5 in answered[-1].query_results["hh"]
+        # Work-efficiency end to end: bounded per-item work.
+        assert driver.mean_work_per_item() < 200
+
+
+class TestBatchSizeInvariance:
+    """Estimates must satisfy guarantees for any batching of the same
+    stream — minibatching is an execution detail, not a semantics."""
+
+    @pytest.mark.parametrize("batch", [50, 333, 1_000])
+    def test_infinite_freq(self, batch):
+        eps = 0.05
+        stream = zipf_stream(5_000, 200, 1.4, rng=5)
+        exact = ExactInfiniteFrequencies()
+        exact.extend(stream)
+        est = ParallelFrequencyEstimator(eps)
+        for chunk in minibatches(stream, batch):
+            est.ingest(chunk)
+        for item in range(10):
+            f = exact.frequency(item)
+            assert f - eps * 5_000 <= est.estimate(item) <= f
+
+    @pytest.mark.parametrize("batch", [64, 512])
+    def test_basic_counting(self, batch):
+        window, eps = 700, 0.1
+        bits = bit_stream(3_000, 0.5, rng=6)
+        oracle = ExactWindowCounter(window)
+        oracle.extend(bits)
+        counter = ParallelBasicCounter(window, eps)
+        for chunk in minibatches(bits, batch):
+            counter.ingest(chunk)
+        m = oracle.query()
+        assert m <= counter.query() <= m + eps * m
+
+
+class TestSequentialVsParallelCms:
+    def test_tables_identical_under_any_batching(self):
+        rng_seed = 7
+        stream = zipf_stream(3_000, 300, 1.2, rng=8)
+        seq = SequentialCountMin(0.05, 0.05, np.random.default_rng(rng_seed))
+        seq.extend(stream)
+        for batch in (100, 1_000, 3_000):
+            par = ParallelCountMin(0.05, 0.05, np.random.default_rng(rng_seed))
+            for chunk in minibatches(stream, batch):
+                par.ingest(chunk)
+            np.testing.assert_array_equal(par.table, seq.table)

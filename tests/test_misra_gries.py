@@ -1,0 +1,139 @@
+"""Tests for the MG summary (Lemma 5.1) and MGaugment (Lemma 5.3)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.misra_gries import (
+    MisraGriesSummary,
+    capacity_for_eps,
+    mg_augment,
+)
+from repro.pram.cost import tracking
+
+items_strategy = st.lists(st.integers(0, 20), max_size=400)
+
+
+class TestCapacity:
+    def test_values(self):
+        assert capacity_for_eps(0.5) == 2
+        assert capacity_for_eps(0.1) == 10
+        assert capacity_for_eps(1.0) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            capacity_for_eps(0.0)
+        with pytest.raises(ValueError):
+            capacity_for_eps(1.5)
+
+
+class TestSequentialMG:
+    def test_exclusive_constructor_args(self):
+        with pytest.raises(ValueError):
+            MisraGriesSummary()
+        with pytest.raises(ValueError):
+            MisraGriesSummary(eps=0.1, capacity=5)
+
+    def test_never_exceeds_capacity(self):
+        mg = MisraGriesSummary(capacity=3)
+        for item in range(100):
+            mg.update(item)
+            assert len(mg.counters) <= 3
+
+    @given(items_strategy, st.integers(1, 15))
+    def test_lemma_5_1(self, items, capacity):
+        """f_e − m/S <= C_e <= f_e for every item."""
+        mg = MisraGriesSummary(capacity=capacity)
+        mg.extend(items)
+        true = Counter(items)
+        m = len(items)
+        for item in set(items) | set(mg.counters):
+            estimate = mg.estimate(item)
+            assert estimate <= true[item]
+            assert estimate >= true[item] - m / capacity
+
+    def test_majority_special_case(self):
+        """capacity=1 is the Boyer-Moore majority algorithm."""
+        mg = MisraGriesSummary(capacity=1)
+        mg.extend([1, 2, 1, 3, 1, 1, 2, 1])  # 1 occurs 5/8 > 1/2
+        assert list(mg.counters) == [1]
+
+    def test_stream_length_tracked(self):
+        mg = MisraGriesSummary(capacity=4)
+        mg.extend(range(17))
+        assert mg.stream_length == 17
+
+
+class TestMGAugment:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mg_augment({}, {}, capacity=0)
+        with pytest.raises(ValueError):
+            mg_augment({1: 1, 2: 1, 3: 1}, {}, capacity=2)
+        with pytest.raises(ValueError):
+            mg_augment({}, {1: -1}, capacity=2)
+
+    def test_fits_without_pruning(self):
+        out = mg_augment({1: 5}, {2: 3}, capacity=4)
+        assert out == {1: 5, 2: 3}
+
+    def test_adds_matching_counters(self):
+        out = mg_augment({1: 5}, {1: 3}, capacity=4)
+        assert out == {1: 8}
+
+    def test_result_size_bounded(self):
+        summary = {i: 10 for i in range(5)}
+        hist = {i + 100: 7 for i in range(50)}
+        out = mg_augment(summary, hist, capacity=5)
+        assert len(out) <= 5
+
+    @given(
+        st.dictionaries(st.integers(0, 30), st.integers(1, 100), max_size=8),
+        st.dictionaries(st.integers(0, 30), st.integers(1, 100), max_size=30),
+        st.integers(8, 20),
+    )
+    def test_augment_error_at_most_total_over_s(self, summary, hist, capacity):
+        """One augment loses at most (total mass)/S per item — the batch
+        analogue of Lemma 5.1's per-decrement accounting."""
+        if len(summary) > capacity:
+            summary = dict(list(summary.items())[:capacity])
+        out = mg_augment(summary, hist, capacity)
+        combined = Counter(summary)
+        combined.update(hist)
+        total = sum(combined.values())
+        for item, exact in combined.items():
+            got = out.get(item, 0)
+            assert got <= exact
+            assert got >= exact - total / capacity - 1
+
+    @given(items_strategy, st.integers(1, 12), st.integers(1, 50))
+    @settings(max_examples=40)
+    def test_minibatched_mg_satisfies_lemma_5_1(self, items, capacity, batch):
+        """Feeding batches through mg_augment keeps the MG guarantee for
+        the whole stream — the core of Theorem 5.2's accuracy claim."""
+        summary: dict = {}
+        for start in range(0, len(items), batch):
+            chunk = items[start : start + batch]
+            summary = mg_augment(summary, Counter(chunk), capacity)
+        true = Counter(items)
+        m = len(items)
+        for item in set(items) | set(summary):
+            got = summary.get(item, 0)
+            assert got <= true[item]
+            assert got >= true[item] - m / capacity
+
+    def test_cost_linear_in_s_plus_p(self):
+        summary = {i: 5 for i in range(100)}
+        hist = {i: 3 for i in range(50, 1050)}
+        with tracking() as led:
+            mg_augment(summary, hist, capacity=100)
+        assert led.work <= 10 * (100 + 1000)
+
+    def test_idempotent_on_empty_histogram(self):
+        summary = {1: 4, 2: 2}
+        assert mg_augment(summary, {}, capacity=3) == summary

@@ -1,0 +1,105 @@
+"""Tests for the exact reference oracles themselves (trust but verify)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stream.oracle import (
+    ExactInfiniteFrequencies,
+    ExactWindowCounter,
+    ExactWindowFrequencies,
+    ExactWindowSum,
+)
+from repro.stream.windows import block_of, block_range, in_window, window_bounds
+
+
+class TestWindowCounter:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExactWindowCounter(0)
+        with pytest.raises(ValueError):
+            ExactWindowCounter(5).extend([2])
+
+    @given(st.lists(st.integers(0, 1), max_size=200), st.integers(1, 50))
+    def test_matches_slice_sum(self, bits, window):
+        oracle = ExactWindowCounter(window)
+        oracle.extend(bits)
+        assert oracle.query() == sum(bits[-window:])
+
+
+class TestWindowSum:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ExactWindowSum(5).extend([-1])
+
+    @given(st.lists(st.integers(0, 100), max_size=200), st.integers(1, 50))
+    def test_matches_slice_sum(self, values, window):
+        oracle = ExactWindowSum(window)
+        oracle.extend(values)
+        assert oracle.query() == sum(values[-window:])
+
+
+class TestWindowFrequencies:
+    @given(st.lists(st.integers(0, 10), max_size=150), st.integers(1, 40))
+    def test_matches_counter_of_slice(self, items, window):
+        oracle = ExactWindowFrequencies(window)
+        oracle.extend(items)
+        expected = Counter(items[-window:])
+        assert oracle.counts() == expected
+        for item in range(11):
+            assert oracle.frequency(item) == expected.get(item, 0)
+
+    def test_heavy_hitters_threshold(self):
+        oracle = ExactWindowFrequencies(10)
+        oracle.extend([1] * 6 + [2] * 4)
+        assert oracle.heavy_hitters(0.5) == {1: 6}
+
+    def test_numpy_scalars_normalized(self):
+        oracle = ExactWindowFrequencies(10)
+        oracle.extend(np.array([3, 3]))
+        assert oracle.frequency(3) == 2  # python-int key
+
+
+class TestInfiniteFrequencies:
+    @given(st.lists(st.integers(0, 10), max_size=150))
+    def test_matches_counter(self, items):
+        oracle = ExactInfiniteFrequencies()
+        oracle.extend(items)
+        assert oracle.counts() == Counter(items)
+        assert oracle.t == len(items)
+
+
+class TestWindowHelpers:
+    def test_window_bounds(self):
+        assert window_bounds(100, 10) == (91, 100)
+        assert window_bounds(5, 10) == (1, 5)
+        assert window_bounds(0, 3) == (1, 0)
+
+    def test_window_bounds_validation(self):
+        with pytest.raises(ValueError):
+            window_bounds(-1, 5)
+        with pytest.raises(ValueError):
+            window_bounds(5, 0)
+
+    def test_in_window(self):
+        assert in_window(95, t=100, n=10)
+        assert not in_window(90, t=100, n=10)
+        assert in_window(100, t=100, n=10)
+
+    @given(st.integers(1, 10**6), st.integers(1, 1000))
+    def test_block_of_inverts_block_range(self, pos, gamma):
+        b = block_of(pos, gamma)
+        lo, hi = block_range(b, gamma)
+        assert lo <= pos <= hi
+        assert hi - lo + 1 == gamma
+
+    def test_block_helpers_validation(self):
+        with pytest.raises(ValueError):
+            block_of(0, 3)
+        with pytest.raises(ValueError):
+            block_range(0, 3)

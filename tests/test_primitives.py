@@ -1,0 +1,141 @@
+"""Unit + property tests for the data-parallel primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.pram.cost import measured, tracking
+from repro.pram.primitives import (
+    log2ceil,
+    pack,
+    par_concat,
+    par_filter,
+    par_map,
+    prefix_sum,
+    reduce_add,
+    reduce_max,
+    reduce_min,
+)
+
+int_arrays = hnp.arrays(
+    dtype=np.int64,
+    shape=st.integers(0, 200),
+    elements=st.integers(-(10**6), 10**6),
+)
+
+
+class TestLog2Ceil:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(0, 0), (1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4), (1024, 10)],
+    )
+    def test_values(self, n, expected):
+        assert log2ceil(n) == expected
+
+    @given(st.integers(1, 10**9))
+    def test_bracketing(self, n):
+        k = log2ceil(n)
+        assert 2**k >= n
+        assert k == 0 or 2 ** (k - 1) < n
+
+
+class TestParMap:
+    def test_applies_vectorized_fn(self):
+        out = par_map(lambda x: x * 2, np.array([1, 2, 3]))
+        np.testing.assert_array_equal(out, [2, 4, 6])
+
+    def test_charges_linear_work_unit_depth(self):
+        with tracking() as led:
+            par_map(lambda x: x + 1, np.arange(100))
+        assert led.work == 100
+        assert led.depth == 1
+
+
+class TestReduce:
+    @given(int_arrays)
+    def test_reduce_add_matches_sum(self, xs):
+        assert reduce_add(xs) == xs.sum() if xs.size else reduce_add(xs) == 0
+
+    def test_reduce_add_empty_is_zero(self):
+        assert reduce_add(np.array([])) == 0
+
+    @given(int_arrays.filter(lambda a: a.size > 0))
+    def test_reduce_max_min(self, xs):
+        assert reduce_max(xs) == xs.max()
+        assert reduce_min(xs) == xs.min()
+
+    def test_reduce_empty_raises(self):
+        with pytest.raises(ValueError):
+            reduce_max(np.array([]))
+        with pytest.raises(ValueError):
+            reduce_min(np.array([]))
+
+    def test_depth_is_logarithmic(self):
+        with tracking() as led:
+            reduce_add(np.arange(1024))
+        assert led.work == 1024
+        assert led.depth == 1 + 10
+
+
+class TestPrefixSum:
+    @given(int_arrays)
+    def test_exclusive_scan(self, xs):
+        out = prefix_sum(xs)
+        expected = np.concatenate([[0], np.cumsum(xs)[:-1]]) if xs.size else xs
+        np.testing.assert_array_equal(out, expected)
+
+    @given(int_arrays)
+    def test_inclusive_scan(self, xs):
+        out = prefix_sum(xs, exclusive=False)
+        np.testing.assert_array_equal(out, np.cumsum(xs))
+
+    def test_cost_linear_work_log_depth(self):
+        with tracking() as led:
+            prefix_sum(np.arange(256))
+        assert led.work == 512  # 2n for up/down sweep
+        assert led.depth == 1 + 2 * 8
+
+
+class TestPack:
+    @given(int_arrays)
+    def test_pack_matches_boolean_indexing(self, xs):
+        flags = xs % 2 == 0
+        np.testing.assert_array_equal(pack(xs, flags), xs[flags])
+
+    def test_pack_preserves_order(self):
+        xs = np.array([5, 3, 8, 1, 9])
+        flags = np.array([1, 0, 1, 0, 1], dtype=bool)
+        np.testing.assert_array_equal(pack(xs, flags), [5, 8, 9])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pack(np.arange(3), np.array([True, False]))
+
+    def test_par_filter(self):
+        out = par_filter(lambda x: x > 2, np.array([1, 4, 2, 5]))
+        np.testing.assert_array_equal(out, [4, 5])
+
+
+class TestParConcat:
+    def test_empty_list(self):
+        assert par_concat([]).size == 0
+
+    @given(st.lists(int_arrays, min_size=1, max_size=8))
+    def test_matches_concatenate(self, parts):
+        out = par_concat(parts)
+        np.testing.assert_array_equal(out, np.concatenate(parts))
+
+    def test_depth_log_in_parts(self):
+        parts = [np.arange(4) for _ in range(16)]
+        with tracking() as led:
+            par_concat(parts)
+        assert led.depth == 1 + 4  # log2(16)
+        assert led.work == 16 * 4 + 16
+
+    def test_all_empty_parts(self):
+        out = par_concat([np.array([], dtype=np.int64)] * 3)
+        assert out.size == 0

@@ -1,0 +1,207 @@
+"""Tests for trace recording and the multicore schedule simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pram.cost import CostLedger, charge, parallel, tracking
+from repro.pram.schedule import simulate, speedup_curve, trace_summary
+
+
+class TestRecording:
+    def test_off_by_default(self):
+        with tracking() as led:
+            charge(5, 1)
+        assert led.trace is None
+        with pytest.raises(ValueError):
+            simulate(led, 2)
+
+    def test_charges_recorded_in_order(self):
+        with tracking(record=True) as led:
+            charge(5, 1)
+            charge(7, 2)
+        assert led.trace == [("c", 5, 1), ("c", 7, 2)]
+
+    def test_parallel_blocks_record_strands(self):
+        with tracking(record=True) as led:
+            with parallel() as par:
+                par.run(charge, 10, 1)
+                par.run(charge, 20, 2)
+        kind, strands = led.trace[0]
+        assert kind == "p"
+        assert strands == [[("c", 10, 1)], [("c", 20, 2)]]
+
+    def test_nested_recording(self):
+        def inner():
+            with parallel() as par:
+                par.run(charge, 1, 1)
+                par.run(charge, 2, 1)
+
+        with tracking(record=True) as led:
+            with parallel() as par:
+                par.run(inner)
+        summary = trace_summary(led)
+        assert summary == {"charges": 2, "parallel_blocks": 2, "strands": 3}
+
+    def test_charge_strand_recorded(self):
+        with tracking(record=True) as led:
+            with parallel() as par:
+                par.charge_strand(9, 3)
+        assert led.trace == [("p", [[("c", 9, 3)]])]
+
+    def test_costs_unchanged_by_recording(self):
+        def workload():
+            charge(3, 1)
+            with parallel() as par:
+                par.run(charge, 10, 4)
+                par.run(charge, 20, 2)
+
+        with tracking() as plain:
+            workload()
+        with tracking(record=True) as recorded:
+            workload()
+        assert (plain.work, plain.depth) == (recorded.work, recorded.depth)
+
+
+class TestSimulate:
+    def test_single_charge(self):
+        led = CostLedger(record=True)
+        led.charge(100, 4)
+        assert simulate(led, 1) == 100
+        assert simulate(led, 10) == 10
+        assert simulate(led, 100) == 4  # span floor
+
+    def test_sequence_adds(self):
+        led = CostLedger(record=True)
+        led.charge(60, 1)
+        led.charge(40, 1)
+        assert simulate(led, 2) == 30 + 20
+
+    def test_invalid_procs(self):
+        led = CostLedger(record=True)
+        with pytest.raises(ValueError):
+            simulate(led, 0)
+
+    def test_parallel_block_splits_processors(self):
+        with tracking(record=True) as led:
+            with parallel() as par:
+                par.run(charge, 100, 1)
+                par.run(charge, 100, 1)
+        # 2 strands, 2 procs: each runs alone -> 100.
+        assert simulate(led, 2) == 100
+        # 4 procs: each strand gets 2 -> 50.
+        assert simulate(led, 4) == 50
+
+    def test_more_strands_than_procs_list_schedules(self):
+        with tracking(record=True) as led:
+            with parallel() as par:
+                for _ in range(8):
+                    par.run(charge, 10, 1)
+        # 8 strands of 10 on 2 procs: LPT -> 40 each.
+        assert simulate(led, 2) == 40
+
+    def test_lower_bounds_hold(self):
+        with tracking(record=True) as led:
+            charge(50, 2)
+            with parallel() as par:
+                par.run(charge, 1_000, 5)
+                par.run(charge, 10, 1)
+            charge(30, 1)
+        for p in (1, 2, 4, 16, 256):
+            tp = simulate(led, p)
+            assert tp >= led.work / p - 1e-9
+            assert tp >= led.depth - 1e-9  # span floor (malleable charges)
+
+    @given(st.integers(1, 64), st.integers(0, 2**31 - 1))
+    @settings(max_examples=25)
+    def test_random_traces_bracketed(self, procs, seed):
+        rng = np.random.default_rng(seed)
+        with tracking(record=True) as led:
+            for _ in range(int(rng.integers(1, 5))):
+                if rng.random() < 0.5:
+                    charge(int(rng.integers(1, 100)), int(rng.integers(1, 5)))
+                else:
+                    with parallel() as par:
+                        for _ in range(int(rng.integers(1, 6))):
+                            par.run(
+                                charge,
+                                int(rng.integers(1, 100)),
+                                int(rng.integers(1, 5)),
+                            )
+        tp = simulate(led, procs)
+        t1 = simulate(led, 1)
+        assert tp >= led.work / procs - 1e-9
+        assert tp <= t1 + 1e-9
+
+    def test_monotone_in_processors(self):
+        with tracking(record=True) as led:
+            for _ in range(3):
+                with parallel() as par:
+                    for w in (100, 50, 25, 10, 5):
+                        par.run(charge, w, 2)
+        times = [simulate(led, p) for p in (1, 2, 3, 4, 8, 16, 64)]
+        for a, b in zip(times, times[1:]):
+            assert b <= a * 1.05  # allow tiny scheduling anomalies
+
+
+class TestSpeedupCurve:
+    def test_curve_shape(self):
+        with tracking(record=True) as led:
+            with parallel() as par:
+                for _ in range(64):
+                    par.run(charge, 1_000, 10)
+        points = speedup_curve(led, [1, 2, 4, 64])
+        assert points[0].speedup == pytest.approx(1.0)
+        assert points[-1].speedup > 30  # embarrassingly parallel block
+        for pt in points:
+            assert 0 < pt.efficiency <= 1.0 + 1e-9
+
+    def test_sequential_trace_never_speeds_up_past_depth(self):
+        led = CostLedger(record=True)
+        for _ in range(100):
+            led.charge(1, 1)  # inherently sequential: w == d per step
+        points = speedup_curve(led, [1, 16])
+        assert points[-1].speedup == pytest.approx(1.0)
+
+
+class TestEndToEnd:
+    def test_estimator_trace_speedup(self):
+        """The headline number: the paper's estimator has substantial
+        predicted speedup; the sequential baseline has none."""
+        from repro.baselines import SequentialMisraGries
+        from repro.core import ParallelFrequencyEstimator
+        from repro.stream import minibatches, zipf_stream
+
+        stream = zipf_stream(1 << 13, 2_000, 1.2, rng=1)
+        with tracking(record=True) as led_par:
+            est = ParallelFrequencyEstimator(0.01)
+            for chunk in minibatches(stream, 1 << 11):
+                est.ingest(chunk)
+        with tracking(record=True) as led_seq:
+            mg = SequentialMisraGries(eps=0.01)
+            mg.extend(stream)
+        par_speedup = simulate(led_par, 1) / simulate(led_par, 16)
+        seq_speedup = simulate(led_seq, 1) / simulate(led_seq, 16)
+        assert par_speedup > 5
+        assert seq_speedup == pytest.approx(1.0)
+
+
+class TestShareAccounting:
+    def test_processors_never_oversubscribed(self):
+        """One huge strand + many tiny ones must not allocate more
+        processor-shares than exist (the lifted-zeros edge)."""
+        with tracking(record=True) as led:
+            with parallel() as par:
+                par.run(charge, 10_000, 1)
+                for _ in range(3):
+                    par.run(charge, 1, 1)
+        # 4 strands on 4 procs: each gets exactly one -> T = 10_000.
+        assert simulate(led, 4) == 10_000
+        # 8 procs: heavy strand gets the spare 5 -> 10_000/5 = 2_000.
+        assert simulate(led, 8) == 2_000
+        # Sanity: work/p lower bound always respected.
+        for p in (2, 3, 5, 7, 16):
+            assert simulate(led, p) >= led.work / p - 1e-9

@@ -1,0 +1,62 @@
+"""Tests for parallel rank selection and the prune cutoff ϕ (Lemma 5.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pram.select import prune_cutoff, rank_select
+
+
+class TestRankSelect:
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=200), st.data())
+    def test_matches_sorted(self, values, data):
+        rank = data.draw(st.integers(1, len(values)))
+        got = rank_select(np.array(values), rank)
+        assert got == sorted(values)[rank - 1]
+
+    def test_rank_bounds(self):
+        with pytest.raises(ValueError):
+            rank_select(np.array([1, 2]), 0)
+        with pytest.raises(ValueError):
+            rank_select(np.array([1, 2]), 3)
+
+    def test_duplicates(self):
+        values = np.array([5, 5, 5, 1])
+        assert rank_select(values, 1) == 1
+        assert rank_select(values, 2) == 5
+        assert rank_select(values, 4) == 5
+
+
+class TestPruneCutoff:
+    def test_under_capacity_is_zero(self):
+        assert prune_cutoff(np.array([10, 20]), 5) == 0
+        assert prune_cutoff(np.array([], dtype=np.int64), 3) == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            prune_cutoff(np.array([1]), 0)
+
+    def test_exact_value(self):
+        # counts 9 5 5 2 1, S=2 -> phi = 3rd largest = 5
+        assert prune_cutoff(np.array([9, 5, 5, 2, 1]), 2) == 5
+
+    @given(
+        st.lists(st.integers(1, 10**6), min_size=1, max_size=300),
+        st.integers(1, 50),
+    )
+    def test_lemma_5_3_invariants(self, counts, capacity):
+        """The two sides of Lemma 5.3's proof."""
+        arr = np.array(counts)
+        phi = prune_cutoff(arr, capacity)
+        # (a) at most S survive the subtraction
+        assert int((arr > phi).sum()) <= capacity
+        # (b) every decrement batch i <= phi hits >= S distinct counters
+        if phi > 0:
+            assert int((arr >= phi).sum()) >= capacity + 1
+
+    @given(st.lists(st.integers(1, 100), min_size=1, max_size=100))
+    def test_phi_zero_when_it_fits(self, counts):
+        assert prune_cutoff(np.array(counts), len(counts)) == 0

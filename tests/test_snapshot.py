@@ -1,0 +1,127 @@
+"""Tests for γ-snapshots: Definition 3.1, Lemma 3.2, Lemma 3.3, Figure 2."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.snapshot import GammaSnapshot, shrink_snapshot, snapshot_of_stream
+
+bit_arrays = hnp.arrays(
+    dtype=np.int64, shape=st.integers(1, 300), elements=st.integers(0, 1)
+)
+
+
+def window_count(bits: np.ndarray, window: int) -> int:
+    return int(bits[-window:].sum())
+
+
+class TestValidation:
+    def test_gamma_positive(self):
+        with pytest.raises(ValueError):
+            GammaSnapshot(gamma=0)
+
+    def test_ell_range(self):
+        with pytest.raises(ValueError):
+            GammaSnapshot(gamma=3, ell=3)
+        with pytest.raises(ValueError):
+            GammaSnapshot(gamma=3, ell=-1)
+
+    def test_blocks_strictly_increasing(self):
+        with pytest.raises(ValueError):
+            GammaSnapshot(gamma=2, blocks=np.array([3, 3]))
+        with pytest.raises(ValueError):
+            GammaSnapshot(gamma=2, blocks=np.array([0]))
+
+    def test_value(self):
+        ss = GammaSnapshot(gamma=3, blocks=np.array([4, 7]), ell=1)
+        assert ss.value == 7
+
+    def test_size(self):
+        assert GammaSnapshot(gamma=2, blocks=np.array([1, 2, 5]), ell=1).size == 4
+
+
+class TestFigure2:
+    """The paper's worked example (window 12, γ = 3) → Q = {4, 7}, ℓ = 1.
+
+    The OCR'd bit stream in the available text is inconsistent with the
+    stated result; the stream below is the unique correction consistent
+    with Q = {4, 7}, ℓ = 1 (ones at positions 2-9, 11, 19-22).  See
+    DESIGN.md (E4).
+    """
+
+    BITS = np.array([0, 1, 1, 1, 1, 1, 1, 1, 1, 0, 1, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 0])
+
+    def test_reproduces_paper_result(self):
+        ss = snapshot_of_stream(self.BITS, gamma=3, window=12)
+        np.testing.assert_array_equal(ss.blocks, [4, 7])
+        assert ss.ell == 1
+
+    def test_value_brackets_true_count(self):
+        ss = snapshot_of_stream(self.BITS, gamma=3, window=12)
+        m = window_count(self.BITS, 12)
+        assert m <= ss.value <= m + 2 * 3
+
+
+class TestLemma32:
+    @given(bit_arrays, st.integers(1, 20), st.integers(1, 100))
+    def test_value_bounds(self, bits, gamma, window):
+        ss = snapshot_of_stream(bits, gamma, window)
+        m = window_count(bits, window)
+        assert m <= ss.value <= m + 2 * gamma
+
+    @given(bit_arrays, st.integers(1, 20), st.integers(1, 100))
+    def test_value_bounds_unclamped(self, bits, gamma, window):
+        ss = snapshot_of_stream(bits, gamma, window, clamp_ell=False)
+        m = window_count(bits, window)
+        assert m <= ss.value <= m + 2 * gamma
+
+    @given(bit_arrays, st.integers(1, 20), st.integers(1, 100))
+    def test_ell_less_than_gamma(self, bits, gamma, window):
+        ss = snapshot_of_stream(bits, gamma, window)
+        assert 0 <= ss.ell < max(2, gamma)
+
+    @given(bit_arrays, st.integers(1, 20), st.integers(1, 100))
+    def test_space_bound(self, bits, gamma, window):
+        # |Q| <= m_total/γ (every sampled 1 is γ ones apart).
+        ss = snapshot_of_stream(bits, gamma, window)
+        assert ss.blocks.size <= bits.sum() // gamma
+
+    def test_gamma_one_is_exact(self):
+        rng = np.random.default_rng(0)
+        bits = (rng.random(200) < 0.4).astype(np.int64)
+        ss = snapshot_of_stream(bits, gamma=1, window=50)
+        assert ss.value == window_count(bits, 50)
+
+
+class TestShrink:
+    @given(bit_arrays, st.integers(1, 10), st.data())
+    def test_matches_fresh_snapshot(self, bits, gamma, data):
+        big = data.draw(st.integers(1, bits.size))
+        small = data.draw(st.integers(1, big))
+        ss_big = snapshot_of_stream(bits, gamma, big, clamp_ell=False)
+        shrunk = shrink_snapshot(ss_big, t=bits.size, new_window=small)
+        fresh = snapshot_of_stream(bits, gamma, small, clamp_ell=False)
+        np.testing.assert_array_equal(shrunk.blocks, fresh.blocks)
+        # ℓ is unchanged by shrink (Lemma 3.3); unclamped ℓ matches.
+        assert shrunk.ell == fresh.ell
+
+    @given(bit_arrays, st.integers(1, 10), st.data())
+    def test_shrunk_bounds_hold(self, bits, gamma, data):
+        big = data.draw(st.integers(1, bits.size))
+        small = data.draw(st.integers(1, big))
+        ss = shrink_snapshot(
+            snapshot_of_stream(bits, gamma, big, clamp_ell=False),
+            t=bits.size,
+            new_window=small,
+        )
+        m = window_count(bits, small)
+        assert m <= ss.value <= m + 2 * gamma
+
+    def test_invalid_window(self):
+        ss = GammaSnapshot(gamma=2)
+        with pytest.raises(ValueError):
+            shrink_snapshot(ss, t=10, new_window=0)

@@ -1,0 +1,78 @@
+"""Soak test: a realistic-scale single pass with everything attached.
+
+Half a million arrivals, five aggregates, interleaved queries, and a
+full accuracy reconciliation at the end — the "leave it running"
+confidence check a streaming library needs beyond per-module tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    InfiniteHeavyHitters,
+    ParallelBasicCounter,
+    ParallelCountMin,
+    SlidingHeavyHitters,
+    WorkEfficientSlidingFrequency,
+)
+from repro.stream.generators import flash_crowd_stream, minibatches
+from repro.stream.minibatch import MinibatchDriver
+from repro.stream.oracle import ExactWindowFrequencies
+
+
+def test_half_million_item_pipeline():
+    n_items = 500_000
+    window = 50_000
+    batch = 8_192
+    stream = flash_crowd_stream(
+        n_items, universe=100_000, crowd_item=77, onset=0.4, crowd_share=0.3,
+        rng=2026,
+    )
+
+    sliding_freq = WorkEfficientSlidingFrequency(window, eps=0.01)
+    operators = {
+        "freq": sliding_freq,
+        "hh-win": SlidingHeavyHitters(window, 0.05, 0.02),
+        "hh-inf": InfiniteHeavyHitters(0.05, 0.02),
+        "cms": ParallelCountMin(0.001, 0.01),
+        "bits": ParallelBasicCounter(window, 0.1),
+    }
+    # The bit counter watches "is this arrival the crowd item".
+    bit_op = operators.pop("bits")
+
+    driver = MinibatchDriver(operators)
+    driver.run(stream, batch)
+    for chunk in minibatches(stream, batch):
+        bit_op.ingest((chunk == 77).astype(np.int64))
+
+    # Ground truth over the final window.
+    oracle = ExactWindowFrequencies(window)
+    oracle.extend(stream[-window - 1 :])
+
+    # 1. Sliding frequency bracket on the crowd item and cold probes.
+    for item in (77, 0, 1, 99_999):
+        f = oracle.frequency(item)
+        est = sliding_freq.estimate(item)
+        assert est <= f + 1e-9
+        assert est >= f - 0.01 * window - 1e-9
+
+    # 2. Window HH sees the crowd item; infinite HH does too (30% share).
+    assert 77 in operators["hh-win"].query()
+    assert 77 in operators["hh-inf"].query()
+
+    # 3. CMS never undercounts the total crowd volume.
+    total_77 = int((stream == 77).sum())
+    assert operators["cms"].point_query(77) >= total_77
+
+    # 4. The bit counter's window estimate brackets the exact count.
+    exact_bits = oracle.frequency(77)
+    assert exact_bits <= bit_op.query() <= exact_bits * 1.1 + 1
+
+    # 5. Cost sanity at scale: bounded per-item work, sublinear depth.
+    assert driver.mean_work_per_item() < 100
+    assert driver.max_depth() < driver.total_work() / 100
+
+    # 6. Space stayed sublinear in the stream.
+    assert sliding_freq.space < window / 5
+    assert operators["hh-inf"].space < 200

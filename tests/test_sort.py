@@ -1,0 +1,99 @@
+"""Tests for intSort (Theorem 2.2 stand-in)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pram.cost import tracking
+from repro.pram.primitives import log2ceil
+from repro.pram.sort import int_sort, int_sort_by_key, int_sort_perm
+
+
+def keys_strategy(max_n=300):
+    return st.integers(1, max_n).flatmap(
+        lambda n: st.lists(st.integers(0, 4 * n), min_size=n, max_size=n)
+    )
+
+
+class TestIntSort:
+    @given(keys_strategy())
+    def test_sorts(self, keys):
+        out = int_sort(np.array(keys))
+        np.testing.assert_array_equal(out, np.sort(keys))
+
+    def test_empty(self):
+        assert int_sort(np.array([], dtype=np.int64)).size == 0
+
+    def test_negative_keys_rejected(self):
+        with pytest.raises(ValueError):
+            int_sort(np.array([1, -2, 3]))
+
+    def test_out_of_range_keys_rejected(self):
+        # 3 keys, c = 16 -> limit 48.
+        with pytest.raises(ValueError, match="precondition"):
+            int_sort(np.array([1, 2, 1000]))
+
+    def test_range_factor_override(self):
+        out = int_sort(np.array([1, 2, 1000]), range_factor=1000)
+        np.testing.assert_array_equal(out, [1, 2, 1000])
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            int_sort(np.zeros((2, 2), dtype=np.int64))
+
+    def test_charged_work_is_linear(self):
+        n = 1 << 12
+        keys = np.arange(n) % 17
+        with tracking() as led:
+            int_sort(keys)
+        assert led.work <= 2 * n  # n + key_range
+        assert led.depth <= (log2ceil(2 * n)) ** 2
+
+
+class TestIntSortPerm:
+    @given(keys_strategy())
+    def test_perm_sorts(self, keys):
+        keys = np.array(keys)
+        perm = int_sort_perm(keys)
+        np.testing.assert_array_equal(keys[perm], np.sort(keys))
+
+    def test_stability(self):
+        # equal keys keep original relative order
+        keys = np.array([2, 1, 2, 1, 2])
+        perm = int_sort_perm(keys)
+        ones = perm[keys[perm] == 1]
+        twos = perm[keys[perm] == 2]
+        np.testing.assert_array_equal(ones, [1, 3])
+        np.testing.assert_array_equal(twos, [0, 2, 4])
+
+    @given(keys_strategy(max_n=100))
+    def test_stability_property(self, keys):
+        keys = np.array(keys)
+        perm = int_sort_perm(keys)
+        for value in np.unique(keys):
+            positions = perm[keys[perm] == value]
+            assert np.all(np.diff(positions) > 0)
+
+
+class TestIntSortByKey:
+    def test_values_follow_keys(self):
+        keys = np.array([3, 1, 2])
+        values = np.array([30, 10, 20])
+        out_keys, out_values = int_sort_by_key(keys, values)
+        np.testing.assert_array_equal(out_keys, [1, 2, 3])
+        np.testing.assert_array_equal(out_values, [10, 20, 30])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            int_sort_by_key(np.arange(3), np.arange(4))
+
+    @given(keys_strategy(max_n=150))
+    def test_pairs_preserved(self, keys):
+        keys = np.array(keys)
+        values = np.arange(keys.size) * 7
+        out_keys, out_values = int_sort_by_key(keys, values)
+        original = sorted(zip(keys.tolist(), values.tolist()))
+        assert sorted(zip(out_keys.tolist(), out_values.tolist())) == original

@@ -1,0 +1,112 @@
+"""Tests for the accuracy-audit API (repro.analysis.validate)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.validate import (
+    AuditReport,
+    audit_basic_counting,
+    audit_cms,
+    audit_frequency_estimator,
+    audit_heavy_hitters,
+    audit_windowed_sum,
+)
+from repro.core import (
+    InfiniteHeavyHitters,
+    ParallelBasicCounter,
+    ParallelCountMin,
+    ParallelFrequencyEstimator,
+    ParallelWindowedSum,
+    SlidingHeavyHitters,
+    WorkEfficientSlidingFrequency,
+)
+from repro.stream.generators import bit_stream, zipf_stream
+
+
+class TestReport:
+    def test_ok_property(self):
+        assert AuditReport(5, 0, 0.1, 0.2).ok
+        assert not AuditReport(5, 1, 0.3, 0.2).ok
+
+
+class TestAudits:
+    def test_basic_counting_clean(self):
+        counter = ParallelBasicCounter(512, 0.1)
+        report = audit_basic_counting(counter, bit_stream(3_000, 0.4, rng=1), 128)
+        assert report.ok
+        assert report.checkpoints == 3_000 // 128 + 1
+        assert report.max_error <= 0.1
+
+    def test_windowed_sum_clean(self):
+        summer = ParallelWindowedSum(256, 0.1, max_value=255)
+        values = np.random.default_rng(2).integers(0, 256, size=2_000)
+        report = audit_windowed_sum(summer, values, 100)
+        assert report.ok
+
+    def test_frequency_infinite_clean(self):
+        est = ParallelFrequencyEstimator(0.02)
+        report = audit_frequency_estimator(
+            est, zipf_stream(5_000, 300, 1.3, rng=3), probes=range(15), batch_size=500
+        )
+        assert report.ok
+        assert report.error_budget == pytest.approx(0.02 * 5_000)
+
+    def test_frequency_sliding_clean(self):
+        window = 600
+        est = WorkEfficientSlidingFrequency(window, 0.05)
+        report = audit_frequency_estimator(
+            est,
+            zipf_stream(4_000, 200, 1.3, rng=4),
+            probes=range(10),
+            batch_size=200,
+            window=window,
+        )
+        assert report.ok
+
+    def test_heavy_hitters_both_windows(self):
+        stream = zipf_stream(6_000, 400, 1.5, rng=5)
+        inf = InfiniteHeavyHitters(0.05, 0.02)
+        assert audit_heavy_hitters(inf, stream, 500).ok
+        sli = SlidingHeavyHitters(1_000, 0.05, 0.02)
+        assert audit_heavy_hitters(sli, stream, 500, window=1_000).ok
+
+    def test_cms_clean(self):
+        cm = ParallelCountMin(0.01, 0.01)
+        report = audit_cms(
+            cm, zipf_stream(8_000, 500, 1.2, rng=6), probes=range(20), batch_size=800
+        )
+        assert report.ok  # no undercounts ever
+
+    def test_audit_catches_a_broken_estimator(self):
+        """A deliberately wrong estimator must be flagged."""
+
+        class Liar:
+            window = 100
+            eps = 0.1
+
+            def ingest(self, chunk):
+                pass
+
+            def query(self):
+                return -1  # below any true count once a 1 arrives
+
+        report = audit_basic_counting(Liar(), np.ones(300, dtype=np.int64), 50)
+        assert not report.ok
+        assert report.violations == report.checkpoints
+        assert report.details  # human-readable evidence recorded
+
+    def test_details_are_capped(self):
+        class Liar:
+            window = 10
+            eps = 0.1
+
+            def ingest(self, chunk):
+                pass
+
+            def query(self):
+                return -1
+
+        report = audit_basic_counting(Liar(), np.ones(5_000, dtype=np.int64), 10)
+        assert len(report.details) <= 20

@@ -1,0 +1,161 @@
+"""Tests for the watermark reorderer and the heavy-hitter monitor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ParallelBasicCounter, SlidingHeavyHitters
+from repro.stream.monitor import HeavyHitterEvent, HeavyHitterMonitor
+from repro.stream.oracle import ExactWindowCounter
+from repro.stream.watermark import WatermarkReorderer
+from repro.stream.generators import flash_crowd_stream, minibatches, zipf_stream
+
+
+def shuffle_within_tardiness(
+    n: int, tardiness: int, rng: np.random.Generator
+) -> np.ndarray:
+    """A permutation of 0..n-1 where element i appears at most
+    ``tardiness`` positions after position i."""
+    order = np.arange(n)
+    for start in range(0, n, max(1, tardiness)):
+        window = order[start : start + tardiness]
+        rng.shuffle(window)
+    return order
+
+
+class TestWatermarkReorderer:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WatermarkReorderer(-1)
+        with pytest.raises(ValueError):
+            list(WatermarkReorderer(1).push(np.array([1]), np.array([1, 2])))
+
+    def test_in_order_stream_passes_through(self):
+        r = WatermarkReorderer(tardiness=0)
+        out = list(r.push(np.arange(5), np.arange(5) * 10))
+        out += list(r.flush())
+        assert [ts for ts, _ in out] == [0, 1, 2, 3, 4]
+        assert r.late_drops == 0
+
+    def test_reorders_within_bound(self):
+        r = WatermarkReorderer(tardiness=2)
+        out = list(r.push(np.array([3, 1, 2, 5, 4]), np.array([30, 10, 20, 50, 40])))
+        out += list(r.flush())
+        assert out == [(1, 10), (2, 20), (3, 30), (4, 40), (5, 50)]
+        assert r.late_drops == 0
+
+    def test_too_tardy_is_dropped_and_counted(self):
+        r = WatermarkReorderer(tardiness=1)
+        list(r.push(np.array([1, 2, 3, 4]), np.zeros(4, dtype=np.int64)))
+        # ts=1 arrives after the watermark passed it (4 - 1 = 3 >= 1).
+        list(r.push(np.array([1]), np.array([99])))
+        assert r.late_drops == 1
+
+    def test_equal_timestamps_keep_arrival_order(self):
+        r = WatermarkReorderer(tardiness=0)
+        out = list(r.push(np.array([1, 1, 1]), np.array([7, 8, 9])))
+        out += list(r.flush())
+        assert [v for _, v in out] == [7, 8, 9]
+
+    @given(st.integers(1, 8), st.integers(0, 2**31 - 1))
+    @settings(max_examples=25)
+    def test_bounded_tardiness_recovers_order(self, tardiness, seed):
+        rng = np.random.default_rng(seed)
+        n = 120
+        arrival_order = shuffle_within_tardiness(n, tardiness, rng)
+        values = arrival_order * 3
+        r = WatermarkReorderer(tardiness=tardiness)
+        out = list(r.push(arrival_order, values))
+        out += list(r.flush())
+        assert [ts for ts, _ in out] == list(range(n))
+        assert r.late_drops == 0
+        assert r.released == n
+
+    def test_downstream_operator_sees_correct_windows(self):
+        """End to end: disorder bounded by L, reorder, feed basic
+        counting — guarantees hold as if the stream were in order."""
+        rng = np.random.default_rng(5)
+        n, window, eps, tardiness = 4_000, 500, 0.1, 16
+        bits = (rng.random(n) < 0.5).astype(np.int64)
+        arrival = shuffle_within_tardiness(n, tardiness, rng)
+
+        reorderer = WatermarkReorderer(tardiness=tardiness)
+        counter = ParallelBasicCounter(window, eps)
+        oracle = ExactWindowCounter(window)
+        for start in range(0, n, 256):
+            ts = arrival[start : start + 256]
+            released = list(reorderer.push(ts, bits[ts]))
+            if released:
+                chunk = np.array([v for _, v in released], dtype=np.int64)
+                counter.ingest(chunk)
+                oracle.extend(chunk)
+        m = oracle.query()
+        assert m <= counter.query() <= m + eps * max(m, 1)
+        assert reorderer.late_drops == 0
+
+
+class TestHeavyHitterMonitor:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeavyHitterMonitor(SlidingHeavyHitters(100, 0.2), hysteresis=-1)
+
+    def test_flash_crowd_enter_exit(self):
+        window = 2_000
+        tracker = SlidingHeavyHitters(window, phi=0.2, eps=0.05)
+        monitor = HeavyHitterMonitor(tracker)
+        stream = np.concatenate([
+            zipf_stream(4_000, 1_000, 1.0, rng=1),
+            flash_crowd_stream(4_000, 1_000, crowd_item=7, onset=0.0,
+                               crowd_share=0.6, rng=2),
+            zipf_stream(6_000, 1_000, 1.0, rng=3) + 2_000,
+        ])
+        for chunk in minibatches(stream, 500):
+            monitor.ingest(chunk)
+        kinds = [e.kind for e in monitor.history(7)]
+        assert kinds.count("enter") >= 1
+        assert kinds.count("exit") >= 1
+        assert kinds[0] == "enter"
+        assert 7 not in monitor.active()
+
+    def test_events_alternate_per_item(self):
+        tracker = SlidingHeavyHitters(500, phi=0.3, eps=0.1)
+        monitor = HeavyHitterMonitor(tracker)
+        for chunk in minibatches(np.zeros(1_000, dtype=np.int64), 100):
+            monitor.ingest(chunk)
+        for chunk in minibatches(np.arange(1, 601, dtype=np.int64), 100):
+            monitor.ingest(chunk)
+        kinds = [e.kind for e in monitor.history(0)]
+        for a, b in zip(kinds, kinds[1:]):
+            assert a != b, "enter/exit must alternate"
+
+    def test_hysteresis_suppresses_flapping(self):
+        class Flapper:
+            """Reports item 1 heavy on even batches only."""
+
+            def __init__(self):
+                self.i = 0
+
+            def ingest(self, batch):
+                self.i += 1
+
+            def query(self):
+                return {1: 10.0} if self.i % 2 == 0 else {}
+
+        raw = HeavyHitterMonitor(Flapper())
+        damped = HeavyHitterMonitor(Flapper(), hysteresis=2)
+        for _ in range(12):
+            raw.ingest(np.array([0]))
+            damped.ingest(np.array([0]))
+        assert len(raw.events) > len(damped.events)
+        assert sum(1 for e in damped.events if e.kind == "exit") == 0
+
+    def test_returns_new_events_per_batch(self):
+        tracker = SlidingHeavyHitters(100, phi=0.4, eps=0.1)
+        monitor = HeavyHitterMonitor(tracker)
+        events = monitor.ingest(np.zeros(60, dtype=np.int64))
+        assert [e.kind for e in events] == ["enter"]
+        assert events[0].item == 0
+        assert monitor.ingest(np.zeros(10, dtype=np.int64)) == []

@@ -1,0 +1,116 @@
+"""Tests for the windowed value histogram ([DGIM02] reduction)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.windowed_histogram import WindowedHistogram
+from repro.pram.cost import tracking
+from repro.stream.generators import minibatches
+
+
+class TestConstruction:
+    def test_edge_validation(self):
+        with pytest.raises(ValueError):
+            WindowedHistogram(10, 0.1, [1.0])
+        with pytest.raises(ValueError):
+            WindowedHistogram(10, 0.1, [1.0, 1.0])
+        with pytest.raises(ValueError):
+            WindowedHistogram(10, 0.1, [2.0, 1.0])
+
+    def test_bucket_count_shape(self):
+        hist = WindowedHistogram(10, 0.1, [0, 10, 20, 30])
+        assert hist.num_buckets == 3
+        assert hist.histogram().shape == (3,)
+
+    def test_out_of_domain_rejected(self):
+        hist = WindowedHistogram(10, 0.1, [0, 10])
+        with pytest.raises(ValueError):
+            hist.ingest(np.array([10.0]))  # right edge exclusive
+        with pytest.raises(ValueError):
+            hist.ingest(np.array([-1.0]))
+
+    def test_bucket_index_bounds(self):
+        hist = WindowedHistogram(10, 0.1, [0, 10])
+        with pytest.raises(IndexError):
+            hist.bucket_count(1)
+
+
+class TestAccuracy:
+    @given(
+        st.integers(20, 150),
+        st.sampled_from([0.3, 0.1]),
+        st.integers(2, 8),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=20)
+    def test_bucket_counts_one_sided(self, window, eps, buckets, seed):
+        rng = np.random.default_rng(seed)
+        edges = np.linspace(0, 100, buckets + 1)
+        hist = WindowedHistogram(window, eps, edges)
+        values = rng.uniform(0, 99.999, size=2 * window)
+        for chunk in minibatches(values, 37):
+            hist.ingest(chunk)
+        tail = values[-window:]
+        for i in range(buckets):
+            true = int(((tail >= edges[i]) & (tail < edges[i + 1])).sum())
+            est = hist.bucket_count(i)
+            assert est >= true
+            assert est <= true + eps * max(true, 1)
+
+    def test_histogram_sums_to_roughly_window(self):
+        hist = WindowedHistogram(500, 0.1, np.linspace(0, 1, 11))
+        rng = np.random.default_rng(1)
+        hist.ingest(rng.random(2_000) * 0.999)
+        total = hist.histogram().sum()
+        assert 500 <= total <= 1.1 * 500
+
+    def test_sliding_forgets_old_distribution(self):
+        """Distribution shift: the histogram tracks the new regime."""
+        hist = WindowedHistogram(200, 0.1, [0, 50, 100])
+        hist.ingest(np.full(300, 10.0))   # all in bucket 0
+        hist.ingest(np.full(250, 75.0))   # window now all bucket 1
+        assert hist.bucket_count(0) <= 0.1 * 200
+        assert hist.bucket_count(1) >= 200
+
+    def test_quantiles_reasonable(self):
+        rng = np.random.default_rng(2)
+        edges = np.linspace(0, 1000, 101)  # 10-wide buckets
+        hist = WindowedHistogram(2_000, 0.05, edges)
+        values = rng.uniform(0, 999.9, size=5_000)
+        for chunk in minibatches(values, 500):
+            hist.ingest(chunk)
+        tail = values[-2_000:]
+        for q in (0.1, 0.5, 0.9):
+            est = hist.quantile(q)
+            achieved = float((tail <= est).mean())
+            assert abs(achieved - q) <= 0.08
+
+    def test_quantile_validation_and_empty(self):
+        hist = WindowedHistogram(10, 0.1, [0, 1, 2])
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+        assert hist.quantile(0.5) == 0.0  # empty: left domain edge
+
+
+class TestCosts:
+    def test_depth_polylog_despite_many_buckets(self):
+        hist = WindowedHistogram(1 << 12, 0.1, np.linspace(0, 1, 65))
+        rng = np.random.default_rng(3)
+        with tracking() as led:
+            hist.ingest(rng.random(1 << 12) * 0.999)
+        # 64 buckets advance in parallel: depth far below work.
+        assert led.depth < led.work / 50
+
+    def test_space_linear_in_buckets(self):
+        small = WindowedHistogram(1 << 10, 0.1, np.linspace(0, 1, 5))
+        big = WindowedHistogram(1 << 10, 0.1, np.linspace(0, 1, 33))
+        rng = np.random.default_rng(4)
+        values = rng.random(1 << 11) * 0.999
+        small.ingest(values)
+        big.ingest(values)
+        assert big.space > 4 * small.space
+        assert big.space < 16 * small.space

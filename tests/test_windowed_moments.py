@@ -1,0 +1,105 @@
+"""Tests for windowed ℓp norms and variance ([DGIM02] Sum reductions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.windowed_moments import WindowedLpNorm, WindowedVariance
+from repro.stream.generators import minibatches
+
+
+class TestLpNorm:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowedLpNorm(10, 0.1, 100, p=0)
+        norm = WindowedLpNorm(10, 0.1, 10, p=2)
+        with pytest.raises(ValueError):
+            norm.ingest(np.array([11]))
+
+    def test_p1_equals_sum(self):
+        norm = WindowedLpNorm(50, 0.1, 100, p=1)
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, 101, size=200)
+        norm.ingest(values)
+        true = int(values[-50:].sum())
+        assert true <= norm.query() <= 1.1 * true
+
+    @given(
+        st.integers(20, 120),
+        st.sampled_from([1, 2, 3]),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=20)
+    def test_one_sided_relative_bound(self, window, p, seed):
+        eps = 0.1
+        rng = np.random.default_rng(seed)
+        values = rng.integers(0, 33, size=2 * window)
+        norm = WindowedLpNorm(window, eps, max_value=32, p=p)
+        for chunk in minibatches(values, 23):
+            norm.ingest(chunk)
+        tail = values[-window:].astype(np.float64)
+        true = float((tail**p).sum() ** (1.0 / p))
+        est = norm.query()
+        assert est >= true - 1e-9
+        assert est <= (1 + eps) ** (1.0 / p) * true + 1e-9
+
+    def test_moment_accessor(self):
+        norm = WindowedLpNorm(10, 0.2, 5, p=2)
+        norm.ingest(np.array([3, 4]))
+        assert 25 <= norm.moment() <= 30
+
+    def test_properties(self):
+        norm = WindowedLpNorm(64, 0.2, 7, p=2)
+        norm.ingest(np.arange(8, dtype=np.int64) % 8)
+        assert norm.window == 64
+        assert norm.eps == 0.2
+        assert norm.t == 8
+        assert norm.space > 0
+
+
+class TestVariance:
+    def test_validation(self):
+        var = WindowedVariance(10, 0.1, 10)
+        with pytest.raises(ValueError):
+            var.ingest(np.array([-1]))
+
+    def test_empty_is_zero(self):
+        assert WindowedVariance(10, 0.1, 10).query() == 0.0
+
+    def test_constant_stream_has_zero_variance(self):
+        var = WindowedVariance(100, 0.05, 50)
+        var.ingest(np.full(300, 7, dtype=np.int64))
+        # Additive error <= 3 eps E[x^2] = 3*0.05*49 ~ 7.4
+        assert var.query() <= 3 * 0.05 * 49 + 1e-9
+        assert var.mean() == pytest.approx(7.0, rel=0.06)
+
+    @given(st.integers(30, 120), st.integers(0, 2**31 - 1))
+    @settings(max_examples=20)
+    def test_additive_error_bound(self, window, seed):
+        eps = 0.02
+        rng = np.random.default_rng(seed)
+        values = rng.integers(0, 64, size=2 * window)
+        var = WindowedVariance(window, eps, max_value=63)
+        for chunk in minibatches(values, 31):
+            var.ingest(chunk)
+        tail = values[-window:].astype(np.float64)
+        true = float(tail.var())
+        mean_sq = float((tail**2).mean())
+        budget = 3 * eps * max(mean_sq, tail.mean() ** 2) + 1e-6
+        assert abs(var.query() - true) <= budget
+
+    def test_tracks_distribution_shift(self):
+        var = WindowedVariance(200, 0.02, 100)
+        var.ingest(np.full(400, 50, dtype=np.int64))       # variance ~0
+        low = var.query()
+        rng = np.random.default_rng(3)
+        var.ingest(rng.choice([0, 100], size=250))         # variance ~2500
+        assert var.query() > low + 1_000
+
+    def test_space_is_two_sums(self):
+        var = WindowedVariance(256, 0.1, 15)
+        var.ingest(np.arange(16, dtype=np.int64) % 16)
+        assert var.space == var._sum.space + var._sumsq.space

@@ -1,0 +1,100 @@
+"""Tests for the sliding-window Sum (Theorem 4.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.windowed_sum import ParallelWindowedSum
+from repro.stream.generators import minibatches, packet_trace
+from repro.stream.oracle import ExactWindowSum
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParallelWindowedSum(10, 0.1, max_value=0)
+
+    def test_plane_count_is_bit_length(self):
+        assert ParallelWindowedSum(10, 0.1, max_value=1).num_planes == 1
+        assert ParallelWindowedSum(10, 0.1, max_value=255).num_planes == 8
+        assert ParallelWindowedSum(10, 0.1, max_value=256).num_planes == 9
+
+    def test_out_of_range_values_rejected(self):
+        ws = ParallelWindowedSum(10, 0.1, max_value=7)
+        with pytest.raises(ValueError):
+            ws.ingest(np.array([8]))
+        with pytest.raises(ValueError):
+            ws.ingest(np.array([-1]))
+
+
+class TestAccuracy:
+    @given(
+        st.integers(20, 200),
+        st.sampled_from([0.3, 0.1]),
+        st.sampled_from([7, 63, 1023]),
+        st.integers(1, 50),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=25)
+    def test_relative_error_le_eps(self, window, eps, max_value, batch, seed):
+        rng = np.random.default_rng(seed)
+        ws = ParallelWindowedSum(window, eps, max_value)
+        oracle = ExactWindowSum(window)
+        values = rng.integers(0, max_value + 1, size=2 * window)
+        for chunk in minibatches(values, batch):
+            ws.ingest(chunk)
+            oracle.extend(chunk)
+            true = oracle.query()
+            est = ws.query()
+            assert est >= true, "one-sided overestimate"
+            assert est <= true + eps * max(true, 1)
+
+    def test_binary_stream_reduces_to_basic_counting(self):
+        ws = ParallelWindowedSum(100, 0.1, max_value=1)
+        oracle = ExactWindowSum(100)
+        rng = np.random.default_rng(0)
+        bits = (rng.random(400) < 0.5).astype(np.int64)
+        for chunk in minibatches(bits, 37):
+            ws.ingest(chunk)
+            oracle.extend(chunk)
+        true = oracle.query()
+        assert true <= ws.query() <= (1 + 0.1) * true + 1
+
+    def test_zeros_sum_to_zero(self):
+        ws = ParallelWindowedSum(50, 0.2, max_value=100)
+        ws.ingest(np.zeros(200, dtype=np.int64))
+        assert ws.query() == 0
+
+    def test_constant_stream(self):
+        window = 64
+        ws = ParallelWindowedSum(window, 0.1, max_value=10)
+        ws.ingest(np.full(3 * window, 10, dtype=np.int64))
+        true = 10 * window
+        assert true <= ws.query() <= 1.1 * true
+
+    def test_packet_trace_bytes(self):
+        """The motivating workload: bytes-per-window over a packet trace."""
+        window, eps = 1_000, 0.1
+        _flows, sizes = packet_trace(5_000, rng=5)
+        ws = ParallelWindowedSum(window, eps, max_value=1_500)
+        oracle = ExactWindowSum(window)
+        for chunk in minibatches(sizes, 250):
+            ws.ingest(chunk)
+            oracle.extend(chunk)
+            true = oracle.query()
+            assert true <= ws.query() <= true + eps * true
+
+
+class TestSpace:
+    def test_space_scales_with_log_r(self):
+        spaces = []
+        for max_value in (3, 63, 1023):
+            ws = ParallelWindowedSum(256, 0.1, max_value)
+            rng = np.random.default_rng(1)
+            ws.ingest(rng.integers(0, max_value + 1, size=512))
+            spaces.append(ws.space / ws.num_planes)
+        # Per-plane space roughly constant; total grows with log R.
+        assert max(spaces) <= 3 * min(spaces)
