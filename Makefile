@@ -1,12 +1,23 @@
 PY ?= python
 
-.PHONY: install test bench bench-quick experiments examples clean
+# Fixed seeds for the fault-injection suite (reproducible fault plans).
+FAULT_SEEDS ?= 101 202 303
+
+.PHONY: install test faults bench bench-quick experiments examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
-test:
+test: faults
 	$(PY) -m pytest tests/
+
+# Fault suite: deterministic fault plans + crash-recovery benchmark at
+# the three fixed seeds (REPRO_FAULT_SEEDS picked up by bench_r01).
+faults:
+	REPRO_FAULT_SEEDS="$(FAULT_SEEDS)" $(PY) -m pytest \
+		tests/test_fault_injection.py tests/test_checkpoint_manager.py \
+		tests/test_invariants.py tests/test_resilience_state.py \
+		benchmarks/bench_r01_recovery.py --benchmark-disable
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

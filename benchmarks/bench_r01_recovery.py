@@ -1,0 +1,237 @@
+"""R1 — crash recovery and accuracy under injected faults.
+
+The resilience acceptance criteria (docs/resilience.md), asserted:
+
+1. **Bit-identical restore.**  Kill the driver mid-stream with an
+   injected crash, recover a *fresh* driver + operators from the last
+   on-disk checkpoint, replay the stream — every final query answer
+   must equal the uninterrupted run's, exactly (``repr`` equality, so
+   float answers must match bit for bit).
+
+2. **ε-accuracy across faults.**  Run the full fault matrix
+   (duplicate / reorder / truncate / poison / transient) over 3 fixed
+   seeds with an exact-counting oracle registered in the *same* driver:
+   oracle and sketch see the identical effective stream, so every
+   Count-Min estimate must stay within its ε·m additive bound and every
+   Misra-Gries estimate within m/S — zero violations allowed.
+
+3. **Dead-letter accounting.**  Every batch id is either processed or
+   in the dead-letter queue with a reason; nothing vanishes.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from benchmarks._harness import emit_table, reset_results
+from repro.core import InfiniteHeavyHitters, MisraGriesSummary, ParallelCountMin
+from repro.resilience import (
+    CheckpointManager,
+    FaultInjector,
+    InjectedCrash,
+    RetryPolicy,
+)
+from repro.resilience.state import header
+from repro.stream.generators import zipf_stream
+from repro.stream.minibatch import MinibatchDriver
+
+EXPERIMENT = "R1"
+UNIVERSE = 200
+MU = 512
+# `make faults` pins these; override with REPRO_FAULT_SEEDS="1 2 3".
+SEEDS = tuple(
+    int(s) for s in os.environ.get("REPRO_FAULT_SEEDS", "101 202 303").split()
+)
+
+
+class ExactOracle:
+    """Exact per-item counts of whatever the driver actually delivered.
+
+    Registered alongside the sketches, it observes the *same* deduped /
+    truncated / retried stream — the ground truth the ε bounds are
+    checked against.
+    """
+
+    def __init__(self) -> None:
+        self.counts: Counter = Counter()
+        self.n = 0
+
+    def ingest(self, batch) -> None:
+        self.counts.update(int(x) for x in np.asarray(batch))
+        self.n += len(batch)
+
+    def state_dict(self) -> dict:
+        return {
+            **header("exact_oracle"),
+            "counts": {int(k): int(v) for k, v in self.counts.items()},
+            "n": self.n,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.counts = Counter({int(k): int(v) for k, v in state["counts"].items()})
+        self.n = int(state["n"])
+
+    def check_invariants(self) -> None:
+        assert self.n == sum(self.counts.values())
+
+
+def _operators():
+    return {
+        "cms": ParallelCountMin(0.005, 0.01),
+        "mg": MisraGriesSummary(0.01),
+        "hh": InfiniteHeavyHitters(0.05, 0.01),
+        "oracle": ExactOracle(),
+    }
+
+
+def _answers(ops) -> str:
+    return repr(
+        (
+            [ops["cms"].point_query(i) for i in range(UNIVERSE)],
+            [ops["mg"].estimate(i) for i in range(UNIVERSE)],
+            sorted(ops["hh"].query().items()),
+            sorted(ops["oracle"].counts.items()),
+        )
+    )
+
+
+def test_r1_crash_recovery_is_bit_identical():
+    reset_results(EXPERIMENT)
+    rows = []
+    for seed in SEEDS:
+        stream = zipf_stream(24 * MU, UNIVERSE, 1.2, rng=seed)
+        clean = _operators()
+        MinibatchDriver(clean).run(stream, MU)
+        baseline = _answers(clean)
+
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmp:
+            mgr = CheckpointManager(tmp, every=4)
+            injector = FaultInjector(seed=seed, crash_at=13)
+            crashed = MinibatchDriver(
+                _operators(), fault_injector=injector, checkpoint_manager=mgr
+            )
+            with pytest.raises(InjectedCrash):
+                crashed.run(stream, MU)
+
+            revived_ops = _operators()
+            revived = MinibatchDriver(
+                revived_ops, fault_injector=injector, checkpoint_manager=mgr
+            )
+            restored_at = revived.recover()
+            revived.run(stream, MU)
+            identical = _answers(revived_ops) == baseline
+            assert identical, f"seed {seed}: answers diverged after recovery"
+            assert len(revived.reports) == 24
+            rows.append(
+                [seed, 24, restored_at, 24 - restored_at, "yes" if identical else "NO"]
+            )
+
+    emit_table(
+        EXPERIMENT,
+        "crash at batch 13, restore from checkpoint, replay",
+        ["seed", "batches", "restored@", "replayed", "bit-identical"],
+        rows,
+        notes="bit-identical = repr equality of every final query answer "
+        "vs the uninterrupted run",
+    )
+
+
+def test_r1_eps_bounds_hold_under_fault_matrix():
+    rows = []
+    for seed in SEEDS:
+        stream = zipf_stream(32 * MU, UNIVERSE, 1.1, rng=seed + 7)
+        injector = FaultInjector(
+            seed=seed,
+            duplicate=0.08,
+            reorder=0.08,
+            truncate=0.08,
+            poison=0.08,
+            transient=0.08,
+        )
+        ops = _operators()
+        driver = MinibatchDriver(
+            ops,
+            fault_injector=injector,
+            retry_policy=RetryPolicy(max_attempts=3),
+            audit_every=4,
+        )
+        driver.run(stream, MU)
+
+        oracle = ops["oracle"]
+        m = oracle.n
+        cms_bound = 0.005 * m
+        mg_bound = m / ops["mg"].capacity
+        violations = 0
+        for item in range(UNIVERSE):
+            true = oracle.counts.get(item, 0)
+            cms_est = ops["cms"].point_query(item)
+            mg_est = ops["mg"].estimate(item)
+            if not true <= cms_est <= true + cms_bound:
+                violations += 1
+            if not true - mg_bound <= mg_est <= true:
+                violations += 1
+        assert violations == 0, f"seed {seed}: {violations} ε-bound violations"
+
+        # Accounting: every batch id processed, dead-lettered, or both
+        # never — and the DLQ total matches what the injector poisoned.
+        total_batches = 32
+        processed = {r.batch_id for r in driver.reports}
+        dead = set(driver.dead_letter.batch_ids())
+        assert processed | dead == set(range(total_batches))
+        assert not processed & dead
+        assert driver.dead_letter.dropped_batches == len(dead)
+        assert driver.dead_letter.dropped_batches == injector.injected["poison"]
+        assert driver.duplicates_skipped == injector.injected["duplicate"]
+
+        inj = injector.injected
+        rows.append(
+            [
+                seed,
+                m,
+                inj["duplicate"],
+                inj["reorder"],
+                inj["truncate"],
+                inj["poison"],
+                inj["transient"],
+                driver.retries,
+                driver.dead_letter.dropped_batches,
+                violations,
+            ]
+        )
+
+    emit_table(
+        EXPERIMENT,
+        "fault matrix x 3 seeds: ε bounds vs in-driver exact oracle",
+        ["seed", "items", "dup", "reord", "trunc", "poison", "trans",
+         "retries", "DLQ", "eps-viol"],
+        rows,
+        notes="eps-viol counts CMS estimates outside [f, f+εm] and MG "
+        "estimates outside [f−m/S, f] — must be 0; DLQ holds exactly "
+        "the poisoned batches, duplicates are deduplicated",
+    )
+
+
+@pytest.mark.benchmark(group="R1-recovery")
+def test_r1_checkpoint_overhead(benchmark):
+    """Wall-clock cost of checkpointing every batch vs never."""
+    stream = zipf_stream(16 * MU, UNIVERSE, 1.2, rng=1)
+
+    import tempfile
+
+    def run_with_checkpoints():
+        with tempfile.TemporaryDirectory() as tmp:
+            ops = _operators()
+            driver = MinibatchDriver(
+                ops, checkpoint_manager=CheckpointManager(tmp, every=1, keep=2)
+            )
+            driver.run(stream, MU)
+            return ops["oracle"].n
+
+    n = benchmark(run_with_checkpoints)
+    assert n == 16 * MU

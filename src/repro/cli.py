@@ -34,6 +34,7 @@ from repro.core import (
     WorkEfficientSlidingFrequency,
 )
 from repro.pram.cost import tracking
+from repro.resilience.invariants import InvariantViolation
 
 __all__ = ["main", "build_parser"]
 
@@ -75,6 +76,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--costs",
         action="store_true",
         help="print total charged work/depth at the end",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="snapshot operator state into DIR (atomic, checksummed)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=16,
+        metavar="K",
+        help="checkpoint every K minibatches (default 16)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore from the latest checkpoint in --checkpoint-dir "
+        "before streaming (skips nothing: feed only the new data)",
+    )
+    parser.add_argument(
+        "--audit-every",
+        type=int,
+        default=0,
+        metavar="K",
+        help="run the operator's invariant audit every K minibatches",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -174,12 +201,48 @@ def _run(args: argparse.Namespace, out) -> None:
     else:  # pragma: no cover - argparse enforces choices
         raise SystemExit(f"unknown command {args.command}")
 
+    manager = None
     items = 0
+    batches_done = 0
+    if args.checkpoint_dir:
+        from repro.resilience import CheckpointManager
+
+        manager = CheckpointManager(
+            args.checkpoint_dir, every=max(1, args.checkpoint_every)
+        )
+        if args.resume:
+            latest = manager.load_latest()
+            if latest is not None:
+                op.load_state(latest["state"]["op"])
+                items = int(latest["state"]["items"])
+                batches_done = int(latest["batch_index"])
+                if hasattr(op, "check_invariants"):
+                    op.check_invariants()
+                print(
+                    f"resumed from checkpoint at {items} items "
+                    f"(batch {batches_done})",
+                    file=out,
+                )
+    elif args.resume:
+        raise ValueError("--resume requires --checkpoint-dir")
+
+    def snapshot() -> dict:
+        return {"op": op.state_dict(), "items": items}
+
     for i, batch in enumerate(_read_batches(args.file, args.batch)):
         op.ingest(batch)
         items += len(batch)
+        batches_done += 1
         if args.report_every and (i + 1) % args.report_every == 0:
             print(f"[{items} items] {interim()}", file=out)
+        if args.audit_every and (i + 1) % args.audit_every == 0:
+            if hasattr(op, "check_invariants"):
+                op.check_invariants()
+        if manager is not None:
+            manager.maybe_save(snapshot(), batches_done)
+
+    if manager is not None and batches_done % manager.every != 0:
+        manager.save(snapshot(), batch_index=batches_done)
 
     print(f"items processed: {items}", file=out)
     print(f"answer: {final()}", file=out)
@@ -199,6 +262,9 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     except (ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except InvariantViolation as exc:
+        print(f"invariant violation: {exc}", file=sys.stderr)
+        return 3
     return 0
 
 

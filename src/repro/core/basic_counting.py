@@ -32,6 +32,8 @@ import numpy as np
 from repro.core.sbbc import SBBC
 from repro.pram.cost import parallel
 from repro.pram.css import CSS, css_of_bits
+from repro.resilience.invariants import require
+from repro.resilience.state import expect, header
 
 __all__ = ["ParallelBasicCounter"]
 
@@ -102,6 +104,42 @@ class ParallelBasicCounter:
     def space(self) -> int:
         """Total words across all rungs — the Theorem 4.1 S = O(ε⁻¹ log n)."""
         return sum(c.space for c in self.counters)
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            **header("basic_counting"),
+            "window": self.window,
+            "eps": self.eps,
+            "num_levels": self.num_levels,
+            "t": self.t,
+            "counters": [c.state_dict() for c in self.counters],
+        }
+
+    def load_state(self, state: dict) -> None:
+        expect(state, "basic_counting")
+        self.window = int(state["window"])
+        self.eps = float(state["eps"])
+        self.num_levels = int(state["num_levels"])
+        self.t = int(state["t"])
+        rungs = state["counters"]
+        if len(rungs) != len(self.counters):
+            self.counters = [SBBC(self.window, lam=1.0) for _ in rungs]
+        for counter, sub in zip(self.counters, rungs):
+            counter.load_state(sub)
+
+    def check_invariants(self) -> None:
+        """Ladder audit: rung count, per-rung SBBC invariants, and a
+        shared clock across all rungs (they all saw the same stream)."""
+        name = "ParallelBasicCounter"
+        require(len(self.counters) == self.num_levels, name, "rung count drifted")
+        for i, counter in enumerate(self.counters):
+            require(
+                counter.t == self.t,
+                name,
+                f"rung {i} clock {counter.t} != ladder clock {self.t}",
+            )
+            counter.check_invariants()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -32,6 +32,8 @@ from repro.pram.cost import charge, parallel
 from repro.pram.hashing import KWiseHash, pairwise_hashes
 from repro.pram.histogram import build_hist
 from repro.pram.primitives import log2ceil, reduce_min
+from repro.resilience.invariants import require
+from repro.resilience.state import expect, header, restore_rng, rng_state
 
 __all__ = ["ParallelCountMin", "DyadicCountMin"]
 
@@ -204,6 +206,59 @@ class ParallelCountMin:
         """Words — Theorem 6.1's O(ε⁻¹ log(1/δ))."""
         return self.table.size + 2 * self.depth
 
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Versioned serializable snapshot (table, hashes, rng cursor)."""
+        return {
+            **header("countmin"),
+            "eps": self.eps,
+            "delta": self.delta,
+            "conservative": self.conservative,
+            "width": self.width,
+            "depth": self.depth,
+            "table": self.table,
+            "hashes": [h.state_dict() for h in self.hashes],
+            "stream_length": self.stream_length,
+            "rng": rng_state(self._rng),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a ``state_dict()`` snapshot in place."""
+        expect(state, "countmin")
+        self.eps = float(state["eps"])
+        self.delta = float(state["delta"])
+        self.conservative = bool(state["conservative"])
+        self.width = int(state["width"])
+        self.depth = int(state["depth"])
+        self.table = np.asarray(state["table"], dtype=np.int64).copy()
+        self.hashes = [KWiseHash.from_state(s) for s in state["hashes"]]
+        self.stream_length = int(state["stream_length"])
+        self._rng = restore_rng(state["rng"])
+
+    def check_invariants(self) -> None:
+        """CMS audit: nonnegative cells; in plain-update mode every row
+        carries exactly the total ingested weight (each batch adds its
+        full weight to every row)."""
+        name = "ParallelCountMin"
+        require(self.table.shape == (self.depth, self.width), name, "table shape drifted")
+        require(bool((self.table >= 0).all()), name, "negative cell count")
+        require(len(self.hashes) == self.depth, name, "hash count != depth")
+        row_sums = self.table.sum(axis=1)
+        if not self.conservative:
+            require(
+                bool((row_sums == self.stream_length).all()),
+                name,
+                f"row sums {row_sums.tolist()} != total weight {self.stream_length}",
+            )
+        else:
+            # Conservative update only ever writes less than plain update
+            # would: no cell can exceed the total ingested weight.
+            require(
+                self.table.size == 0 or int(self.table.max()) <= self.stream_length,
+                name,
+                "conservative cell exceeds total ingested weight",
+            )
+
 
 class DyadicCountMin:
     """Dyadic stack of Count-Min sketches over universe [0, 2^L).
@@ -311,3 +366,41 @@ class DyadicCountMin:
     @property
     def space(self) -> int:
         return sum(level.space for level in self.levels)
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            **header("dyadic_countmin"),
+            "universe_bits": self.universe_bits,
+            "stream_length": self.stream_length,
+            "levels": [level.state_dict() for level in self.levels],
+        }
+
+    def load_state(self, state: dict) -> None:
+        expect(state, "dyadic_countmin")
+        self.universe_bits = int(state["universe_bits"])
+        self.stream_length = int(state["stream_length"])
+        levels = state["levels"]
+        if len(levels) != len(self.levels):
+            # Rebuild the stack at the checkpointed geometry.
+            self.levels = [
+                ParallelCountMin(0.5, 0.5) for _ in range(len(levels))
+            ]
+        for sketch, sub in zip(self.levels, levels):
+            sketch.load_state(sub)
+
+    def check_invariants(self) -> None:
+        name = "DyadicCountMin"
+        require(
+            len(self.levels) == self.universe_bits + 1,
+            name,
+            "level count != universe_bits + 1",
+        )
+        for j, level in enumerate(self.levels):
+            require(
+                level.stream_length == self.stream_length,
+                name,
+                f"level {j} saw {level.stream_length} items, expected "
+                f"{self.stream_length}",
+            )
+            level.check_invariants()

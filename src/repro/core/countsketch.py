@@ -32,6 +32,8 @@ from repro.pram.cost import charge, parallel
 from repro.pram.hashing import KWiseHash
 from repro.pram.histogram import build_hist
 from repro.pram.primitives import log2ceil
+from repro.resilience.invariants import require
+from repro.resilience.state import expect, header, restore_rng, rng_state
 
 __all__ = ["ParallelCountSketch"]
 
@@ -145,3 +147,49 @@ class ParallelCountSketch:
     def space(self) -> int:
         """O(ε⁻² log(1/δ)) words (the L2 guarantee costs ε⁻² width)."""
         return self.table.size + 4 * self.depth
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            **header("countsketch"),
+            "eps": self.eps,
+            "delta": self.delta,
+            "width": self.width,
+            "depth": self.depth,
+            "table": self.table,
+            "bucket_hashes": [h.state_dict() for h in self.bucket_hashes],
+            "sign_hashes": [h.state_dict() for h in self.sign_hashes],
+            "stream_length": self.stream_length,
+            "rng": rng_state(self._rng),
+        }
+
+    def load_state(self, state: dict) -> None:
+        expect(state, "countsketch")
+        self.eps = float(state["eps"])
+        self.delta = float(state["delta"])
+        self.width = int(state["width"])
+        self.depth = int(state["depth"])
+        self.table = np.asarray(state["table"], dtype=np.int64).copy()
+        self.bucket_hashes = [KWiseHash.from_state(s) for s in state["bucket_hashes"]]
+        self.sign_hashes = [KWiseHash.from_state(s) for s in state["sign_hashes"]]
+        self.stream_length = int(state["stream_length"])
+        self._rng = restore_rng(state["rng"])
+
+    def check_invariants(self) -> None:
+        """Count-Sketch audit: signed cell mass per row cannot exceed
+        the total ingested weight (each update moves exactly ``count``
+        units of |mass| in one cell per row)."""
+        name = "ParallelCountSketch"
+        require(self.table.shape == (self.depth, self.width), name, "table shape drifted")
+        require(self.depth % 2 == 1, name, "row count must be odd (median estimator)")
+        require(
+            len(self.bucket_hashes) == self.depth and len(self.sign_hashes) == self.depth,
+            name,
+            "hash count != depth",
+        )
+        row_l1 = np.abs(self.table).sum(axis=1)
+        require(
+            self.table.size == 0 or int(row_l1.max()) <= self.stream_length,
+            name,
+            f"row ℓ1 mass {row_l1.tolist()} exceeds total weight {self.stream_length}",
+        )

@@ -16,6 +16,8 @@ import numpy as np
 
 from repro.core.misra_gries import capacity_for_eps, mg_augment
 from repro.pram.histogram import build_hist
+from repro.resilience.invariants import require
+from repro.resilience.state import expect, header, restore_rng, rng_state
 
 __all__ = ["ParallelFrequencyEstimator"]
 
@@ -76,3 +78,42 @@ class ParallelFrequencyEstimator:
     def space(self) -> int:
         """Words of state — Theorem 5.2's O(ε⁻¹)."""
         return len(self.counters) + 2
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            **header("freq_infinite"),
+            "eps": self.eps,
+            "capacity": self.capacity,
+            "counters": dict(self.counters),
+            "stream_length": self.stream_length,
+            "rng": rng_state(self._rng),
+        }
+
+    def load_state(self, state: dict) -> None:
+        expect(state, "freq_infinite")
+        self.eps = float(state["eps"])
+        self.capacity = int(state["capacity"])
+        self.counters = dict(state["counters"])
+        self.stream_length = int(state["stream_length"])
+        self._rng = restore_rng(state["rng"])
+
+    def check_invariants(self) -> None:
+        """Theorem 5.2 audit: at most S counters, all positive, total
+        counter mass bounded by the stream length."""
+        name = "ParallelFrequencyEstimator"
+        require(
+            len(self.counters) <= self.capacity,
+            name,
+            f"{len(self.counters)} counters exceed capacity {self.capacity}",
+        )
+        require(
+            all(c >= 1 for c in self.counters.values()),
+            name,
+            "every retained counter must be positive",
+        )
+        require(
+            sum(self.counters.values()) <= self.stream_length,
+            name,
+            "counter mass exceeds stream length",
+        )

@@ -39,6 +39,8 @@ from repro.pram.css import CSS, sift
 from repro.pram.histogram import build_hist
 from repro.pram.primitives import log2ceil
 from repro.pram.select import prune_cutoff
+from repro.resilience.invariants import require
+from repro.resilience.state import expect, header, restore_rng, rng_state
 
 __all__ = [
     "BasicSlidingFrequency",
@@ -83,6 +85,9 @@ def _validate_params(window: int, eps: float) -> None:
 
 class _SlidingFrequencyBase:
     """State and query logic shared by all three variants."""
+
+    #: Serialization tag; each variant overrides with its own kind.
+    _STATE_KIND = "freq_sliding"
 
     def __init__(self, window: int, eps: float, lam: float) -> None:
         if window < 1:
@@ -141,6 +146,72 @@ class _SlidingFrequencyBase:
         """Number of items actually in the window (min(t, n))."""
         return min(self.t, self.window)
 
+    # ------------------------------------------------------------------
+    # Checkpoint/restore + invariant audit (shared by all variants)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        state = {
+            **header(self._STATE_KIND),
+            "window": self.window,
+            "eps": self.eps,
+            "lam": self.lam,
+            "t": self.t,
+            "counters": {
+                item: counter.state_dict() for item, counter in self.counters.items()
+            },
+        }
+        capacity = getattr(self, "capacity", None)
+        if capacity is not None:
+            state["capacity"] = capacity
+        rng = getattr(self, "_rng", None)
+        if rng is not None:
+            state["rng"] = rng_state(rng)
+        return state
+
+    def load_state(self, state: dict) -> None:
+        expect(state, self._STATE_KIND)
+        self.window = int(state["window"])
+        self.eps = float(state["eps"])
+        self.lam = float(state["lam"])
+        self.t = int(state["t"])
+        if "capacity" in state:
+            self.capacity = int(state["capacity"])
+        if "rng" in state:
+            self._rng = restore_rng(state["rng"])
+        counters: dict[Hashable, SBBC] = {}
+        for item, sub in state["counters"].items():
+            counter = self._new_counter()
+            counter.load_state(sub)
+            counters[item] = counter
+        self.counters = counters
+
+    def check_invariants(self) -> None:
+        """Per-item SBBC audits plus the variant's capacity bound."""
+        name = type(self).__name__
+        capacity = getattr(self, "capacity", None)
+        if capacity is not None and self._prunes_to_capacity:
+            require(
+                len(self.counters) <= capacity,
+                name,
+                f"{len(self.counters)} tracked items exceed capacity {capacity}",
+            )
+        for item, counter in self.counters.items():
+            require(
+                counter.window == self.window,
+                name,
+                f"counter for {item!r} has window {counter.window} != {self.window}",
+            )
+            require(
+                counter.raw_value() > 0,
+                name,
+                f"retained counter for {item!r} has zero value",
+            )
+            counter.check_invariants()
+
+    #: Whether the ingest path prunes the directory down to ``capacity``
+    #: (the basic variant tracks every distinct item by design).
+    _prunes_to_capacity = True
+
 
 class BasicSlidingFrequency(_SlidingFrequencyBase):
     """§5.3.1 / Theorem 5.5 — an SBBC per distinct item in the window.
@@ -149,6 +220,9 @@ class BasicSlidingFrequency(_SlidingFrequencyBase):
     Space is O(|B| + ε⁻¹) where B can hold every distinct item in the
     window — the blow-up the improved variants remove.
     """
+
+    _STATE_KIND = "freq_sliding_basic"
+    _prunes_to_capacity = False
 
     def __init__(self, window: int, eps: float) -> None:
         _validate_params(window, eps)
@@ -194,6 +268,8 @@ class SpaceEfficientSlidingFrequency(_SlidingFrequencyBase):
     Space O(ε⁻¹); work still O(ε⁻¹ + µ log µ) because step 1 builds a
     CSS for every batch item.
     """
+
+    _STATE_KIND = "freq_sliding_space_efficient"
 
     def __init__(self, window: int, eps: float) -> None:
         _validate_params(window, eps)
@@ -257,6 +333,8 @@ class WorkEfficientSlidingFrequency(_SlidingFrequencyBase):
     O(ε⁻¹ + µ) work and O(ε⁻¹ + polylog µ) depth per minibatch with
     O(ε⁻¹) space; estimates within εn as before.
     """
+
+    _STATE_KIND = "freq_sliding_work_efficient"
 
     def __init__(
         self,

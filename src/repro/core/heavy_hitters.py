@@ -23,6 +23,8 @@ from repro.core.freq_sliding import (
     SpaceEfficientSlidingFrequency,
     WorkEfficientSlidingFrequency,
 )
+from repro.resilience.invariants import require
+from repro.resilience.state import expect, header
 
 __all__ = ["InfiniteHeavyHitters", "SlidingHeavyHitters"]
 
@@ -84,6 +86,26 @@ class InfiniteHeavyHitters:
     @property
     def space(self) -> int:
         return self.estimator.space
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            **header("infinite_heavy_hitters"),
+            "phi": self.phi,
+            "eps": self.eps,
+            "estimator": self.estimator.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        expect(state, "infinite_heavy_hitters")
+        self.phi = float(state["phi"])
+        self.eps = float(state["eps"])
+        self.estimator.load_state(state["estimator"])
+
+    def check_invariants(self) -> None:
+        require(0 < self.eps < self.phi < 1, "InfiniteHeavyHitters",
+                f"need 0 < eps < phi < 1, got eps={self.eps}, phi={self.phi}")
+        self.estimator.check_invariants()
 
 
 class SlidingHeavyHitters:
@@ -148,3 +170,31 @@ class SlidingHeavyHitters:
     @property
     def space(self) -> int:
         return self.estimator.space
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            **header("sliding_heavy_hitters"),
+            "phi": self.phi,
+            "eps": self.eps,
+            "variant": self.variant,
+            "estimator": self.estimator.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        expect(state, "sliding_heavy_hitters")
+        variant = str(state["variant"])
+        if variant != self.variant:
+            # Rebuild the backing estimator at the checkpointed variant.
+            self.estimator = _SLIDING_VARIANTS[variant](
+                self.estimator.window, float(state["eps"])
+            )
+            self.variant = variant
+        self.phi = float(state["phi"])
+        self.eps = float(state["eps"])
+        self.estimator.load_state(state["estimator"])
+
+    def check_invariants(self) -> None:
+        require(0 < self.eps < self.phi < 1, "SlidingHeavyHitters",
+                f"need 0 < eps < phi < 1, got eps={self.eps}, phi={self.phi}")
+        self.estimator.check_invariants()

@@ -26,6 +26,8 @@ import numpy as np
 from repro.pram.cost import charge
 from repro.pram.primitives import log2ceil
 from repro.pram.select import prune_cutoff
+from repro.resilience.invariants import require
+from repro.resilience.state import expect, header
 
 __all__ = ["MisraGriesSummary", "mg_augment", "capacity_for_eps"]
 
@@ -83,6 +85,9 @@ class MisraGriesSummary:
             item = item.item() if isinstance(item, np.generic) else item
             self.update(item)
 
+    #: StreamOperator alias so the summary can sit in a MinibatchDriver.
+    ingest = extend
+
     def estimate(self, item: Hashable) -> int:
         """C_e, satisfying ``f_e − m/S <= C_e <= f_e`` (Lemma 5.1)."""
         return self.counters.get(item, 0)
@@ -90,6 +95,43 @@ class MisraGriesSummary:
     @property
     def space(self) -> int:
         return len(self.counters) + 2
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Versioned serializable snapshot of the summary."""
+        return {
+            **header("misra_gries"),
+            "capacity": self.capacity,
+            "counters": dict(self.counters),
+            "stream_length": self.stream_length,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a ``state_dict()`` snapshot in place."""
+        expect(state, "misra_gries")
+        self.capacity = int(state["capacity"])
+        self.counters = dict(state["counters"])
+        self.stream_length = int(state["stream_length"])
+
+    def check_invariants(self) -> None:
+        """Algorithm 1's structural invariants (Lemma 5.1 prerequisites)."""
+        name = "MisraGriesSummary"
+        require(self.capacity >= 1, name, f"capacity {self.capacity} < 1")
+        require(
+            len(self.counters) <= self.capacity,
+            name,
+            f"{len(self.counters)} counters exceed capacity {self.capacity}",
+        )
+        require(
+            all(isinstance(c, int) and c >= 1 for c in self.counters.values()),
+            name,
+            "every counter must be a positive integer",
+        )
+        require(
+            sum(self.counters.values()) <= self.stream_length,
+            name,
+            "counter mass exceeds stream length",
+        )
 
 
 def mg_augment(

@@ -34,6 +34,8 @@ from repro.core.snapshot import GammaSnapshot
 from repro.pram.cost import charge
 from repro.pram.css import CSS
 from repro.pram.primitives import log2ceil
+from repro.resilience.invariants import require
+from repro.resilience.state import expect, header
 
 __all__ = ["SBBC", "OVERFLOWED", "Overflowed", "TruncationEvent"]
 
@@ -251,6 +253,69 @@ class SBBC:
     def space(self) -> int:
         """Words of state: |Q| plus O(1) registers."""
         return int(self._blocks.size) + 4
+
+    # ------------------------------------------------------------------
+    # Checkpoint/restore + invariant audit
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            **header("sbbc"),
+            "window": self.window,
+            "lam": self.lam,
+            "sigma": self.sigma if isinstance(self.sigma, (int, float)) else float(self.sigma),
+            "gamma": self.gamma,
+            "t": self.t,
+            "r": self.r,
+            "blocks": self._blocks,
+            "ell": self._ell,
+            "truncations": [
+                {"t": e.t, "blocks_before": e.blocks_before, "value_before": e.value_before}
+                for e in self.truncations
+            ],
+        }
+
+    def load_state(self, state: dict) -> None:
+        expect(state, "sbbc")
+        self.window = int(state["window"])
+        self.lam = float(state["lam"])
+        sigma = state["sigma"]
+        self.sigma = sigma if sigma == math.inf else float(sigma)
+        self.gamma = int(state["gamma"])
+        self.t = int(state["t"])
+        self.r = int(state["r"])
+        self._blocks = np.asarray(state["blocks"], dtype=np.int64).copy()
+        self._ell = int(state["ell"])
+        self.truncations = [
+            TruncationEvent(
+                t=int(e["t"]),
+                blocks_before=int(e["blocks_before"]),
+                value_before=int(e["value_before"]),
+            )
+            for e in state["truncations"]
+        ]
+
+    def check_invariants(self) -> None:
+        """Theorem 3.4 structural audit: block monotonicity, residual
+        range, coverage, and the 2σ capacity bound."""
+        name = "SBBC"
+        require(self.gamma == max(1, int(self.lam // 2)), name, "gamma drifted from λ")
+        require(0 <= self._ell < max(1, self.gamma), name,
+                f"residual ℓ={self._ell} outside [0, γ={self.gamma})")
+        require(0 <= self.r <= min(self.t, self.window), name,
+                f"coverage r={self.r} outside [0, min(t={self.t}, n={self.window})]")
+        blocks = self._blocks
+        if blocks.size:
+            require(bool((np.diff(blocks) > 0).all()), name,
+                    "block ids must be strictly increasing")
+            require(int(blocks[0]) >= 1, name, "block ids are 1-based")
+            require(
+                int(blocks[-1]) <= -(-self.t // self.gamma),
+                name,
+                f"block {int(blocks[-1])} lies beyond stream position t={self.t}",
+            )
+        if self.sigma != math.inf:
+            require(blocks.size <= 2 * self.sigma, name,
+                    f"|Q|={blocks.size} exceeds capacity 2σ={2 * self.sigma}")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "OVERFLOWED" if self.overflowed else f"val={self.raw_value()}"

@@ -37,6 +37,8 @@ from repro.pram.hashing import KWiseHash, pairwise_hashes
 from repro.pram.histogram import build_hist
 from repro.pram.primitives import log2ceil, reduce_min
 from repro.pram.sort import int_sort_by_key
+from repro.resilience.invariants import require
+from repro.resilience.state import expect, header
 
 __all__ = ["WindowedCountMin"]
 
@@ -182,3 +184,66 @@ class WindowedCountMin:
     @property
     def live_cells(self) -> int:
         return sum(len(row) for row in self._cells)
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            **header("windowed_countmin"),
+            "window": self.window,
+            "eps": self.eps,
+            "delta": self.delta,
+            "lam": self.lam,
+            "width": self.width,
+            "depth": self.depth,
+            "t": self.t,
+            "hashes": [h.state_dict() for h in self.hashes],
+            "cells": [
+                {col: cell.state_dict() for col, cell in row.items()}
+                for row in self._cells
+            ],
+            "cell_time": [dict(row) for row in self._cell_time],
+        }
+
+    def load_state(self, state: dict) -> None:
+        expect(state, "windowed_countmin")
+        self.window = int(state["window"])
+        self.eps = float(state["eps"])
+        self.delta = float(state["delta"])
+        self.lam = float(state["lam"])
+        self.width = int(state["width"])
+        self.depth = int(state["depth"])
+        self.t = int(state["t"])
+        self.hashes = [KWiseHash.from_state(s) for s in state["hashes"]]
+        cells: list[dict[int, SBBC]] = []
+        for row in state["cells"]:
+            rebuilt: dict[int, SBBC] = {}
+            for col, sub in row.items():
+                cell = SBBC(self.window, self.lam, sigma=math.inf)
+                cell.load_state(sub)
+                rebuilt[int(col)] = cell
+            cells.append(rebuilt)
+        self._cells = cells
+        self._cell_time = [
+            {int(col): int(ts) for col, ts in row.items()}
+            for row in state["cell_time"]
+        ]
+
+    def check_invariants(self) -> None:
+        """Audit every live cell: SBBC invariants, the lazy-slide clock
+        never ahead of global time, and cell/time directories aligned."""
+        name = "WindowedCountMin"
+        require(len(self._cells) == self.depth == len(self.hashes), name,
+                "row count drifted")
+        for row in range(self.depth):
+            require(
+                self._cells[row].keys() == self._cell_time[row].keys(),
+                name,
+                f"row {row}: cell and clock directories disagree",
+            )
+            for col, cell in self._cells[row].items():
+                ts = self._cell_time[row][col]
+                require(0 <= ts <= self.t, name,
+                        f"cell ({row}, {col}) clock {ts} ahead of t={self.t}")
+                require(cell.t == ts, name,
+                        f"cell ({row}, {col}) SBBC clock {cell.t} != directory {ts}")
+                cell.check_invariants()

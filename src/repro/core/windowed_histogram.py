@@ -31,6 +31,8 @@ from repro.core.basic_counting import ParallelBasicCounter
 from repro.pram.cost import charge, parallel
 from repro.pram.css import css_of_bits
 from repro.pram.primitives import log2ceil
+from repro.resilience.invariants import require
+from repro.resilience.state import expect, header
 
 __all__ = ["WindowedHistogram"]
 
@@ -132,3 +134,42 @@ class WindowedHistogram:
     def space(self) -> int:
         """B × the basic counter's O(ε⁻¹ log n) words."""
         return sum(c.space for c in self.counters) + self.edges.size
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            **header("windowed_histogram"),
+            "window": self.window,
+            "eps": self.eps,
+            "edges": self.edges,
+            "t": self.t,
+            "counters": [c.state_dict() for c in self.counters],
+        }
+
+    def load_state(self, state: dict) -> None:
+        expect(state, "windowed_histogram")
+        self.window = int(state["window"])
+        self.eps = float(state["eps"])
+        self.edges = np.asarray(state["edges"], dtype=np.float64)
+        self.num_buckets = self.edges.size - 1
+        self.t = int(state["t"])
+        if len(self.counters) != len(state["counters"]):
+            self.counters = [
+                ParallelBasicCounter(self.window, self.eps)
+                for _ in state["counters"]
+            ]
+        for counter, sub in zip(self.counters, state["counters"]):
+            counter.load_state(sub)
+
+    def check_invariants(self) -> None:
+        name = "WindowedHistogram"
+        require(
+            len(self.counters) == self.num_buckets == self.edges.size - 1,
+            name,
+            "bucket count drifted from edges",
+        )
+        require(bool((np.diff(self.edges) > 0).all()), name,
+                "bucket edges must be strictly increasing")
+        for i, counter in enumerate(self.counters):
+            require(counter.t == self.t, name, f"bucket {i} clock {counter.t} != {self.t}")
+            counter.check_invariants()

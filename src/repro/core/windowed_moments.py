@@ -19,6 +19,8 @@ import numpy as np
 
 from repro.core.windowed_sum import ParallelWindowedSum
 from repro.pram.cost import parallel
+from repro.resilience.invariants import require
+from repro.resilience.state import expect, header
 
 __all__ = ["WindowedLpNorm", "WindowedVariance"]
 
@@ -81,6 +83,25 @@ class WindowedLpNorm:
     def space(self) -> int:
         return self._sum.space
 
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            **header("windowed_lp_norm"),
+            "p": self.p,
+            "max_value": self.max_value,
+            "sum": self._sum.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        expect(state, "windowed_lp_norm")
+        self.p = int(state["p"])
+        self.max_value = int(state["max_value"])
+        self._sum.load_state(state["sum"])
+
+    def check_invariants(self) -> None:
+        require(self.p >= 1, "WindowedLpNorm", f"norm order {self.p} < 1")
+        self._sum.check_invariants()
+
 
 class WindowedVariance:
     """Windowed variance from two Sum structures (x and x²).
@@ -128,3 +149,31 @@ class WindowedVariance:
     @property
     def space(self) -> int:
         return self._sum.space + self._sumsq.space
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            **header("windowed_variance"),
+            "window": self.window,
+            "eps": self.eps,
+            "max_value": self.max_value,
+            "t": self.t,
+            "sum": self._sum.state_dict(),
+            "sumsq": self._sumsq.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        expect(state, "windowed_variance")
+        self.window = int(state["window"])
+        self.eps = float(state["eps"])
+        self.max_value = int(state["max_value"])
+        self.t = int(state["t"])
+        self._sum.load_state(state["sum"])
+        self._sumsq.load_state(state["sumsq"])
+
+    def check_invariants(self) -> None:
+        name = "WindowedVariance"
+        require(self._sum.t == self.t, name, "x-sum clock drifted")
+        require(self._sumsq.t == self.t, name, "x²-sum clock drifted")
+        self._sum.check_invariants()
+        self._sumsq.check_invariants()

@@ -19,6 +19,8 @@ from repro.core.basic_counting import ParallelBasicCounter
 from repro.pram.cost import charge, parallel
 from repro.pram.css import css_of_bits
 from repro.pram.primitives import log2ceil
+from repro.resilience.invariants import require
+from repro.resilience.state import expect, header
 
 __all__ = ["ParallelWindowedSum", "ParallelWindowedMean"]
 
@@ -82,6 +84,43 @@ class ParallelWindowedSum:
         """Total words — Theorem 4.2's O(ε⁻¹ log n log R)."""
         return sum(plane.space for plane in self.planes)
 
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            **header("windowed_sum"),
+            "window": self.window,
+            "eps": self.eps,
+            "max_value": self.max_value,
+            "t": self.t,
+            "planes": [plane.state_dict() for plane in self.planes],
+        }
+
+    def load_state(self, state: dict) -> None:
+        expect(state, "windowed_sum")
+        self.window = int(state["window"])
+        self.eps = float(state["eps"])
+        self.max_value = int(state["max_value"])
+        self.num_planes = len(state["planes"])
+        self.t = int(state["t"])
+        if len(self.planes) != self.num_planes:
+            self.planes = [
+                ParallelBasicCounter(self.window, self.eps)
+                for _ in range(self.num_planes)
+            ]
+        for plane, sub in zip(self.planes, state["planes"]):
+            plane.load_state(sub)
+
+    def check_invariants(self) -> None:
+        name = "ParallelWindowedSum"
+        require(
+            len(self.planes) == self.num_planes == int(self.max_value).bit_length(),
+            name,
+            "bit-plane count drifted from max_value",
+        )
+        for i, plane in enumerate(self.planes):
+            require(plane.t == self.t, name, f"plane {i} clock {plane.t} != {self.t}")
+            plane.check_invariants()
+
 
 class ParallelWindowedMean:
     """ε-approximate mean of the last n values (§4.1: "the maintenance
@@ -121,3 +160,14 @@ class ParallelWindowedMean:
     @property
     def space(self) -> int:
         return self._sum.space + 1
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {**header("windowed_mean"), "sum": self._sum.state_dict()}
+
+    def load_state(self, state: dict) -> None:
+        expect(state, "windowed_mean")
+        self._sum.load_state(state["sum"])
+
+    def check_invariants(self) -> None:
+        self._sum.check_invariants()

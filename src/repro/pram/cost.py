@@ -115,8 +115,42 @@ class CostLedger:
     def snapshot(self) -> Cost:
         return Cost(self.work, self.depth)
 
+    # ------------------------------------------------------------------
+    # Checkpoint/restore (repro.resilience): a ledger's accumulated
+    # charges — and its fork-join trace, when recording — are part of
+    # the driver state a checkpoint must reproduce exactly.
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "kind": "cost_ledger",
+            "version": 1,
+            "work": self.work,
+            "depth": self.depth,
+            "trace": self.trace,
+        }
+
+    def load_state(self, state: dict) -> None:
+        if state.get("kind") != "cost_ledger":
+            raise ValueError(f"not a cost_ledger state: {state.get('kind')!r}")
+        self.work = int(state["work"])
+        self.depth = int(state["depth"])
+        trace = state["trace"]
+        self.trace = _as_trace(trace) if trace is not None else None
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CostLedger(work={self.work}, depth={self.depth})"
+
+
+def _as_trace(items: list) -> list:
+    """Normalize a deserialized trace back into tuple entries."""
+    out: list = []
+    for entry in items:
+        entry = tuple(entry)
+        if entry[0] == "p":
+            out.append(("p", [_as_trace(strand) for strand in entry[1]]))
+        else:
+            out.append(("c", int(entry[1]), int(entry[2])))
+    return out
 
 
 _LEDGER: contextvars.ContextVar[CostLedger | None] = contextvars.ContextVar(

@@ -82,6 +82,20 @@ class KWiseHash:
         out = (acc % np.uint64(self.range_size)).astype(np.int64)
         return int(out[0]) if scalar else out
 
+    def state_dict(self) -> dict:
+        """Serializable description (kind/version handled by the caller's
+        envelope — a hash is always embedded in a sketch's state)."""
+        return {"k": self.k, "range_size": self.range_size, "coeffs": self.coeffs}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "KWiseHash":
+        """Rebuild the exact same hash function from ``state_dict()``."""
+        h = cls.__new__(cls)
+        h.k = int(state["k"])
+        h.range_size = int(state["range_size"])
+        h.coeffs = np.asarray(state["coeffs"], dtype=np.uint64)
+        return h
+
 
 def pairwise_hashes(
     d: int, range_size: int, rng: np.random.Generator

@@ -1,0 +1,70 @@
+"""Fault-tolerant streaming runtime: checkpoint/restore, fault
+injection, and invariant-guarded recovery (docs/resilience.md).
+
+``repro.resilience.state``       versioned deterministic serialization
+``repro.resilience.checkpoint``  atomic write-then-rename snapshots
+``repro.resilience.faults``      seeded fault injector, retries, DLQ
+``repro.resilience.invariants``  per-sketch structural audits
+"""
+
+from repro.resilience.checkpoint import (
+    CHECKPOINT_FORMAT,
+    CheckpointCorruption,
+    CheckpointManager,
+)
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    DeadLetter,
+    DeadLetterQueue,
+    Delivery,
+    FaultInjector,
+    InjectedCrash,
+    PoisonBatchError,
+    RetryPolicy,
+    TransientIngestError,
+    validate_batch,
+)
+from repro.resilience.invariants import InvariantViolation, audit_operators, require
+from repro.resilience.state import (
+    STATE_VERSION,
+    StateError,
+    checksum,
+    decode,
+    dumps,
+    encode,
+    expect,
+    header,
+    loads,
+    restore_rng,
+    rng_state,
+)
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CheckpointCorruption",
+    "CheckpointManager",
+    "FAULT_KINDS",
+    "DeadLetter",
+    "DeadLetterQueue",
+    "Delivery",
+    "FaultInjector",
+    "InjectedCrash",
+    "PoisonBatchError",
+    "RetryPolicy",
+    "TransientIngestError",
+    "validate_batch",
+    "InvariantViolation",
+    "audit_operators",
+    "require",
+    "STATE_VERSION",
+    "StateError",
+    "checksum",
+    "decode",
+    "dumps",
+    "encode",
+    "expect",
+    "header",
+    "loads",
+    "restore_rng",
+    "rng_state",
+]

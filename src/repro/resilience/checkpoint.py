@@ -1,0 +1,139 @@
+"""Atomic, checksummed checkpoints of driver + operator state.
+
+Write path (crash-safe):
+
+1. serialize the state via :mod:`repro.resilience.state` (canonical
+   bytes, so equal states give equal files);
+2. wrap it in an envelope carrying a SHA-256 checksum of the payload;
+3. write to a temporary file *in the same directory*, flush + fsync,
+   then ``os.replace`` onto the final name — a crash leaves either the
+   old checkpoint or the new one, never a torn file.
+
+Read path (fault-tolerant): ``load_latest`` walks checkpoints newest
+to oldest, verifying the checksum of each; a corrupt file is skipped
+(and remembered in ``corrupt_seen``) so recovery degrades to the most
+recent *intact* checkpoint instead of failing outright.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.resilience import state as state_codec
+
+__all__ = ["CheckpointCorruption", "CheckpointManager", "CHECKPOINT_FORMAT"]
+
+#: Envelope format tag; bump with the envelope layout.
+CHECKPOINT_FORMAT = "repro-checkpoint-v1"
+
+
+class CheckpointCorruption(RuntimeError):
+    """A checkpoint file failed its checksum or envelope validation."""
+
+
+class CheckpointManager:
+    """Snapshot state every ``every`` batches, keeping the last ``keep``.
+
+    Parameters
+    ----------
+    directory:
+        Where checkpoint files live (created on first save).
+    every:
+        Snapshot cadence in *processed* batches (K in docs/resilience.md).
+    keep:
+        How many most-recent checkpoints to retain; older ones are
+        pruned after each successful save.
+    """
+
+    def __init__(self, directory: str | os.PathLike, *, every: int = 1, keep: int = 3) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.directory = Path(directory)
+        self.every = int(every)
+        self.keep = int(keep)
+        self.saves = 0
+        self.corrupt_seen: list[Path] = []
+
+    # ------------------------------------------------------------------
+    def maybe_save(self, state: Mapping[str, Any], batch_index: int) -> Path | None:
+        """Save iff ``batch_index`` (1-based count of processed batches)
+        lands on the cadence; returns the path when a save happened."""
+        if batch_index % self.every != 0:
+            return None
+        return self.save(state, batch_index)
+
+    def save(self, state: Mapping[str, Any], batch_index: int) -> Path:
+        """Atomically persist one checkpoint (write-then-rename)."""
+        payload = state_codec.dumps(state)
+        envelope = {
+            "format": CHECKPOINT_FORMAT,
+            "batch_index": int(batch_index),
+            "checksum": state_codec.checksum(payload),
+            "payload": payload.decode("utf-8"),
+        }
+        blob = state_codec.dumps(envelope)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        final = self._path_for(batch_index)
+        tmp = final.with_name(final.name + ".tmp")
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            os.write(fd, blob)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, final)
+        self.saves += 1
+        self._prune()
+        return final
+
+    # ------------------------------------------------------------------
+    def load(self, path: str | os.PathLike) -> dict[str, Any]:
+        """Load and verify one checkpoint file."""
+        raw = Path(path).read_bytes()
+        try:
+            envelope = state_codec.loads(raw)
+        except state_codec.StateError as exc:
+            raise CheckpointCorruption(f"{path}: unreadable envelope ({exc})") from exc
+        if not isinstance(envelope, dict) or envelope.get("format") != CHECKPOINT_FORMAT:
+            raise CheckpointCorruption(f"{path}: not a {CHECKPOINT_FORMAT} file")
+        payload = str(envelope.get("payload", "")).encode("utf-8")
+        if state_codec.checksum(payload) != envelope.get("checksum"):
+            raise CheckpointCorruption(f"{path}: checksum mismatch")
+        return {
+            "batch_index": int(envelope["batch_index"]),
+            "state": state_codec.loads(payload),
+        }
+
+    def load_latest(self, *, strict: bool = False) -> dict[str, Any] | None:
+        """The newest intact checkpoint, or ``None`` if there is none.
+
+        With ``strict=False`` (the default recovery mode) corrupt files
+        are skipped and recorded; ``strict=True`` raises on the first
+        corrupt file encountered.
+        """
+        for path in reversed(self.paths()):
+            try:
+                return self.load(path)
+            except CheckpointCorruption:
+                if strict:
+                    raise
+                self.corrupt_seen.append(path)
+        return None
+
+    def paths(self) -> list[Path]:
+        """All checkpoint files, oldest first."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob("ckpt-*.json"))
+
+    # ------------------------------------------------------------------
+    def _path_for(self, batch_index: int) -> Path:
+        return self.directory / f"ckpt-{batch_index:010d}.json"
+
+    def _prune(self) -> None:
+        for stale in self.paths()[: -self.keep]:
+            stale.unlink(missing_ok=True)

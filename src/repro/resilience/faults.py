@@ -1,0 +1,349 @@
+"""Deterministic fault injection, retry policy, and the dead-letter queue.
+
+The fault model covers what a production ingest path actually sees
+(cf. the recoverability concerns in Rinberg et al., *Fast Concurrent
+Data Sketches*): duplicated deliveries, reordered deliveries, truncated
+payloads, NaN-poisoned payloads, transient ingest exceptions, and hard
+crashes mid-stream.
+
+Determinism: the fault assigned to batch ``i`` is drawn from
+``default_rng([seed, i])`` and memoized, so it depends only on
+``(seed, i)`` — not on encounter order.  Replaying a stream after a
+recovery sees the *same* duplications, truncations, and poisonings,
+which is what makes the crash-recovery benchmark's bit-identical
+comparison meaningful.  A crash fires at most once per batch id: the
+replay of a batch whose first delivery crashed proceeds normally, the
+way a restarted worker re-reads the record that killed it.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+import numpy as np
+
+from repro.resilience.state import STATE_VERSION, expect, header
+
+__all__ = [
+    "FAULT_KINDS",
+    "Delivery",
+    "DeadLetter",
+    "DeadLetterQueue",
+    "FaultInjector",
+    "InjectedCrash",
+    "PoisonBatchError",
+    "RetryPolicy",
+    "TransientIngestError",
+    "validate_batch",
+]
+
+#: Every fault kind the injector can produce, in threshold order.
+FAULT_KINDS = ("crash", "duplicate", "reorder", "truncate", "poison", "transient")
+
+
+class InjectedCrash(RuntimeError):
+    """A hard crash: the driver dies before processing the batch."""
+
+    def __init__(self, batch_id: int) -> None:
+        self.batch_id = int(batch_id)
+        super().__init__(f"injected crash before batch {batch_id}")
+
+
+class TransientIngestError(RuntimeError):
+    """A retryable ingest failure (network blip, worker hiccup)."""
+
+
+class PoisonBatchError(ValueError):
+    """A batch whose payload can never be ingested (non-finite values)."""
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """One batch as delivered by the (possibly faulty) transport."""
+
+    batch_id: int
+    payload: np.ndarray
+    fault: str | None = None
+
+
+def validate_batch(payload: np.ndarray) -> None:
+    """Reject payloads no retry can fix; raises :class:`PoisonBatchError`.
+
+    Integer payloads are always valid; floating payloads must be finite.
+    """
+    arr = np.asarray(payload)
+    if arr.dtype.kind == "f" and not np.isfinite(arr).all():
+        bad = int(np.size(arr) - np.isfinite(arr).sum())
+        raise PoisonBatchError(f"batch contains {bad} non-finite value(s)")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff.
+
+    ``base_delay`` defaults to 0 so test/bench runs don't sleep; a real
+    deployment sets it to its transport's retry floor.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.0
+    factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.factor < 1:
+            raise ValueError("need base_delay >= 0 and factor >= 1")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        return self.base_delay * (self.factor**attempt)
+
+    def backoff(self, attempt: int, sleep: Callable[[float], None] = time.sleep) -> float:
+        d = self.delay(attempt)
+        if d > 0:
+            sleep(d)
+        return d
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """One batch that exhausted its retries (or was poison on arrival)."""
+
+    batch_id: int
+    size: int
+    reason: str
+    attempts: int
+    payload: np.ndarray = field(repr=False)
+
+
+class DeadLetterQueue:
+    """Bounded queue of undeliverable batches, with full accounting.
+
+    When capacity is exceeded the *oldest* entry is evicted but stays
+    accounted: ``dropped_batches``/``dropped_items`` count everything
+    ever pushed, so no loss is silent even after eviction.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: deque[DeadLetter] = deque()
+        self.evicted = 0
+        self.dropped_batches = 0
+        self.dropped_items = 0
+
+    def push(
+        self, batch_id: int, payload: np.ndarray, reason: str, attempts: int = 0
+    ) -> DeadLetter:
+        payload = np.asarray(payload)
+        letter = DeadLetter(
+            batch_id=int(batch_id),
+            size=int(len(payload)),
+            reason=str(reason),
+            attempts=int(attempts),
+            payload=payload,
+        )
+        self._entries.append(letter)
+        self.dropped_batches += 1
+        self.dropped_items += letter.size
+        if len(self._entries) > self.capacity:
+            self._entries.popleft()
+            self.evicted += 1
+        return letter
+
+    def entries(self) -> list[DeadLetter]:
+        return list(self._entries)
+
+    def batch_ids(self) -> list[int]:
+        return [e.batch_id for e in self._entries]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, Any]:
+        return {
+            **header("dead_letter_queue"),
+            "capacity": self.capacity,
+            "evicted": self.evicted,
+            "dropped_batches": self.dropped_batches,
+            "dropped_items": self.dropped_items,
+            "entries": [
+                {
+                    "batch_id": e.batch_id,
+                    "size": e.size,
+                    "reason": e.reason,
+                    "attempts": e.attempts,
+                    "payload": e.payload,
+                }
+                for e in self._entries
+            ],
+        }
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        expect(state, "dead_letter_queue")
+        self.capacity = int(state["capacity"])
+        self.evicted = int(state["evicted"])
+        self.dropped_batches = int(state["dropped_batches"])
+        self.dropped_items = int(state["dropped_items"])
+        self._entries = deque(
+            DeadLetter(
+                batch_id=int(e["batch_id"]),
+                size=int(e["size"]),
+                reason=str(e["reason"]),
+                attempts=int(e["attempts"]),
+                payload=np.asarray(e["payload"]),
+            )
+            for e in state["entries"]
+        )
+
+
+class FaultInjector:
+    """Seeded fault source for :class:`repro.stream.MinibatchDriver`.
+
+    Parameters
+    ----------
+    seed:
+        Root seed; together with a batch id it fully determines that
+        batch's fault.
+    crash, duplicate, reorder, truncate, poison, transient:
+        Per-batch probabilities of each fault kind (mutually exclusive;
+        their sum must be ≤ 1).
+    transient_failures:
+        How many consecutive ingest attempts fail for a batch hit by a
+        ``transient`` fault (a retry policy with more attempts wins).
+    crash_at:
+        Additionally force a crash right before this batch id — the
+        deterministic kill switch the recovery benchmark uses.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        *,
+        crash: float = 0.0,
+        duplicate: float = 0.0,
+        reorder: float = 0.0,
+        truncate: float = 0.0,
+        poison: float = 0.0,
+        transient: float = 0.0,
+        transient_failures: int = 2,
+        crash_at: int | None = None,
+    ) -> None:
+        rates = {
+            "crash": crash,
+            "duplicate": duplicate,
+            "reorder": reorder,
+            "truncate": truncate,
+            "poison": poison,
+            "transient": transient,
+        }
+        for kind, rate in rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{kind} rate must be in [0, 1], got {rate}")
+        if sum(rates.values()) > 1.0 + 1e-12:
+            raise ValueError("fault rates must sum to <= 1")
+        if transient_failures < 1:
+            raise ValueError("transient_failures must be >= 1")
+        self.seed = int(seed)
+        self.rates = rates
+        self.transient_failures = int(transient_failures)
+        self.crash_at = crash_at if crash_at is None else int(crash_at)
+        self._plan: dict[int, str | None] = {}
+        self._crashed: set[int] = set()
+        #: Count of faults actually emitted, by kind.
+        self.injected: dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+
+    # ------------------------------------------------------------------
+    def _batch_rng(self, batch_id: int) -> np.random.Generator:
+        return np.random.default_rng([self.seed, int(batch_id)])
+
+    def fault_for(self, batch_id: int) -> str | None:
+        """The (memoized) fault assigned to ``batch_id``."""
+        if batch_id in self._plan:
+            return self._plan[batch_id]
+        if self.crash_at is not None and batch_id == self.crash_at:
+            fault: str | None = "crash"
+        else:
+            u = float(self._batch_rng(batch_id).random())
+            fault = None
+            threshold = 0.0
+            for kind in FAULT_KINDS:
+                threshold += self.rates[kind]
+                if u < threshold:
+                    fault = kind
+                    break
+        self._plan[batch_id] = fault
+        return fault
+
+    def should_fail_transiently(self, batch_id: int, attempt: int) -> bool:
+        """True when ingest attempt ``attempt`` (0-based) of this batch
+        is planned to raise :class:`TransientIngestError`."""
+        return self.fault_for(batch_id) == "transient" and attempt < self.transient_failures
+
+    # ------------------------------------------------------------------
+    def deliveries(
+        self, batches: Iterable[tuple[int, np.ndarray]]
+    ) -> Iterator[Delivery]:
+        """Transform an ordered (batch_id, payload) sequence into the
+        faulty delivery sequence the driver consumes."""
+        held: Delivery | None = None
+        for batch_id, payload in batches:
+            fault = self.fault_for(batch_id)
+            if fault == "crash":
+                if batch_id not in self._crashed:
+                    self._crashed.add(batch_id)
+                    self.injected["crash"] += 1
+                    if held is not None:
+                        yield held
+                    yield Delivery(batch_id, payload, "crash")
+                    continue
+                fault = None  # replay after recovery proceeds normally
+
+            if fault == "duplicate":
+                self.injected["duplicate"] += 1
+                delivery = Delivery(batch_id, payload, "duplicate")
+                if held is not None:
+                    yield held
+                    held = None
+                yield delivery
+                yield delivery
+                continue
+            if fault == "reorder" and held is None:
+                self.injected["reorder"] += 1
+                held = Delivery(batch_id, payload, "reorder")
+                continue
+            if fault == "truncate":
+                self.injected["truncate"] += 1
+                keep = max(1, (len(payload) + 1) // 2)
+                delivery = Delivery(batch_id, np.asarray(payload)[:keep], "truncate")
+            elif fault == "poison":
+                self.injected["poison"] += 1
+                delivery = Delivery(batch_id, self._poisoned(batch_id, payload), "poison")
+            elif fault == "transient":
+                self.injected["transient"] += 1
+                delivery = Delivery(batch_id, payload, "transient")
+            else:
+                delivery = Delivery(batch_id, payload, None)
+
+            yield delivery
+            if held is not None:
+                yield held
+                held = None
+        if held is not None:
+            yield held
+
+    def _poisoned(self, batch_id: int, payload: np.ndarray) -> np.ndarray:
+        """NaN-poison a few positions of the payload (float copy)."""
+        out = np.asarray(payload, dtype=np.float64).copy()
+        if out.size:
+            rng = self._batch_rng(batch_id)
+            rng.random()  # skip the fault-selection draw
+            hits = rng.integers(0, out.size, size=max(1, out.size // 16))
+            out[hits] = np.nan
+        return out

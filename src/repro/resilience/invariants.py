@@ -1,0 +1,63 @@
+"""Invariant auditing: structural self-checks for every synopsis.
+
+Each core structure implements ``check_invariants()``, raising
+:class:`InvariantViolation` when its internal state can no longer back
+the guarantee it advertises — e.g. a Misra-Gries summary holding more
+than S counters, a Count-Min row whose sum disagrees with the ingested
+weight, or an SBBC whose block ids stopped increasing.
+
+The checks are *sound* for healthy structures (every state reachable
+through the public API passes; tested) and are cheap enough to run
+after every recovery and, optionally, after every batch — the
+``audit_every`` knob on :class:`repro.stream.MinibatchDriver`.  A
+failed audit is the signal for graceful degradation: quarantine the
+report and re-initialize from the last good checkpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+__all__ = ["InvariantViolation", "require", "audit_operators"]
+
+
+class InvariantViolation(Exception):
+    """A structure's internal state contradicts its own guarantees.
+
+    Attributes
+    ----------
+    structure:
+        Name of the violated structure (class name or operator name).
+    detail:
+        Human-readable description of the broken invariant.
+    """
+
+    def __init__(self, structure: str, detail: str) -> None:
+        self.structure = structure
+        self.detail = detail
+        super().__init__(f"{structure}: {detail}")
+
+
+def require(condition: bool, structure: str, detail: str) -> None:
+    """Raise :class:`InvariantViolation` unless ``condition`` holds."""
+    if not condition:
+        raise InvariantViolation(structure, detail)
+
+
+def audit_operators(operators: Mapping[str, Any]) -> list[str]:
+    """Run ``check_invariants`` on every operator that provides it.
+
+    Returns the names of the operators audited; raises on the first
+    violation (annotated with the operator's registered name).
+    """
+    audited: list[str] = []
+    for name, op in operators.items():
+        check = getattr(op, "check_invariants", None)
+        if check is None:
+            continue
+        try:
+            check()
+        except InvariantViolation as exc:
+            raise InvariantViolation(name, str(exc)) from exc
+        audited.append(name)
+    return audited

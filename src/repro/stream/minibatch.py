@@ -8,6 +8,16 @@ queries can be answered after any minibatch.
 :class:`MinibatchDriver` wires a stream to one or more operators,
 tracks the work/depth charged per batch on a fresh ledger, and records
 wall-clock throughput — the numbers benchmark E14 reports.
+
+Resilience (docs/resilience.md): the driver optionally runs under a
+fault-tolerant regime — a seeded :class:`~repro.resilience.FaultInjector`
+mutates deliveries (duplicates are deduplicated by batch id, poisoned
+payloads and retry-exhausted batches land in a bounded dead-letter
+queue, crashes surface as :class:`~repro.resilience.InjectedCrash`), a
+:class:`~repro.resilience.CheckpointManager` snapshots the full
+driver/operator/ledger state every K processed batches, and per-sketch
+invariant audits gate every recovery (and, with ``audit_every``, every
+few batches), rolling back to the last checkpoint when they fail.
 """
 
 from __future__ import annotations
@@ -19,8 +29,26 @@ from typing import Any, Callable, Mapping, Protocol, Sequence
 import numpy as np
 
 from repro.pram.cost import CostLedger, tracking
+from repro.resilience.checkpoint import CheckpointManager
+from repro.resilience.faults import (
+    DeadLetterQueue,
+    Delivery,
+    FaultInjector,
+    InjectedCrash,
+    PoisonBatchError,
+    RetryPolicy,
+    TransientIngestError,
+    validate_batch,
+)
+from repro.resilience.invariants import InvariantViolation, audit_operators
+from repro.resilience.state import expect, header
 
-__all__ = ["StreamOperator", "BatchReport", "MinibatchDriver"]
+__all__ = [
+    "StreamOperator",
+    "BatchReport",
+    "MinibatchDriver",
+    "QuarantineEvent",
+]
 
 
 class StreamOperator(Protocol):
@@ -41,10 +69,26 @@ class BatchReport:
     depth: int
     seconds: float
     query_results: dict[str, Any] = field(default_factory=dict)
+    #: Source batch id (resilient runs; equals ``index`` otherwise).
+    batch_id: int | None = None
+    #: Fault the delivery carried, if any ("duplicate", "truncate", …).
+    fault: str | None = None
+    #: Ingest attempts it took (> 1 means transient failures + retries).
+    attempts: int = 1
 
     @property
     def work_per_item(self) -> float:
         return self.work / self.size if self.size else 0.0
+
+
+@dataclass(frozen=True)
+class QuarantineEvent:
+    """One audit failure that forced a rollback to the last checkpoint."""
+
+    batch_index: int
+    trigger_batch_id: int
+    detail: str
+    replayed: int
 
 
 class MinibatchDriver:
@@ -61,6 +105,24 @@ class MinibatchDriver:
     queries:
         Named zero-arg callables evaluated at query points; results land
         in the corresponding :class:`BatchReport`.
+    fault_injector:
+        Optional :class:`~repro.resilience.FaultInjector`; its faulty
+        delivery sequence replaces the pristine one.
+    retry_policy:
+        Optional :class:`~repro.resilience.RetryPolicy` for transient
+        ingest failures; operator state is rolled back between attempts.
+    dead_letter:
+        Bounded :class:`~repro.resilience.DeadLetterQueue` for batches
+        that are poison or exhaust their retries.  Auto-created when a
+        fault injector or retry policy is supplied.
+    checkpoint_manager:
+        Optional :class:`~repro.resilience.CheckpointManager`; driver +
+        operator + ledger state is snapshotted every ``manager.every``
+        processed batches, and :meth:`recover` restores from it.
+    audit_every:
+        If set, run every operator's ``check_invariants()`` after each
+        ``audit_every`` processed batches; a violation quarantines the
+        offending batch and rolls back to the last checkpoint.
     """
 
     def __init__(
@@ -69,17 +131,55 @@ class MinibatchDriver:
         *,
         query_every: int | None = None,
         queries: Mapping[str, Callable[[], Any]] | None = None,
+        fault_injector: FaultInjector | None = None,
+        retry_policy: RetryPolicy | None = None,
+        dead_letter: DeadLetterQueue | None = None,
+        checkpoint_manager: CheckpointManager | None = None,
+        audit_every: int | None = None,
     ) -> None:
         if not operators:
             raise ValueError("need at least one operator")
         if query_every is not None and query_every < 1:
             raise ValueError("query_every must be >= 1")
+        if audit_every is not None and audit_every < 1:
+            raise ValueError("audit_every must be >= 1")
         self.operators = dict(operators)
         self.query_every = query_every
         self.queries = dict(queries or {})
         self.reports: list[BatchReport] = []
         self._batch_index = 0
+        #: Cumulative charged cost across all processed batches —
+        #: checkpointed and restored with the rest of the driver state.
+        self.ledger = CostLedger()
 
+        self.fault_injector = fault_injector
+        self.retry_policy = retry_policy
+        if dead_letter is None and (fault_injector or retry_policy):
+            dead_letter = DeadLetterQueue()
+        self.dead_letter = dead_letter
+        self.checkpoint_manager = checkpoint_manager
+        self.audit_every = audit_every
+
+        self._processed_ids: set[int] = set()
+        self._since_checkpoint: list[tuple[int, np.ndarray]] = []
+        self.duplicates_skipped = 0
+        self.retries = 0
+        self.quarantines: list[QuarantineEvent] = []
+        self.recoveries = 0
+
+    @property
+    def _resilient(self) -> bool:
+        return (
+            self.fault_injector is not None
+            or self.retry_policy is not None
+            or self.dead_letter is not None
+            or self.checkpoint_manager is not None
+            or self.audit_every is not None
+        )
+
+    # ------------------------------------------------------------------
+    # Run loops
+    # ------------------------------------------------------------------
     def run(
         self,
         stream: np.ndarray | Sequence[Any],
@@ -90,20 +190,72 @@ class MinibatchDriver:
         """Feed ``stream`` through all operators in ``batch_size`` chunks.
 
         Returns the per-batch reports (also appended to ``.reports``).
+        In resilient mode batch ids are ``start // batch_size``, already
+        -processed ids are skipped (exactly-once across crash/replay),
+        and faults from the injector are handled as documented above.
         """
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         stream = np.asarray(stream)
+        chunks = (
+            (start // batch_size, stream[start : start + batch_size])
+            for start in range(0, len(stream), batch_size)
+        )
+        if not self._resilient:
+            new_reports: list[BatchReport] = []
+            for _, batch in chunks:
+                if max_batches is not None and len(new_reports) >= max_batches:
+                    break
+                new_reports.append(self._process(batch))
+            self.reports.extend(new_reports)
+            return new_reports
+        return self._run_resilient(chunks, max_batches)
+
+    def _run_resilient(
+        self,
+        chunks,
+        max_batches: int | None,
+    ) -> list[BatchReport]:
+        deliveries = (
+            self.fault_injector.deliveries(chunks)
+            if self.fault_injector is not None
+            else (Delivery(batch_id, payload) for batch_id, payload in chunks)
+        )
         new_reports: list[BatchReport] = []
-        for start in range(0, len(stream), batch_size):
+        for delivery in deliveries:
             if max_batches is not None and len(new_reports) >= max_batches:
                 break
-            batch = stream[start : start + batch_size]
-            new_reports.append(self._process(batch))
-        self.reports.extend(new_reports)
+            if delivery.fault == "crash":
+                raise InjectedCrash(delivery.batch_id)
+            if delivery.batch_id in self._processed_ids:
+                self.duplicates_skipped += 1
+                continue
+            try:
+                validate_batch(delivery.payload)
+            except PoisonBatchError as exc:
+                self._to_dead_letter(delivery, f"poison: {exc}", attempts=0)
+                continue
+
+            report = self._ingest_with_retries(delivery)
+            if report is None:
+                continue  # exhausted retries; already dead-lettered
+            new_reports.append(report)
+            self._processed_ids.add(delivery.batch_id)
+            self.reports.append(report)
+            self._since_checkpoint.append((delivery.batch_id, delivery.payload))
+
+            if self.audit_every and self._batch_index % self.audit_every == 0:
+                self._audit_or_quarantine(delivery)
+            if self.checkpoint_manager is not None:
+                saved = self.checkpoint_manager.maybe_save(
+                    self.state_dict(), self._batch_index
+                )
+                if saved is not None:
+                    self._since_checkpoint = []
         return new_reports
 
-    def _process(self, batch: np.ndarray) -> BatchReport:
+    # ------------------------------------------------------------------
+    def _process(self, batch: np.ndarray, delivery: Delivery | None = None) -> BatchReport:
         ledger = CostLedger()
         t0 = time.perf_counter()
         with tracking(ledger):
@@ -116,11 +268,215 @@ class MinibatchDriver:
             work=ledger.work,
             depth=ledger.depth,
             seconds=elapsed,
+            batch_id=delivery.batch_id if delivery else None,
+            fault=delivery.fault if delivery else None,
         )
+        self.ledger.charge(ledger.work, ledger.depth)
         if self.query_every and (self._batch_index + 1) % self.query_every == 0:
             report.query_results = {name: q() for name, q in self.queries.items()}
         self._batch_index += 1
         return report
+
+    def _ingest_with_retries(self, delivery: Delivery) -> BatchReport | None:
+        """Process one delivery under the retry policy; ``None`` means the
+        batch exhausted its retries and went to the dead-letter queue."""
+        policy = self.retry_policy
+        attempts_allowed = policy.max_attempts if policy else 1
+        # Roll back operator state between attempts so a failed ingest
+        # can never leave a half-applied batch behind.
+        baseline = self._operator_states() if attempts_allowed > 1 else None
+        last_error: Exception | None = None
+        for attempt in range(attempts_allowed):
+            try:
+                if self.fault_injector is not None and (
+                    self.fault_injector.should_fail_transiently(
+                        delivery.batch_id, attempt
+                    )
+                ):
+                    raise TransientIngestError(
+                        f"injected transient failure, batch {delivery.batch_id} "
+                        f"attempt {attempt}"
+                    )
+                report = self._process(delivery.payload, delivery)
+                report.attempts = attempt + 1
+                return report
+            except InvariantViolation:
+                raise
+            except Exception as exc:  # noqa: BLE001 - retry boundary
+                last_error = exc
+                if baseline is not None:
+                    self._restore_operator_states(baseline)
+                if attempt + 1 < attempts_allowed:
+                    self.retries += 1
+                    if policy is not None:
+                        policy.backoff(attempt)
+        self._to_dead_letter(
+            delivery,
+            f"retries exhausted: {last_error}",
+            attempts=attempts_allowed,
+        )
+        return None
+
+    def _to_dead_letter(self, delivery: Delivery, reason: str, attempts: int) -> None:
+        if self.dead_letter is None:
+            self.dead_letter = DeadLetterQueue()
+        self.dead_letter.push(delivery.batch_id, delivery.payload, reason, attempts)
+
+    # ------------------------------------------------------------------
+    # Audits, quarantine, recovery
+    # ------------------------------------------------------------------
+    def audit(self) -> list[str]:
+        """Run every operator's invariant check; raises
+        :class:`~repro.resilience.InvariantViolation` on failure."""
+        return audit_operators(self.operators)
+
+    def _audit_or_quarantine(self, delivery: Delivery) -> None:
+        try:
+            self.audit()
+            return
+        except InvariantViolation as violation:
+            manager = self.checkpoint_manager
+            latest = manager.load_latest() if manager is not None else None
+            if latest is None:
+                raise  # fail-stop: nothing safe to roll back to
+            # Quarantine the triggering batch; replay the rest of the
+            # post-checkpoint suffix on top of the restored state.
+            replay = [
+                (bid, payload)
+                for bid, payload in self._since_checkpoint
+                if bid != delivery.batch_id
+            ]
+            quarantined = delivery
+            self.load_state(latest["state"])
+            self._to_dead_letter(quarantined, f"quarantined: {violation}", attempts=1)
+            replayed = 0
+            for bid, payload in replay:
+                if bid in self._processed_ids:
+                    continue
+                report = self._process(payload, Delivery(bid, payload))
+                self.reports.append(report)
+                self._processed_ids.add(bid)
+                self._since_checkpoint.append((bid, payload))
+                replayed += 1
+            self.quarantines.append(
+                QuarantineEvent(
+                    batch_index=self._batch_index,
+                    trigger_batch_id=delivery.batch_id,
+                    detail=str(violation),
+                    replayed=replayed,
+                )
+            )
+            self.audit()  # replay must restore a healthy state
+
+    def recover(self, manager: CheckpointManager | None = None) -> int | None:
+        """Restore driver + operator + ledger state from the latest
+        intact checkpoint and audit every operator.
+
+        Returns the batch index the checkpoint was taken at, or ``None``
+        when no checkpoint exists (state untouched).  Rerunning ``run``
+        over the same stream afterwards skips already-processed batch
+        ids, so recovery is replay-safe.
+        """
+        manager = manager or self.checkpoint_manager
+        if manager is None:
+            raise ValueError("no checkpoint manager to recover from")
+        latest = manager.load_latest()
+        if latest is None:
+            return None
+        self.load_state(latest["state"])
+        self.recoveries += 1
+        self.audit()
+        return int(latest["batch_index"])
+
+    # ------------------------------------------------------------------
+    # Checkpoint/restore
+    # ------------------------------------------------------------------
+    def _operator_states(self) -> dict[str, dict] | None:
+        states: dict[str, dict] = {}
+        for name, op in self.operators.items():
+            save = getattr(op, "state_dict", None)
+            if save is None:
+                return None  # an opaque operator: no rollback possible
+            states[name] = save()
+        return states
+
+    def _restore_operator_states(self, states: dict[str, dict]) -> None:
+        for name, state in states.items():
+            self.operators[name].load_state(state)
+
+    def state_dict(self) -> dict:
+        """Full driver snapshot: progress, reports, cumulative ledger,
+        every operator's state, and the dead-letter queue."""
+        operators = self._operator_states()
+        if operators is None:
+            missing = [
+                name
+                for name, op in self.operators.items()
+                if not hasattr(op, "state_dict")
+            ]
+            raise TypeError(
+                f"operators {missing} do not support state_dict(); "
+                "checkpointing needs every operator to be serializable"
+            )
+        return {
+            **header("minibatch_driver"),
+            "batch_index": self._batch_index,
+            "processed_ids": sorted(self._processed_ids),
+            "duplicates_skipped": self.duplicates_skipped,
+            "retries": self.retries,
+            "ledger": self.ledger.state_dict(),
+            "reports": [
+                {
+                    "index": r.index,
+                    "size": r.size,
+                    "work": r.work,
+                    "depth": r.depth,
+                    "seconds": r.seconds,
+                    "query_results": r.query_results,
+                    "batch_id": r.batch_id,
+                    "fault": r.fault,
+                    "attempts": r.attempts,
+                }
+                for r in self.reports
+            ],
+            "operators": operators,
+            "dead_letter": self.dead_letter.state_dict() if self.dead_letter else None,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place."""
+        expect(state, "minibatch_driver")
+        self._batch_index = int(state["batch_index"])
+        self._processed_ids = {int(i) for i in state["processed_ids"]}
+        self.duplicates_skipped = int(state["duplicates_skipped"])
+        self.retries = int(state["retries"])
+        self.ledger.load_state(state["ledger"])
+        self.reports = [
+            BatchReport(
+                index=int(r["index"]),
+                size=int(r["size"]),
+                work=int(r["work"]),
+                depth=int(r["depth"]),
+                seconds=float(r["seconds"]),
+                query_results=dict(r["query_results"]),
+                batch_id=None if r["batch_id"] is None else int(r["batch_id"]),
+                fault=r["fault"],
+                attempts=int(r["attempts"]),
+            )
+            for r in state["reports"]
+        ]
+        saved_ops = state["operators"]
+        if saved_ops.keys() != self.operators.keys():
+            raise ValueError(
+                f"checkpoint operators {sorted(saved_ops)} do not match "
+                f"driver operators {sorted(self.operators)}"
+            )
+        self._restore_operator_states(saved_ops)
+        if state["dead_letter"] is not None:
+            if self.dead_letter is None:
+                self.dead_letter = DeadLetterQueue()
+            self.dead_letter.load_state(state["dead_letter"])
+        self._since_checkpoint = []
 
     # ------------------------------------------------------------------
     # Aggregate statistics over all processed batches.

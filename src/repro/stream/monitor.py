@@ -46,6 +46,15 @@ class HeavyHitterMonitor:
         An item must stay absent for this many consecutive reports
         before an "exit" fires (0 = immediate).  Suppresses flapping
         for items oscillating around the φ threshold.
+
+    Degraded mode
+    -------------
+    A tracker whose ``query()`` raises mid-stream (a corrupted synopsis,
+    a recovery in progress) no longer takes the monitor down: the batch
+    is ingested, ``degraded`` flips to ``True``, the batch index is
+    recorded in ``degraded_batches``, and the last good report stands in
+    — so no spurious exit events fire from a transient failure.  The
+    flag clears on the next successful report.
     """
 
     def __init__(self, tracker: _Tracker, *, hysteresis: int = 0) -> None:
@@ -57,11 +66,23 @@ class HeavyHitterMonitor:
         self._active: dict[Hashable, float] = {}
         self._missing_streak: dict[Hashable, int] = {}
         self._batch_index = 0
+        #: True while the tracker's last ``query()`` raised.
+        self.degraded = False
+        #: Batch indices whose report had to be substituted.
+        self.degraded_batches: list[int] = []
 
     def ingest(self, batch: Sequence[Hashable] | np.ndarray) -> list[HeavyHitterEvent]:
         """Feed one minibatch; return the events it triggered."""
         self.tracker.ingest(batch)
-        report = self.tracker.query()
+        try:
+            report = self.tracker.query()
+            self.degraded = False
+        except Exception:  # noqa: BLE001 - degrade, don't crash the stream
+            self.degraded = True
+            self.degraded_batches.append(self._batch_index)
+            # Stand in the last good report: membership is unchanged, so
+            # no enter/exit events can fire from a failed query.
+            report = dict(self._active)
         new_events: list[HeavyHitterEvent] = []
 
         for item, estimate in report.items():

@@ -82,14 +82,69 @@ class WatermarkReorderer:
             self.released += 1
             yield ts, value
 
-    def flush(self) -> Iterator[tuple[int, int]]:
-        """End of stream: release everything still buffered, in order."""
+    def flush(self) -> list[tuple[int, int]]:
+        """End of stream: release everything still buffered, in order.
+
+        Idempotent — the buffer drains exactly once, so a second call
+        (e.g. a recovery path flushing "just in case") returns ``[]``
+        instead of double-delivering elements downstream.
+        """
+        out: list[tuple[int, int]] = []
         while self._heap:
             ts, _seq, value = heapq.heappop(self._heap)
             self._released_ts = max(self._released_ts, ts)
             self.released += 1
-            yield ts, value
+            out.append((ts, value))
+        return out
 
     @property
     def buffered(self) -> int:
         return len(self._heap)
+
+    @property
+    def pending(self) -> list[tuple[int, int]]:
+        """The still-buffered (timestamp, value) pairs in release order,
+        without draining them — inspection for checkpoints and audits."""
+        return [(ts, value) for ts, _seq, value in sorted(self._heap)]
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        from repro.resilience.state import header
+
+        return {
+            **header("watermark_reorderer"),
+            "tardiness": self.tardiness,
+            "heap": [list(entry) for entry in self._heap],
+            "seq": self._seq,
+            "max_ts_seen": self._max_ts_seen,
+            "released_ts": self._released_ts,
+            "late_drops": self.late_drops,
+            "released": self.released,
+        }
+
+    def load_state(self, state: dict) -> None:
+        from repro.resilience.state import expect
+
+        expect(state, "watermark_reorderer")
+        self.tardiness = int(state["tardiness"])
+        heap = [tuple(int(x) for x in entry) for entry in state["heap"]]
+        heapq.heapify(heap)
+        self._heap = heap
+        self._seq = int(state["seq"])
+        self._max_ts_seen = int(state["max_ts_seen"])
+        self._released_ts = int(state["released_ts"])
+        self.late_drops = int(state["late_drops"])
+        self.released = int(state["released"])
+
+    def check_invariants(self) -> None:
+        from repro.resilience.invariants import require
+
+        name = "WatermarkReorderer"
+        require(self.tardiness >= 0, name, "negative tardiness bound")
+        require(
+            all(ts > self._released_ts for ts, _seq, _value in self._heap),
+            name,
+            "buffered element at or below the released watermark",
+        )
+        require(self.late_drops >= 0 and self.released >= 0, name,
+                "negative release/drop counters")

@@ -1,0 +1,85 @@
+"""CheckpointManager: atomic snapshots, corruption detection, pruning."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.resilience import CheckpointCorruption, CheckpointManager
+
+
+def _state(i: int) -> dict:
+    return {"i": i, "arr": np.arange(i, dtype=np.int64)}
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        path = mgr.save(_state(5), batch_index=3)
+        loaded = mgr.load(path)
+        assert loaded["batch_index"] == 3
+        assert loaded["state"]["i"] == 5
+        assert np.array_equal(loaded["state"]["arr"], np.arange(5))
+
+    def test_maybe_save_honours_cadence(self, tmp_path):
+        mgr = CheckpointManager(tmp_path, every=3)
+        saved = [mgr.maybe_save(_state(i), i) for i in range(1, 10)]
+        written = [p for p in saved if p is not None]
+        assert len(written) == 3  # batches 3, 6, 9
+        assert len(mgr.paths()) == 3
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        for i in range(4):
+            mgr.save(_state(i), batch_index=i)
+        leftovers = [f for f in os.listdir(tmp_path) if not f.startswith("ckpt-")]
+        assert leftovers == []
+
+    def test_pruning_keeps_newest(self, tmp_path):
+        mgr = CheckpointManager(tmp_path, keep=2)
+        for i in range(6):
+            mgr.save(_state(i), batch_index=i)
+        assert len(mgr.paths()) == 2
+        latest = mgr.load_latest()
+        assert latest["batch_index"] == 5
+
+
+class TestCorruption:
+    def test_checksum_mismatch_detected(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        path = mgr.save(_state(7), batch_index=1)
+        envelope = json.loads(path.read_text())
+        envelope["payload"] = envelope["payload"].replace('"i":7', '"i":8')
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(CheckpointCorruption):
+            mgr.load(path)
+
+    def test_truncated_file_detected(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        path = mgr.save(_state(7), batch_index=1)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        with pytest.raises(CheckpointCorruption):
+            mgr.load(path)
+
+    def test_load_latest_skips_corrupt(self, tmp_path):
+        mgr = CheckpointManager(tmp_path, keep=10)
+        mgr.save(_state(1), batch_index=1)
+        good = mgr.load_latest()
+        bad = mgr.save(_state(2), batch_index=2)
+        bad.write_text("not json at all")
+        loaded = mgr.load_latest()
+        assert loaded["batch_index"] == good["batch_index"] == 1
+        assert mgr.corrupt_seen  # the bad file was recorded
+
+    def test_load_latest_strict_raises(self, tmp_path):
+        mgr = CheckpointManager(tmp_path, keep=10)
+        path = mgr.save(_state(1), batch_index=1)
+        path.write_text("garbage")
+        with pytest.raises(CheckpointCorruption):
+            mgr.load_latest(strict=True)
+
+    def test_empty_directory_returns_none(self, tmp_path):
+        assert CheckpointManager(tmp_path).load_latest() is None

@@ -1,0 +1,286 @@
+"""Fault injector, retry/DLQ, and the driver's resilient run loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import InfiniteHeavyHitters, ParallelCountMin
+from repro.resilience import (
+    CheckpointManager,
+    DeadLetterQueue,
+    FaultInjector,
+    InjectedCrash,
+    PoisonBatchError,
+    RetryPolicy,
+    TransientIngestError,
+    validate_batch,
+)
+from repro.stream.minibatch import MinibatchDriver
+
+
+def _chunks(stream: np.ndarray, size: int):
+    return [
+        (start // size, stream[start : start + size])
+        for start in range(0, len(stream), size)
+    ]
+
+
+class TestFaultPlanDeterminism:
+    def test_plan_depends_only_on_seed_and_id(self):
+        a = FaultInjector(seed=3, duplicate=0.2, truncate=0.2, poison=0.2)
+        b = FaultInjector(seed=3, duplicate=0.2, truncate=0.2, poison=0.2)
+        ids = list(range(200))
+        # Query b in reverse order: the plan must not depend on order.
+        plan_a = [a.fault_for(i) for i in ids]
+        plan_b = [b.fault_for(i) for i in reversed(ids)][::-1]
+        assert plan_a == plan_b
+
+    def test_different_seed_different_plan(self):
+        a = FaultInjector(seed=1, duplicate=0.5)
+        b = FaultInjector(seed=2, duplicate=0.5)
+        ids = range(200)
+        assert [a.fault_for(i) for i in ids] != [b.fault_for(i) for i in ids]
+
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultInjector(seed=0, duplicate=0.7, poison=0.7)
+        with pytest.raises(ValueError):
+            FaultInjector(seed=0, crash=-0.1)
+
+
+class TestDeliverySequence:
+    def test_duplicate_yields_twice(self, rng):
+        inj = FaultInjector(seed=0, crash_at=None)
+        inj._plan[1] = "duplicate"
+        out = list(inj.deliveries(_chunks(np.arange(30), 10)))
+        ids = [d.batch_id for d in out]
+        assert ids.count(1) == 2
+
+    def test_truncate_halves_payload(self):
+        inj = FaultInjector(seed=0)
+        inj._plan[0] = "truncate"
+        out = list(inj.deliveries(_chunks(np.arange(10), 10)))
+        assert len(out[0].payload) == 5 and out[0].fault == "truncate"
+
+    def test_poison_is_non_finite(self):
+        inj = FaultInjector(seed=0)
+        inj._plan[0] = "poison"
+        out = list(inj.deliveries(_chunks(np.arange(100), 100)))
+        with pytest.raises(PoisonBatchError):
+            validate_batch(out[0].payload)
+
+    def test_reorder_swaps_neighbours(self):
+        inj = FaultInjector(seed=0)
+        inj._plan[0] = "reorder"
+        out = list(inj.deliveries(_chunks(np.arange(30), 10)))
+        assert [d.batch_id for d in out] == [1, 0, 2]
+
+    def test_crash_fires_once_per_id(self):
+        inj = FaultInjector(seed=0, crash_at=1)
+        first = list(inj.deliveries(_chunks(np.arange(30), 10)))
+        assert [d.fault for d in first] == [None, "crash", None]
+        replay = list(inj.deliveries(_chunks(np.arange(30), 10)))
+        assert [d.fault for d in replay] == [None, None, None]
+
+    def test_every_payload_validates_without_poison(self):
+        inj = FaultInjector(seed=5, duplicate=0.3, reorder=0.3, truncate=0.3)
+        for d in inj.deliveries(_chunks(np.arange(1000), 50)):
+            validate_batch(d.payload)
+
+
+class TestRetryPolicy:
+    def test_delays_grow_geometrically(self):
+        p = RetryPolicy(max_attempts=4, base_delay=0.5, factor=3.0)
+        assert [p.delay(a) for a in range(3)] == [0.5, 1.5, 4.5]
+
+    def test_zero_base_never_sleeps(self):
+        slept = []
+        RetryPolicy().backoff(5, sleep=slept.append)
+        assert slept == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(factor=0.5)
+
+
+class TestDeadLetterQueue:
+    def test_accounting_survives_eviction(self):
+        dlq = DeadLetterQueue(capacity=2)
+        for i in range(5):
+            dlq.push(i, np.arange(10), "test")
+        assert len(dlq) == 2
+        assert dlq.evicted == 3
+        assert dlq.dropped_batches == 5
+        assert dlq.dropped_items == 50
+
+    def test_state_round_trip(self):
+        from repro.resilience import state as codec
+
+        dlq = DeadLetterQueue(capacity=4)
+        dlq.push(3, np.arange(7), "poison", attempts=2)
+        clone = DeadLetterQueue()
+        clone.load_state(codec.loads(codec.dumps(dlq.state_dict())))
+        assert clone.batch_ids() == [3]
+        assert clone.entries()[0].reason == "poison"
+        assert np.array_equal(clone.entries()[0].payload, np.arange(7))
+
+
+def _ops():
+    return {
+        "cms": ParallelCountMin(0.01, 0.05),
+        "hh": InfiniteHeavyHitters(0.05, 0.01),
+    }
+
+
+def _answers(ops):
+    return (
+        [ops["cms"].point_query(i) for i in range(50)],
+        sorted(ops["hh"].query().items()),
+    )
+
+
+class TestResilientDriver:
+    def test_plain_run_unchanged_without_resilience(self, rng):
+        stream = rng.integers(0, 50, size=2000)
+        a, b = _ops(), _ops()
+        MinibatchDriver(a).run(stream, 250)
+        d = MinibatchDriver(b, dead_letter=DeadLetterQueue())
+        d.run(stream, 250)
+        assert repr(_answers(a)) == repr(_answers(b))
+        assert d.dead_letter.dropped_batches == 0
+
+    def test_duplicates_are_deduplicated(self, rng):
+        stream = rng.integers(0, 50, size=2000)
+        clean, faulty = _ops(), _ops()
+        MinibatchDriver(clean).run(stream, 250)
+        inj = FaultInjector(seed=9, duplicate=0.5)
+        d = MinibatchDriver(faulty, fault_injector=inj)
+        d.run(stream, 250)
+        assert d.duplicates_skipped == inj.injected["duplicate"]
+        assert d.duplicates_skipped > 0
+        assert repr(_answers(clean)) == repr(_answers(faulty))
+
+    def test_poison_goes_to_dead_letter(self, rng):
+        stream = rng.integers(0, 50, size=2000)
+        inj = FaultInjector(seed=1, poison=1.0)
+        d = MinibatchDriver(_ops(), fault_injector=inj)
+        d.run(stream, 250)
+        assert d.dead_letter.dropped_batches == 8
+        assert len(d.reports) == 0
+
+    def test_transient_faults_retry_to_success(self, rng):
+        stream = rng.integers(0, 50, size=2000)
+        clean, faulty = _ops(), _ops()
+        MinibatchDriver(clean).run(stream, 250)
+        inj = FaultInjector(seed=2, transient=1.0, transient_failures=2)
+        d = MinibatchDriver(
+            faulty, fault_injector=inj, retry_policy=RetryPolicy(max_attempts=3)
+        )
+        d.run(stream, 250)
+        assert d.dead_letter.dropped_batches == 0
+        assert d.retries == 2 * 8  # two failed attempts per batch
+        assert all(r.attempts == 3 for r in d.reports)
+        assert repr(_answers(clean)) == repr(_answers(faulty))
+
+    def test_transient_faults_exhaust_to_dead_letter(self, rng):
+        stream = rng.integers(0, 50, size=2000)
+        inj = FaultInjector(seed=2, transient=1.0, transient_failures=5)
+        d = MinibatchDriver(
+            _ops(), fault_injector=inj, retry_policy=RetryPolicy(max_attempts=2)
+        )
+        d.run(stream, 250)
+        assert len(d.reports) == 0
+        assert d.dead_letter.dropped_batches == 8
+        assert all(e.attempts == 2 for e in d.dead_letter.entries())
+
+    def test_crash_recover_continue_is_bit_identical(self, rng, tmp_path):
+        stream = rng.integers(0, 50, size=4000)
+        clean = _ops()
+        MinibatchDriver(clean).run(stream, 250)
+
+        mgr = CheckpointManager(tmp_path, every=3)
+        inj = FaultInjector(seed=4, crash_at=9)
+        crashed = MinibatchDriver(_ops(), fault_injector=inj, checkpoint_manager=mgr)
+        with pytest.raises(InjectedCrash):
+            crashed.run(stream, 250)
+
+        # "New process": fresh operators, recover from disk, rerun the
+        # same stream — processed ids skip, the tail replays.
+        ops = _ops()
+        revived = MinibatchDriver(ops, fault_injector=inj, checkpoint_manager=mgr)
+        restored_at = revived.recover()
+        assert restored_at == 9  # crash_at=9 fired after batch 8 => ckpt at 9
+        revived.run(stream, 250)
+        assert len(revived.reports) == 16
+        assert sorted(r.batch_id for r in revived.reports) == list(range(16))
+        assert repr(_answers(clean)) == repr(_answers(ops))
+
+    def test_driver_state_round_trip(self, rng):
+        from repro.resilience import state as codec
+
+        stream = rng.integers(0, 50, size=2000)
+        ops = _ops()
+        d = MinibatchDriver(ops, dead_letter=DeadLetterQueue())
+        d.run(stream, 250)
+        blob = codec.dumps(d.state_dict())
+        ops2 = _ops()
+        d2 = MinibatchDriver(ops2, dead_letter=DeadLetterQueue())
+        d2.load_state(codec.loads(blob))
+        assert len(d2.reports) == len(d.reports)
+        assert d2.ledger.work == d.ledger.work
+        assert d2.ledger.depth == d.ledger.depth
+        assert repr(_answers(ops)) == repr(_answers(ops2))
+
+    def test_audit_quarantines_corrupting_operator(self, rng, tmp_path):
+        stream = rng.integers(0, 50, size=4000)
+
+        class Corruptor:
+            """Healthy until batch 10, then one silent bit-flip.
+
+            ``fired`` is deliberately NOT part of the checkpointed state:
+            it models the environment (a one-off corruption), so rolling
+            back to the checkpoint does not re-arm it.
+            """
+
+            def __init__(self) -> None:
+                self.inner = ParallelCountMin(0.05, 0.05)
+                self.batches = 0
+                self.fired = False
+
+            def ingest(self, batch):
+                self.inner.ingest(batch)
+                self.batches += 1
+                if self.batches == 10 and not self.fired:
+                    self.fired = True
+                    self.inner.table[0, 0] = -1  # breaks nonnegativity
+
+            def state_dict(self):
+                return {"inner": self.inner.state_dict(), "batches": self.batches}
+
+            def load_state(self, state):
+                self.inner.load_state(state["inner"])
+                self.batches = int(state["batches"])
+
+            def check_invariants(self):
+                self.inner.check_invariants()
+
+        mgr = CheckpointManager(tmp_path, every=4)
+        d = MinibatchDriver(
+            {"op": Corruptor()},
+            checkpoint_manager=mgr,
+            audit_every=1,
+        )
+        d.run(stream, 250)
+        assert len(d.quarantines) == 1
+        event = d.quarantines[0]
+        assert event.trigger_batch_id == 9  # tenth processed batch
+        assert d.dead_letter is not None
+        assert 9 in d.dead_letter.batch_ids()
+        # Recovery replayed the post-checkpoint batches minus the trigger.
+        processed = {r.batch_id for r in d.reports}
+        assert 9 not in processed
+        assert processed == set(range(16)) - {9}
+        d.audit()  # final state is healthy

@@ -1,0 +1,216 @@
+"""Checkpoint serialization: codec round-trips and the property that
+``load_state(state_dict())`` reproduces every synopsis exactly.
+
+The resilience contract (docs/resilience.md) is *bit-identical restore*:
+a synopsis serialized, shipped through the canonical JSON codec, and
+loaded into a fresh instance must answer every query identically — and
+keep answering identically as both copies ingest more of the stream
+(which exercises the restored RNG mid-sequence).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BasicSlidingFrequency,
+    DyadicCountMin,
+    InfiniteHeavyHitters,
+    MisraGriesSummary,
+    ParallelBasicCounter,
+    ParallelCountMin,
+    ParallelCountSketch,
+    ParallelFrequencyEstimator,
+    ParallelWindowedMean,
+    ParallelWindowedSum,
+    SBBC,
+    SlidingHeavyHitters,
+    SpaceEfficientSlidingFrequency,
+    WindowedCountMin,
+    WindowedHistogram,
+    WindowedLpNorm,
+    WindowedVariance,
+    WorkEfficientSlidingFrequency,
+)
+from repro.pram.css import CSS, css_of_bits
+from repro.pram.hashing import KWiseHash
+from repro.resilience import state as codec
+from repro.resilience.state import StateError
+
+
+class TestCodec:
+    def test_ndarray_round_trip(self):
+        for arr in (
+            np.arange(7, dtype=np.int64),
+            np.zeros((3, 4), dtype=np.float64),
+            np.array([], dtype=np.int32),
+            np.array([[1, 2], [3, 4]], dtype=np.uint8),
+        ):
+            out = codec.loads(codec.dumps({"a": arr}))["a"]
+            assert isinstance(out, np.ndarray)
+            assert out.dtype == arr.dtype and out.shape == arr.shape
+            assert np.array_equal(out, arr)
+
+    def test_tuple_and_nested_round_trip(self):
+        state = {"t": (1, (2, 3)), "l": [1, [2, (3,)]]}
+        out = codec.loads(codec.dumps(state))
+        assert out["t"] == (1, (2, 3))
+        assert out["l"] == [1, [2, (3,)]]
+
+    def test_non_string_keys_round_trip(self):
+        state = {"m": {1: 2, (3, 4): "x", "s": 5}}
+        out = codec.loads(codec.dumps(state))
+        assert out["m"] == {1: 2, (3, 4): "x", "s": 5}
+
+    def test_non_finite_floats_round_trip(self):
+        out = codec.loads(codec.dumps({"a": math.inf, "b": -math.inf, "c": math.nan}))
+        assert out["a"] == math.inf and out["b"] == -math.inf
+        assert math.isnan(out["c"])
+
+    def test_canonical_bytes_are_deterministic(self):
+        state = {"b": 2, "a": np.arange(5), "c": {"z": 1, "y": (2, 3)}}
+        assert codec.dumps(state) == codec.dumps(state)
+        assert codec.checksum(codec.dumps(state)) == codec.checksum(codec.dumps(state))
+
+    def test_unknown_objects_rejected(self):
+        with pytest.raises(StateError):
+            codec.dumps({"f": lambda: 0})
+
+    def test_version_gate(self):
+        state = {"kind": "misra_gries", "version": codec.STATE_VERSION + 1}
+        with pytest.raises(StateError):
+            codec.expect(state, "misra_gries")
+        with pytest.raises(StateError):
+            codec.expect({"kind": "other", "version": 1}, "misra_gries")
+
+    def test_rng_state_round_trip(self):
+        rng = np.random.default_rng(1234)
+        rng.random(17)  # advance mid-sequence
+        saved = codec.rng_state(rng)
+        clone = codec.restore_rng(codec.loads(codec.dumps({"rng": saved}))["rng"])
+        assert np.array_equal(rng.random(100), clone.random(100))
+
+    def test_kwise_hash_round_trip(self):
+        h = KWiseHash(4, 1024, np.random.default_rng(5))
+        clone = KWiseHash.from_state(codec.loads(codec.dumps(h.state_dict())))
+        keys = np.arange(10_000, dtype=np.int64)
+        assert np.array_equal(h(keys), clone(keys))
+
+
+# ---------------------------------------------------------------------------
+# Satellite: load_state(state_dict()) yields identical answers on every
+# core synopsis, for random streams, including after further ingestion.
+# ---------------------------------------------------------------------------
+
+def _item_synopses():
+    return [
+        (lambda: MisraGriesSummary(0.05), lambda o, b: o.extend(b),
+         lambda o: [o.estimate(i) for i in range(60)]),
+        (lambda: ParallelCountMin(0.01, 0.05), lambda o, b: o.extend(b),
+         lambda o: [o.point_query(i) for i in range(60)]),
+        (lambda: ParallelCountMin(0.01, 0.05, conservative=True),
+         lambda o, b: o.extend(b),
+         lambda o: [o.point_query(i) for i in range(60)]),
+        (lambda: DyadicCountMin(0.02, 0.05, 6), lambda o, b: o.extend(b),
+         lambda o: [o.range_query(0, 59), o.range_query(10, 20)]),
+        (lambda: ParallelCountSketch(0.02, 0.05), lambda o, b: o.extend(b),
+         lambda o: [o.point_query(i) for i in range(60)]),
+        (lambda: ParallelFrequencyEstimator(0.02), lambda o, b: o.extend(b),
+         lambda o: [o.estimate(i) for i in range(60)]),
+        (lambda: BasicSlidingFrequency(300, 0.05), lambda o, b: o.extend(b),
+         lambda o: [o.estimate(i) for i in range(60)]),
+        (lambda: SpaceEfficientSlidingFrequency(300, 0.05),
+         lambda o, b: o.extend(b),
+         lambda o: [o.estimate(i) for i in range(60)]),
+        (lambda: WorkEfficientSlidingFrequency(300, 0.05),
+         lambda o, b: o.extend(b),
+         lambda o: [o.estimate(i) for i in range(60)]),
+        (lambda: InfiniteHeavyHitters(0.05, 0.01), lambda o, b: o.extend(b),
+         lambda o: sorted(o.query().items())),
+        (lambda: SlidingHeavyHitters(300, 0.05, 0.01), lambda o, b: o.extend(b),
+         lambda o: sorted(o.query().items())),
+        (lambda: WindowedCountMin(300, 0.05, 0.05), lambda o, b: o.extend(b),
+         lambda o: [o.point_query(i) for i in range(60)]),
+    ]
+
+
+def _value_synopses():
+    return [
+        (lambda: ParallelWindowedSum(300, 0.1, 8), lambda o, b: o.extend(b),
+         lambda o: o.query()),
+        (lambda: ParallelWindowedMean(300, 0.1, 8), lambda o, b: o.extend(b),
+         lambda o: o.query()),
+        (lambda: WindowedHistogram(300, 0.1, np.arange(0, 10)),
+         lambda o, b: o.extend(b),
+         lambda o: o.histogram().tolist()),
+        (lambda: WindowedLpNorm(300, 0.1, 8, p=2), lambda o, b: o.extend(b),
+         lambda o: (o.moment(), o.query())),
+        (lambda: WindowedVariance(300, 0.1, 8), lambda o, b: o.extend(b),
+         lambda o: (o.mean(), o.query())),
+    ]
+
+
+def _round_trip(make, feed, query, batches):
+    original = make()
+    for batch in batches:
+        feed(original, batch)
+    restored = make()
+    restored.load_state(codec.loads(codec.dumps(original.state_dict())))
+    assert repr(query(restored)) == repr(query(original))
+    original.check_invariants()
+    restored.check_invariants()
+    # Continue both: the restored RNG must be mid-sequence-identical.
+    for batch in batches:
+        feed(original, batch)
+        feed(restored, batch)
+    assert repr(query(restored)) == repr(query(original))
+
+
+class TestSynopsisRoundTrip:
+    @pytest.mark.parametrize(
+        "make,feed,query", _item_synopses(),
+        ids=lambda f: getattr(f, "__name__", None),
+    )
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=10)
+    def test_item_synopses(self, make, feed, query, seed):
+        rng = np.random.default_rng(seed)
+        stream = rng.integers(0, 60, size=900)
+        batches = [stream[i : i + 150] for i in range(0, 900, 150)]
+        _round_trip(make, feed, query, batches)
+
+    @pytest.mark.parametrize(
+        "make,feed,query", _value_synopses(),
+        ids=lambda f: getattr(f, "__name__", None),
+    )
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=10)
+    def test_value_synopses(self, make, feed, query, seed):
+        rng = np.random.default_rng(seed)
+        stream = rng.integers(0, 9, size=900)
+        batches = [stream[i : i + 150] for i in range(0, 900, 150)]
+        _round_trip(make, feed, query, batches)
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=10)
+    def test_sbbc_and_basic_counter(self, seed):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, size=900)
+        chunks = [bits[i : i + 150] for i in range(0, 900, 150)]
+        _round_trip(
+            lambda: SBBC(300, 8.0),
+            lambda o, b: o.advance(CSS(length=len(b), ones=np.flatnonzero(b) + 1)),
+            lambda o: (o.t, o.raw_value(), o.value()),
+            chunks,
+        )
+        _round_trip(
+            lambda: ParallelBasicCounter(300, 0.1),
+            lambda o, b: o.advance(css_of_bits(b)),
+            lambda o: (o.t, o.query()),
+            chunks,
+        )

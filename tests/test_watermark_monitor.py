@@ -159,3 +159,92 @@ class TestHeavyHitterMonitor:
         assert [e.kind for e in events] == ["enter"]
         assert events[0].item == 0
         assert monitor.ingest(np.zeros(10, dtype=np.int64)) == []
+
+
+class TestReordererPendingAndFlush:
+    def test_pending_is_sorted_and_non_destructive(self):
+        r = WatermarkReorderer(tardiness=10)
+        list(r.push(np.array([5, 2, 9]), np.array([50, 20, 90])))
+        assert r.pending == [(2, 20), (5, 50), (9, 90)]
+        assert r.pending == [(2, 20), (5, 50), (9, 90)]  # still buffered
+        assert r.buffered == 3
+
+    def test_pending_empty_after_flush(self):
+        r = WatermarkReorderer(tardiness=3)
+        list(r.push(np.array([1, 2]), np.array([10, 20])))
+        r.flush()
+        assert r.pending == []
+
+    def test_flush_is_idempotent(self):
+        r = WatermarkReorderer(tardiness=5)
+        list(r.push(np.array([3, 1, 2]), np.array([30, 10, 20])))
+        first = r.flush()
+        assert first == [(1, 10), (2, 20), (3, 30)]
+        assert r.flush() == []  # second flush releases nothing
+        assert r.flush() == []
+        assert r.released == 3
+
+    def test_state_round_trip_mid_stream(self):
+        from repro.resilience import state as codec
+
+        r = WatermarkReorderer(tardiness=4)
+        out = list(r.push(np.array([6, 3, 9, 1]), np.array([60, 30, 90, 10])))
+        clone = WatermarkReorderer(tardiness=0)
+        clone.load_state(codec.loads(codec.dumps(r.state_dict())))
+        clone.check_invariants()
+        assert clone.pending == r.pending
+        assert clone.late_drops == r.late_drops
+        # Identical continuations.
+        more = np.array([12, 11]), np.array([120, 110])
+        assert list(r.push(*more)) == list(clone.push(*more))
+        assert r.flush() == clone.flush()
+
+
+class TestDegradedMonitor:
+    class _FlakyTracker:
+        """query() raises on batches listed in ``bad``."""
+
+        def __init__(self, bad):
+            self.bad = set(bad)
+            self.i = -1
+
+        def ingest(self, batch):
+            self.i += 1
+
+        def query(self):
+            if self.i in self.bad:
+                raise RuntimeError("synopsis temporarily unreadable")
+            return {1: 10.0}
+
+    def test_query_failure_degrades_instead_of_crashing(self):
+        monitor = HeavyHitterMonitor(self._FlakyTracker(bad={1, 2}))
+        batch = np.array([0])
+        assert [e.kind for e in monitor.ingest(batch)] == ["enter"]
+        assert not monitor.degraded
+        # Two failing batches: no crash, no spurious exit events.
+        assert monitor.ingest(batch) == []
+        assert monitor.degraded
+        assert monitor.ingest(batch) == []
+        assert monitor.degraded
+        assert monitor.active() == {1: 10.0}
+        # Recovery: flag clears on the next good report.
+        monitor.ingest(batch)
+        assert not monitor.degraded
+        assert monitor.degraded_batches == [1, 2]
+        assert [e.kind for e in monitor.events] == ["enter"]
+
+    def test_degraded_batches_still_ingested(self):
+        class CountingTracker(self._FlakyTracker):
+            def __init__(self):
+                super().__init__(bad={0})
+                self.items = 0
+
+            def ingest(self, batch):
+                super().ingest(batch)
+                self.items += len(batch)
+
+        tracker = CountingTracker()
+        monitor = HeavyHitterMonitor(tracker)
+        monitor.ingest(np.arange(7))
+        assert tracker.items == 7  # the batch reached the tracker
+        assert monitor.degraded
