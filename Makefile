@@ -3,13 +3,17 @@ PY ?= python
 # Fixed seeds for the fault-injection suite (reproducible fault plans).
 FAULT_SEEDS ?= 101 202 303
 
-.PHONY: install test faults bench bench-quick experiments examples clean
+.PHONY: install test faults docs-check bench bench-quick experiments examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
-test: faults
+test: faults docs-check
 	$(PY) -m pytest tests/
+
+# Documentation lint: dead links + stale benchmark references.
+docs-check:
+	$(PY) scripts/docs_check.py
 
 # Fault suite: deterministic fault plans + crash-recovery benchmark at
 # the three fixed seeds (REPRO_FAULT_SEEDS picked up by bench_r01).

@@ -1,25 +1,51 @@
 """Shared helpers for the benchmark harness.
 
-Every experiment file (E1-E14, see DESIGN.md) does three things:
+Every experiment file (E1-E15, A1-A4, X1-X3, R1 — see DESIGN.md) does
+three things:
 
 1. runs a parameter sweep measuring the quantity its theorem bounds
    (charged work / depth / space / max error) and *asserts* the bound's
    shape — so ``pytest benchmarks/`` is itself a reproduction check;
 2. prints the theory-vs-measured table and writes it to
    ``benchmarks/results/<experiment>.txt`` (the tables embedded in
-   EXPERIMENTS.md);
+   EXPERIMENTS.md) **and** to ``benchmarks/results/<experiment>.json``
+   in the versioned :mod:`repro.observability.benchjson` schema —
+   the machine-readable form ``scripts/bench_compare.py`` diffs for
+   regression gating;
 3. exposes a ``benchmark``-fixture timing test for pytest-benchmark's
    wall-clock numbers.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 from typing import Any, Sequence
 
 from repro.analysis.report import format_table
+from repro.observability import benchjson
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _json_path(experiment: str) -> Path:
+    return RESULTS_DIR / f"{experiment}.json"
+
+
+def _append_json_table(
+    experiment: str,
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    notes: str,
+) -> None:
+    path = _json_path(experiment)
+    try:
+        doc = benchjson.load_results(path)
+    except (OSError, ValueError, json.JSONDecodeError):
+        doc = benchjson.new_results_doc(experiment)
+    benchjson.add_table(doc, title, headers, rows, notes)
+    benchjson.save_results(doc, path)
 
 
 def emit_table(
@@ -29,7 +55,7 @@ def emit_table(
     rows: Sequence[Sequence[Any]],
     notes: str = "",
 ) -> str:
-    """Render, print, and persist one experiment table."""
+    """Render, print, and persist one experiment table (text + JSON)."""
     body = format_table(headers, rows)
     text = f"== {experiment}: {title} ==\n{body}\n"
     if notes:
@@ -38,11 +64,13 @@ def emit_table(
     path = RESULTS_DIR / f"{experiment}.txt"
     with path.open("a") as fh:
         fh.write(text + "\n")
+    _append_json_table(experiment, title, headers, rows, notes)
     print("\n" + text)
     return text
 
 
 def reset_results(experiment: str) -> None:
-    """Start the experiment's results file fresh for this run."""
+    """Start the experiment's results files fresh for this run."""
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{experiment}.txt").write_text("")
+    benchjson.save_results(benchjson.new_results_doc(experiment), _json_path(experiment))

@@ -1,0 +1,160 @@
+#!/usr/bin/env python
+"""Compare two benchmark result sets and fail on regressions.
+
+Inputs are ``repro-bench-results`` JSON documents (the files the
+benchmark harness writes to ``benchmarks/results/<experiment>.json``),
+given either as two files or as two directories of such files:
+
+    python scripts/bench_compare.py baseline/ candidate/
+    python scripts/bench_compare.py results/e13.json new/e13.json --threshold 0.05
+
+Semantics
+---------
+* Tables are matched by title; rows within a table are matched by the
+  value of the first column (the sweep key — n, w, eps, ...).
+* A column is *comparable* when its header mentions work, time,
+  seconds, ns, bytes, or space — quantities where bigger is worse.
+  Ratio/bound columns (headers containing "/" or "bound" or "ratio")
+  are skipped: they are theory cross-checks, not costs.
+* A comparable cell regresses when
+  ``candidate > baseline * (1 + threshold)`` (default threshold 0.10).
+  Improvements and sub-threshold noise are reported but don't fail.
+
+Exit status: 0 when no cell regresses, 1 otherwise, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Any, Iterator
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.observability.benchjson import load_results  # noqa: E402
+
+#: Header substrings marking a column as a cost (bigger is worse).
+COST_MARKERS = ("work", "time", "seconds", "sec", "ns", "bytes", "space")
+#: Header substrings marking a column as a ratio/bound cross-check.
+SKIP_MARKERS = ("/", "bound", "ratio")
+
+
+def is_cost_column(header: str) -> bool:
+    name = header.lower()
+    if any(marker in name for marker in SKIP_MARKERS):
+        return False
+    return any(marker in name for marker in COST_MARKERS)
+
+
+def _as_number(cell: Any) -> float | None:
+    if isinstance(cell, bool) or not isinstance(cell, (int, float)):
+        return None
+    return float(cell)
+
+
+def _rows_by_key(table: dict[str, Any]) -> dict[str, list[Any]]:
+    return {str(row[0]): row for row in table["rows"] if row}
+
+
+def compare_docs(
+    baseline: dict[str, Any],
+    candidate: dict[str, Any],
+    threshold: float,
+) -> Iterator[tuple[str, str, float, float, float, bool]]:
+    """Yield (location, column, old, new, delta_frac, regressed)."""
+    base_tables = {t["title"]: t for t in baseline["tables"]}
+    for table in candidate["tables"]:
+        base = base_tables.get(table["title"])
+        if base is None:
+            continue
+        headers = table["headers"]
+        cost_cols = [
+            i
+            for i, h in enumerate(headers)
+            if i < len(base["headers"]) and h == base["headers"][i] and is_cost_column(h)
+        ]
+        base_rows = _rows_by_key(base)
+        for row in table["rows"]:
+            if not row:
+                continue
+            base_row = base_rows.get(str(row[0]))
+            if base_row is None:
+                continue
+            for col in cost_cols:
+                if col >= len(row) or col >= len(base_row):
+                    continue
+                new = _as_number(row[col])
+                old = _as_number(base_row[col])
+                if new is None or old is None:
+                    continue
+                delta = (new - old) / old if old else (1.0 if new > old else 0.0)
+                regressed = new > old * (1.0 + threshold)
+                loc = f"{candidate['experiment']}:{table['title']}[{row[0]}]"
+                yield loc, headers[col], old, new, delta, regressed
+
+
+def _doc_paths(target: Path) -> dict[str, Path]:
+    if target.is_dir():
+        return {p.stem: p for p in sorted(target.glob("*.json"))}
+    return {target.stem: target}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="diff two repro-bench-results files/directories, "
+        "failing on work/time regressions"
+    )
+    parser.add_argument("baseline", type=Path, help="baseline file or directory")
+    parser.add_argument("candidate", type=Path, help="candidate file or directory")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        metavar="FRAC",
+        help="allowed fractional increase per cost cell (default 0.10)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.baseline.exists() or not args.candidate.exists():
+        print("error: baseline and candidate must exist", file=sys.stderr)
+        return 2
+
+    base_paths = _doc_paths(args.baseline)
+    cand_paths = _doc_paths(args.candidate)
+    shared = sorted(set(base_paths) & set(cand_paths))
+    if not shared:
+        print("error: no result files in common", file=sys.stderr)
+        return 2
+    for missing in sorted(set(cand_paths) - set(base_paths)):
+        print(f"note: {missing}: no baseline, skipped")
+
+    compared = 0
+    regressions: list[str] = []
+    for name in shared:
+        try:
+            baseline = load_results(base_paths[name])
+            candidate = load_results(cand_paths[name])
+        except (ValueError, OSError) as exc:
+            print(f"error: {name}: {exc}", file=sys.stderr)
+            return 2
+        for loc, col, old, new, delta, regressed in compare_docs(
+            baseline, candidate, args.threshold
+        ):
+            compared += 1
+            if regressed:
+                line = f"REGRESSION {loc} {col}: {old:g} -> {new:g} ({delta:+.1%})"
+                regressions.append(line)
+                print(line)
+            elif delta <= -args.threshold:
+                print(f"improved   {loc} {col}: {old:g} -> {new:g} ({delta:+.1%})")
+
+    print(
+        f"compared {compared} cost cells across {len(shared)} result file(s); "
+        f"{len(regressions)} regression(s) beyond {args.threshold:.0%}"
+    )
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

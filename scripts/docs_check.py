@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Documentation lint: dead links and stale benchmark references.
+
+Checks (run by ``make docs-check``, which ``make test`` includes):
+
+1. every relative markdown link in ``docs/*.md`` and ``README.md``
+   resolves to an existing file (``http(s)``/``mailto`` and pure
+   ``#anchor`` links are skipped; ``#fragment`` suffixes are stripped
+   before resolving);
+2. every ``bench_*.py`` mentioned anywhere in the checked documents
+   exists under ``benchmarks/``;
+3. every ``bench_*.py`` under ``benchmarks/`` is mentioned by name in
+   ``docs/benchmarks.md`` — the index can't silently go stale.
+
+Exit status: 0 when clean, 1 with a listing of problems otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: [text](target) — target captured up to the closing paren.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+BENCH_RE = re.compile(r"bench_\w+\.py")
+
+
+def checked_documents() -> list[Path]:
+    return sorted((REPO / "docs").glob("*.md")) + [REPO / "README.md"]
+
+
+def check_links(doc: Path) -> list[str]:
+    problems = []
+    text = doc.read_text()
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part = target.split("#", 1)[0]
+        if not path_part:  # same-page anchor
+            continue
+        resolved = (doc.parent / path_part).resolve()
+        if not resolved.exists():
+            line = text.count("\n", 0, match.start()) + 1
+            problems.append(
+                f"{doc.relative_to(REPO)}:{line}: dead link -> {target}"
+            )
+    return problems
+
+
+def check_bench_mentions(docs: list[Path]) -> list[str]:
+    problems = []
+    bench_dir = REPO / "benchmarks"
+    real = {p.name for p in bench_dir.glob("bench_*.py")}
+    # bench_-named tooling outside benchmarks/ (e.g. scripts/bench_compare.py)
+    # is a valid reference too.
+    known = real | {p.name for p in (REPO / "scripts").glob("bench_*.py")}
+    for doc in docs:
+        text = doc.read_text()
+        for match in BENCH_RE.finditer(text):
+            if match.group(0) not in known:
+                line = text.count("\n", 0, match.start()) + 1
+                problems.append(
+                    f"{doc.relative_to(REPO)}:{line}: "
+                    f"references missing benchmark {match.group(0)}"
+                )
+    index = (REPO / "docs" / "benchmarks.md").read_text()
+    for name in sorted(real - set(BENCH_RE.findall(index))):
+        problems.append(f"docs/benchmarks.md: benchmark not indexed: {name}")
+    return problems
+
+
+def main() -> int:
+    docs = checked_documents()
+    problems: list[str] = []
+    for doc in docs:
+        problems.extend(check_links(doc))
+    problems.extend(check_bench_mentions(docs))
+    if problems:
+        print(f"docs-check: {len(problems)} problem(s)")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"docs-check: {len(docs)} documents clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,10 +33,22 @@ from repro.core import (
     SlidingHeavyHitters,
     WorkEfficientSlidingFrequency,
 )
+from repro.observability.metrics import REGISTRY
 from repro.pram.cost import tracking
 from repro.resilience.invariants import InvariantViolation
 
 __all__ = ["main", "build_parser"]
+
+# CLI-level metrics (catalog: docs/observability.md).
+_M_CLI_BATCHES = REGISTRY.counter(
+    "repro_cli_batches_total", "Minibatches read by the CLI front-end"
+)
+_M_CLI_ITEMS = REGISTRY.counter(
+    "repro_cli_items_total", "Stream elements read by the CLI front-end"
+)
+_M_CLI_REPORTS = REGISTRY.counter(
+    "repro_cli_interim_reports_total", "Interim answers printed (--report-every)"
+)
 
 
 def _read_batches(path: str | None, batch_size: int) -> Iterator[np.ndarray]:
@@ -76,6 +88,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--costs",
         action="store_true",
         help="print total charged work/depth at the end",
+    )
+    parser.add_argument(
+        "--metrics",
+        choices=("prom", "json"),
+        default=None,
+        metavar="FORMAT",
+        help="dump the process metrics registry at the end "
+        "(prom = Prometheus text exposition, json = versioned JSON)",
     )
     parser.add_argument(
         "--checkpoint-dir",
@@ -155,10 +175,59 @@ def build_parser() -> argparse.ArgumentParser:
     var.add_argument("--max-value", type=int, required=True)
     var.add_argument("file", nargs="?", default=None)
 
+    prof = sub.add_parser(
+        "profile",
+        help="ledger-vs-wallclock profiler: per-operator attribution "
+        "for a canonical experiment workload (docs/observability.md)",
+    )
+    prof.add_argument(
+        "--experiment",
+        required=True,
+        metavar="ID",
+        help="experiment id to profile (e.g. e13; see docs/observability.md)",
+    )
+    prof.add_argument(
+        "--items", type=int, default=100_000, help="workload size (default 100000)"
+    )
+    prof.add_argument(
+        "--no-calibrate",
+        action="store_true",
+        help="skip the primitive calibration sweep (report only what "
+        "the experiment's workload touches)",
+    )
+    prof.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+
     return parser
 
 
+def _profile(args: argparse.Namespace, out) -> None:
+    import json
+
+    from repro.observability.profile import run_profile
+
+    report = run_profile(
+        args.experiment, items=args.items, calibrate=not args.no_calibrate
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2), file=out)
+    else:
+        print(report.render(), file=out)
+
+
+def _dump_metrics(fmt: str, out) -> None:
+    from repro.observability.export import to_json_text, to_prometheus_text
+    from repro.observability.metrics import REGISTRY
+
+    text = to_prometheus_text(REGISTRY) if fmt == "prom" else to_json_text(REGISTRY)
+    print(text, end="", file=out)
+
+
 def _run(args: argparse.Namespace, out) -> None:
+    if args.command == "profile":
+        _profile(args, out)
+        return
     if args.command == "heavy-hitters":
         if args.window:
             op = SlidingHeavyHitters(args.window, args.phi, args.eps)
@@ -233,7 +302,10 @@ def _run(args: argparse.Namespace, out) -> None:
         op.ingest(batch)
         items += len(batch)
         batches_done += 1
+        _M_CLI_BATCHES.inc()
+        _M_CLI_ITEMS.inc(int(len(batch)))
         if args.report_every and (i + 1) % args.report_every == 0:
+            _M_CLI_REPORTS.inc()
             print(f"[{items} items] {interim()}", file=out)
         if args.audit_every and (i + 1) % args.audit_every == 0:
             if hasattr(op, "check_invariants"):
@@ -259,6 +331,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             print(f"charged work: {ledger.work}  depth: {ledger.depth}", file=out)
         else:
             _run(args, out)
+        if args.metrics:
+            _dump_metrics(args.metrics, out)
     except (ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -47,3 +47,62 @@ __all__ = [
     "WindowedLpNorm",
     "WindowedVariance",
 ]
+
+
+# ----------------------------------------------------------------------
+# Observability: wrap every core-synopsis operation in a named span
+# (docs/observability.md).  Wrapping happens once, on the class in the
+# MRO that actually defines the method, so shared base-class methods
+# (e.g. the sliding-frequency estimate()) are traced exactly once under
+# the defining class's name.  When no tracer is active the wrappers add
+# a single ContextVar read per call.
+# ----------------------------------------------------------------------
+from repro.observability.spans import instrument_methods as _instrument_methods
+
+_SYNOPSIS_OPS = (
+    "ingest",
+    "extend",
+    "query",
+    "estimate",
+    "estimates",
+    "point_query",
+    "range_query",
+    "inner_product",
+    "quantile",
+    "heavy_hitters",
+    "merge",
+    "advance",
+    "state_dict",
+    "load_state",
+    "check_invariants",
+)
+
+for _cls in (
+    ParallelBasicCounter,
+    ParallelCountMin,
+    DyadicCountMin,
+    ParallelCountSketch,
+    ParallelFrequencyEstimator,
+    BasicSlidingFrequency,
+    SpaceEfficientSlidingFrequency,
+    WorkEfficientSlidingFrequency,
+    InfiniteHeavyHitters,
+    SlidingHeavyHitters,
+    MisraGriesSummary,
+    SBBC,
+    WindowedCountMin,
+    WindowedHistogram,
+    WindowedLpNorm,
+    WindowedVariance,
+    ParallelWindowedMean,
+    ParallelWindowedSum,
+):
+    for _base in _cls.__mro__:
+        if _base is object:
+            continue
+        _instrument_methods(
+            _base, _SYNOPSIS_OPS, category="synopsis",
+            prefix=f"core.{_base.__name__.lstrip('_')}",
+        )
+
+del _cls, _base, _instrument_methods, _SYNOPSIS_OPS

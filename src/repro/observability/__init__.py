@@ -1,0 +1,85 @@
+"""Observability layer: span tracing, metrics, exporters, profiler.
+
+The paper's evaluation is cost accounting — work/depth ledgers standing
+in for PRAM speedup — and this package makes those charges *auditable*:
+
+``spans``      nested, named spans over every PRAM primitive and core
+               synopsis operation, carrying ledger work/depth deltas,
+               wall-clock ns, and allocation counts
+``metrics``    process-wide :class:`MetricsRegistry` (counters, gauges,
+               histograms) fed by the minibatch driver, checkpoint
+               manager, fault injector / DLQ, and the CLI
+``export``     Prometheus text and versioned-JSON exporters (plus the
+               parser the acceptance checks use)
+``profile``    the ledger-vs-wallclock profiler behind ``repro
+               profile``: per-operator attribution with ns/work
+               fidelity flags
+``benchjson``  the versioned JSON schema for ``benchmarks/results/``
+               consumed by ``scripts/bench_compare.py``
+
+See docs/observability.md for the span model, the full metric catalog,
+and a worked ``repro profile`` walkthrough.
+"""
+
+from repro.observability.benchjson import (
+    BENCH_SCHEMA,
+    BENCH_SCHEMA_VERSION,
+    load_results,
+    new_results_doc,
+    save_results,
+    validate_results,
+)
+from repro.observability.export import (
+    METRICS_JSON_SCHEMA,
+    parse_prometheus_text,
+    to_json,
+    to_json_text,
+    to_prometheus_text,
+)
+from repro.observability.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+from repro.observability.profile import ProfileReport, run_profile
+from repro.observability.spans import (
+    Span,
+    SpanTracer,
+    current_tracer,
+    instrument,
+    instrument_methods,
+    span,
+    span_tracing,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BENCH_SCHEMA_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "METRICS_JSON_SCHEMA",
+    "MetricError",
+    "MetricsRegistry",
+    "ProfileReport",
+    "REGISTRY",
+    "Span",
+    "SpanTracer",
+    "current_tracer",
+    "instrument",
+    "instrument_methods",
+    "load_results",
+    "new_results_doc",
+    "parse_prometheus_text",
+    "run_profile",
+    "save_results",
+    "span",
+    "span_tracing",
+    "to_json",
+    "to_json_text",
+    "to_prometheus_text",
+    "validate_results",
+]

@@ -1,0 +1,120 @@
+"""Versioned JSON schema for ``benchmarks/results/``.
+
+Alongside each human-readable ``<experiment>.txt`` table, the harness
+writes ``<experiment>.json`` in this machine-readable layout::
+
+    {
+      "schema": "repro-bench-results",
+      "version": 1,
+      "experiment": "E13",
+      "tables": [
+        {"title": "...", "headers": [...], "rows": [[...], ...],
+         "notes": "..."}
+      ]
+    }
+
+Row cells are plain JSON scalars (NumPy values are coerced on write).
+``scripts/bench_compare.py`` diffs two such documents (or directories
+of them) and fails on work/time regressions beyond a threshold — the
+regression gate for perf PRs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Sequence
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BENCH_SCHEMA_VERSION",
+    "add_table",
+    "jsonify_cell",
+    "load_results",
+    "new_results_doc",
+    "save_results",
+    "validate_results",
+]
+
+BENCH_SCHEMA = "repro-bench-results"
+BENCH_SCHEMA_VERSION = 1
+
+
+def jsonify_cell(value: Any) -> Any:
+    """Coerce a table cell to a JSON scalar (NumPy-aware)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    # NumPy scalars expose .item(); anything else stringifies.
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return jsonify_cell(item())
+        except (TypeError, ValueError):
+            pass
+    return str(value)
+
+
+def new_results_doc(experiment: str) -> dict[str, Any]:
+    return {
+        "schema": BENCH_SCHEMA,
+        "version": BENCH_SCHEMA_VERSION,
+        "experiment": experiment,
+        "tables": [],
+    }
+
+
+def add_table(
+    doc: dict[str, Any],
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    notes: str = "",
+) -> dict[str, Any]:
+    doc["tables"].append(
+        {
+            "title": title,
+            "headers": [str(h) for h in headers],
+            "rows": [[jsonify_cell(c) for c in row] for row in rows],
+            "notes": notes,
+        }
+    )
+    return doc
+
+
+def validate_results(doc: Any) -> dict[str, Any]:
+    """Check a loaded document against the schema; returns it."""
+    if not isinstance(doc, dict):
+        raise ValueError("bench results document must be a JSON object")
+    if doc.get("schema") != BENCH_SCHEMA:
+        raise ValueError(f"not a {BENCH_SCHEMA} document: {doc.get('schema')!r}")
+    version = doc.get("version")
+    if not isinstance(version, int) or version < 1 or version > BENCH_SCHEMA_VERSION:
+        raise ValueError(f"unsupported bench results version: {version!r}")
+    if not isinstance(doc.get("experiment"), str):
+        raise ValueError("bench results document missing 'experiment'")
+    tables = doc.get("tables")
+    if not isinstance(tables, list):
+        raise ValueError("bench results document missing 'tables' list")
+    for table in tables:
+        if not isinstance(table, dict) or not isinstance(table.get("title"), str):
+            raise ValueError("each table needs a string 'title'")
+        headers = table.get("headers")
+        rows = table.get("rows")
+        if not isinstance(headers, list) or not isinstance(rows, list):
+            raise ValueError(f"table {table.get('title')!r}: bad headers/rows")
+        for row in rows:
+            if not isinstance(row, list) or len(row) != len(headers):
+                raise ValueError(
+                    f"table {table.get('title')!r}: row width != header width"
+                )
+    return doc
+
+
+def save_results(doc: dict[str, Any], path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(validate_results(doc), indent=2) + "\n")
+    return path
+
+
+def load_results(path: str | Path) -> dict[str, Any]:
+    return validate_results(json.loads(Path(path).read_text()))

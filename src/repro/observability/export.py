@@ -1,0 +1,163 @@
+"""Exporters for :class:`~repro.observability.metrics.MetricsRegistry`.
+
+Two formats:
+
+* **Prometheus text exposition** (:func:`to_prometheus_text`) — the
+  ``# HELP`` / ``# TYPE`` / sample-line format scrapeable by any
+  Prometheus-compatible collector.  Histograms emit cumulative
+  ``_bucket{le=...}`` series plus ``_sum`` / ``_count``.
+* **JSON** (:func:`to_json` / :func:`to_json_text`) — a versioned
+  document (``repro-metrics/v1``) for programmatic consumers.
+
+Both are deterministic: metrics sort by name and samples by label
+values.  :func:`parse_prometheus_text` is a minimal parser used by the
+tests and the ``repro profile`` acceptance check to verify the output
+round-trips with zero duplicate metric names.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.observability.metrics import Histogram, Metric, MetricsRegistry
+
+__all__ = [
+    "METRICS_JSON_SCHEMA",
+    "parse_prometheus_text",
+    "to_json",
+    "to_json_text",
+    "to_prometheus_text",
+]
+
+#: Version tag carried by the JSON exporter output.
+METRICS_JSON_SCHEMA = "repro-metrics/v1"
+
+
+def _fmt_value(value: float) -> str:
+    """Integers print without a trailing ``.0`` (stable goldens)."""
+    f = float(value)
+    return str(int(f)) if f == int(f) else repr(f)
+
+
+def _fmt_labels(names: tuple[str, ...], values: tuple[str, ...]) -> str:
+    if not names:
+        return ""
+    inner = ",".join(
+        f'{n}="{v}"' for n, v in zip(names, values)
+    )
+    return "{" + inner + "}"
+
+
+def _prom_histogram_lines(metric: Histogram) -> list[str]:
+    lines: list[str] = []
+    for label_values, slot in metric.samples():
+        for bound, in_bucket in zip(metric.buckets, slot["buckets"]):
+            names = metric.label_names + ("le",)
+            values = label_values + (_fmt_value(bound),)
+            lines.append(
+                f"{metric.name}_bucket{_fmt_labels(names, values)} {in_bucket}"
+            )
+        names = metric.label_names + ("le",)
+        values = label_values + ("+Inf",)
+        lines.append(
+            f"{metric.name}_bucket{_fmt_labels(names, values)} {slot['count']}"
+        )
+        lines.append(
+            f"{metric.name}_sum{_fmt_labels(metric.label_names, label_values)} "
+            f"{_fmt_value(slot['sum'])}"
+        )
+        lines.append(
+            f"{metric.name}_count{_fmt_labels(metric.label_names, label_values)} "
+            f"{slot['count']}"
+        )
+    return lines
+
+
+def to_prometheus_text(registry: MetricsRegistry) -> str:
+    """Render the registry in Prometheus text exposition format."""
+    out: list[str] = []
+    for metric in registry.collect():
+        out.append(f"# HELP {metric.name} {metric.help}")
+        out.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, Histogram):
+            out.extend(_prom_histogram_lines(metric))
+            continue
+        for label_values, value in metric.samples():
+            out.append(
+                f"{metric.name}"
+                f"{_fmt_labels(metric.label_names, label_values)} "
+                f"{_fmt_value(value)}"
+            )
+    return "\n".join(out) + "\n" if out else ""
+
+
+def _sample_dict(metric: Metric, label_values: tuple[str, ...], value: Any) -> dict:
+    sample: dict[str, Any] = {
+        "labels": dict(zip(metric.label_names, label_values)),
+    }
+    if isinstance(metric, Histogram):
+        sample["buckets"] = {
+            _fmt_value(b): c for b, c in zip(metric.buckets, value["buckets"])
+        }
+        sample["sum"] = value["sum"]
+        sample["count"] = value["count"]
+    else:
+        sample["value"] = value
+    return sample
+
+
+def to_json(registry: MetricsRegistry) -> dict[str, Any]:
+    """The registry as a versioned, JSON-serializable document."""
+    return {
+        "schema": METRICS_JSON_SCHEMA,
+        "metrics": [
+            {
+                "name": metric.name,
+                "type": metric.kind,
+                "help": metric.help,
+                "samples": [
+                    _sample_dict(metric, lv, v) for lv, v in metric.samples()
+                ],
+            }
+            for metric in registry.collect()
+        ],
+    }
+
+
+def to_json_text(registry: MetricsRegistry) -> str:
+    return json.dumps(to_json(registry), indent=2, sort_keys=True) + "\n"
+
+
+def parse_prometheus_text(text: str) -> dict[str, dict[str, Any]]:
+    """Parse exposition text back into ``{name: {type, samples}}``.
+
+    Raises ``ValueError`` on duplicate metric declarations or samples
+    for an undeclared metric — the acceptance check for exporter
+    well-formedness.
+    """
+    metrics: dict[str, dict[str, Any]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(None, 3)
+            if name in metrics:
+                raise ValueError(f"duplicate metric declaration: {name}")
+            metrics[name] = {"type": kind, "samples": []}
+            continue
+        if line.startswith("#"):
+            continue
+        sample_name = line.split("{", 1)[0].split(None, 1)[0]
+        base = sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if sample_name.endswith(suffix) and sample_name[: -len(suffix)] in metrics:
+                base = sample_name[: -len(suffix)]
+                break
+        if base not in metrics:
+            raise ValueError(f"sample for undeclared metric: {sample_name}")
+        metrics[base]["samples"].append(line)
+    return metrics

@@ -1,0 +1,235 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+Prometheus-shaped (metric name + typed samples + label sets) but with
+zero dependencies: consumers call :func:`MetricsRegistry.counter` /
+``gauge`` / ``histogram`` at import time (get-or-create, so re-imports
+never collide), then ``inc`` / ``set`` / ``observe`` on the hot path.
+Updates take one small lock; export is deterministic — metrics sort by
+name, samples by label values — so two runs that do the same operations
+produce byte-identical exporter output (the golden-file tests rely on
+this).
+
+The default process-wide registry is :data:`REGISTRY`; the driver,
+checkpoint manager, fault injector, DLQ, and CLI all record into it.
+The full metric catalog lives in docs/observability.md.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricError",
+    "MetricsRegistry",
+    "REGISTRY",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram buckets (seconds-flavored, Prometheus-style).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0,
+)
+
+_VALID_KINDS = ("counter", "gauge", "histogram")
+
+
+class MetricError(ValueError):
+    """Invalid metric usage: duplicate/conflicting registration, bad
+    labels, decreasing counter, or unknown metric."""
+
+
+def _label_key(
+    label_names: tuple[str, ...], labels: Mapping[str, Any]
+) -> tuple[str, ...]:
+    if set(labels) != set(label_names):
+        raise MetricError(
+            f"labels {sorted(labels)} do not match declared {sorted(label_names)}"
+        )
+    return tuple(str(labels[name]) for name in label_names)
+
+
+class Metric:
+    """Base class: a named family of samples keyed by label values."""
+
+    kind = "abstract"
+
+    def __init__(
+        self, name: str, help: str, label_names: Sequence[str] = ()
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.label_names = tuple(label_names)
+        self._values: dict[tuple[str, ...], Any] = {}
+        self._lock = threading.Lock()
+
+    def samples(self) -> list[tuple[tuple[str, ...], Any]]:
+        """Sorted (label values, value) pairs — the export order."""
+        with self._lock:
+            return sorted(self._values.items())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._values.clear()
+
+
+class Counter(Metric):
+    """Monotonically nondecreasing count."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise MetricError(f"counter {self.name} cannot decrease ({amount})")
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            return float(self._values.get(key, 0.0))
+
+
+class Gauge(Metric):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            return float(self._values.get(key, 0.0))
+
+
+class Histogram(Metric):
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        label_names: Sequence[str] = (),
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, label_names)
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise MetricError(f"histogram {self.name} needs at least one bucket")
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            slot = self._values.get(key)
+            if slot is None:
+                slot = self._values[key] = {
+                    "buckets": [0] * len(self.buckets),
+                    "sum": 0.0,
+                    "count": 0,
+                }
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    slot["buckets"][i] += 1
+            slot["sum"] += float(value)
+            slot["count"] += 1
+
+    def count(self, **labels: Any) -> int:
+        key = _label_key(self.label_names, labels)
+        with self._lock:
+            slot = self._values.get(key)
+            return int(slot["count"]) if slot else 0
+
+
+class MetricsRegistry:
+    """A named collection of metrics with get-or-create registration."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def register(self, metric: Metric) -> Metric:
+        """Register ``metric``; duplicate names are an error."""
+        with self._lock:
+            if metric.name in self._metrics:
+                raise MetricError(f"metric {metric.name!r} already registered")
+            self._metrics[metric.name] = metric
+        return metric
+
+    def _get_or_create(
+        self, cls: type, name: str, help: str, label_names: Sequence[str], **kw: Any
+    ) -> Any:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if existing.kind != cls.kind or existing.label_names != tuple(
+                    label_names
+                ):
+                    raise MetricError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}{existing.label_names}, cannot "
+                        f"re-register as {cls.kind}{tuple(label_names)}"
+                    )
+                return existing
+            metric = cls(name, help, label_names, **kw)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labels, buckets=buckets)
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> Metric:
+        with self._lock:
+            try:
+                return self._metrics[name]
+            except KeyError:
+                raise MetricError(f"unknown metric {name!r}") from None
+
+    def collect(self) -> list[Metric]:
+        """All metrics, sorted by name (the deterministic export order)."""
+        with self._lock:
+            return [self._metrics[k] for k in sorted(self._metrics)]
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def reset_values(self) -> None:
+        """Zero every metric's samples (registrations stay) — test aid."""
+        for metric in self.collect():
+            metric.clear()
+
+
+#: The process-wide default registry.
+REGISTRY = MetricsRegistry()

@@ -1,0 +1,283 @@
+"""Span-based tracer for PRAM primitives and synopsis operations.
+
+A **span** is one named, timed region of execution — a PRAM primitive
+(``pram.par_map``), a core-synopsis operation
+(``core.ParallelCountMin.ingest``), a driver step (``driver.batch``) —
+carrying four measurements:
+
+* ``work`` / ``depth`` — the delta of the ambient
+  :class:`~repro.pram.cost.CostLedger` across the span.  Because the
+  ledger applies the fork-join rule (sequential composition adds depth,
+  parallel composition takes the max), a span enclosing a
+  ``parallel()`` region reports the *max* strand depth automatically.
+* ``wall_ns`` — measured wall-clock nanoseconds
+  (``time.perf_counter_ns``), the quantity the ledger deliberately
+  abstracts away and the profiler cross-checks against.
+* ``alloc_blocks`` — delta of ``sys.getallocatedblocks()``, a cheap
+  allocation-pressure proxy.
+
+Spans nest: a tracer keeps a stack (per :mod:`contextvars` context, so
+thread strands nest correctly) and each closed span attaches to its
+parent, yielding a call tree whose per-name aggregation is the
+profiler's attribution table.  While a span is open, its name is also
+installed as the ambient charge label (:func:`repro.pram.cost.labeled`),
+so the ledger's trace entries and ``by_operator`` aggregate become
+attributable to the innermost span.
+
+When no tracer is active the entire layer is a single ContextVar read
+per instrumented call — cheap enough to leave permanently enabled.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import functools
+import sys
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+# Resolved lazily to keep this module import-light: repro.pram modules
+# import `instrument` from here at import time, so a module-level import
+# of repro.pram.cost would be circular whenever the import chain enters
+# the package from outside repro.pram.
+_cost = None
+
+
+def _cost_module():
+    global _cost
+    if _cost is None:
+        from repro.pram import cost
+
+        _cost = cost
+    return _cost
+
+
+__all__ = [
+    "Span",
+    "SpanTracer",
+    "current_tracer",
+    "instrument",
+    "instrument_methods",
+    "span",
+    "span_tracing",
+]
+
+
+@dataclass
+class Span:
+    """One closed (or still-open) traced region."""
+
+    name: str
+    category: str = "generic"
+    work: int = 0
+    depth: int = 0
+    wall_ns: int = 0
+    alloc_blocks: int = 0
+    children: list["Span"] = field(default_factory=list)
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, preorder."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    @property
+    def child_wall_ns(self) -> int:
+        return sum(c.wall_ns for c in self.children)
+
+    @property
+    def child_work(self) -> int:
+        return sum(c.work for c in self.children)
+
+    @property
+    def self_wall_ns(self) -> int:
+        """Wall-clock excluding child spans (never negative)."""
+        return max(0, self.wall_ns - self.child_wall_ns)
+
+    @property
+    def self_work(self) -> int:
+        """Ledger work excluding child spans (never negative)."""
+        return max(0, self.work - self.child_work)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "category": self.category,
+            "work": self.work,
+            "depth": self.depth,
+            "wall_ns": self.wall_ns,
+            "alloc_blocks": self.alloc_blocks,
+            "children": [c.to_dict() for c in self.children],
+        }
+
+
+@dataclass
+class SpanAggregate:
+    """Per-name rollup across every span in a trace."""
+
+    name: str
+    category: str
+    calls: int = 0
+    work: int = 0
+    depth: int = 0
+    wall_ns: int = 0
+    self_work: int = 0
+    self_wall_ns: int = 0
+    alloc_blocks: int = 0
+
+    @property
+    def ns_per_work(self) -> float:
+        """Measured wall-clock per unit of charged work (self-time
+        basis) — the ledger-fidelity quantity the profiler reports."""
+        return self.self_wall_ns / self.self_work if self.self_work else 0.0
+
+
+class SpanTracer:
+    """Collects a forest of spans for one traced run."""
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self.span_counts: dict[str, int] = {}
+
+    def all_spans(self) -> Iterator[Span]:
+        for root in self.roots:
+            yield from root.walk()
+
+    def aggregate(self) -> dict[str, SpanAggregate]:
+        """Roll every span up by name (sorted by descending self wall)."""
+        table: dict[str, SpanAggregate] = {}
+        for s in self.all_spans():
+            agg = table.get(s.name)
+            if agg is None:
+                agg = table[s.name] = SpanAggregate(name=s.name, category=s.category)
+            agg.calls += 1
+            agg.work += s.work
+            agg.depth += s.depth
+            agg.wall_ns += s.wall_ns
+            agg.self_work += s.self_work
+            agg.self_wall_ns += s.self_wall_ns
+            agg.alloc_blocks += s.alloc_blocks
+        return dict(
+            sorted(table.items(), key=lambda kv: -kv[1].self_wall_ns)
+        )
+
+
+_TRACER: contextvars.ContextVar[SpanTracer | None] = contextvars.ContextVar(
+    "repro_span_tracer", default=None
+)
+_CURRENT: contextvars.ContextVar[Span | None] = contextvars.ContextVar(
+    "repro_span_current", default=None
+)
+
+
+def current_tracer() -> SpanTracer | None:
+    """The active tracer, or ``None`` when span tracing is off."""
+    return _TRACER.get()
+
+
+@contextmanager
+def span_tracing(tracer: SpanTracer | None = None) -> Iterator[SpanTracer]:
+    """Install ``tracer`` (a fresh one by default) as the active tracer.
+
+    >>> from repro.pram.cost import tracking, charge
+    >>> with tracking() as led, span_tracing() as tr:
+    ...     with span("demo"):
+    ...         charge(10, 2)
+    >>> (tr.roots[0].work, tr.roots[0].depth)
+    (10, 2)
+    """
+    if tracer is None:
+        tracer = SpanTracer()
+    token = _TRACER.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _TRACER.reset(token)
+
+
+@contextmanager
+def span(name: str, category: str = "generic") -> Iterator[Span | None]:
+    """Open a named span under the active tracer (no-op when inactive).
+
+    Yields the :class:`Span` being recorded, or ``None`` when tracing
+    is off.
+    """
+    tracer = _TRACER.get()
+    if tracer is None:
+        yield None
+        return
+    cost = _cost_module()
+    record = Span(name=name, category=category)
+    parent = _CURRENT.get()
+    cur_token = _CURRENT.set(record)
+    label_token = cost._LABEL.set(name)
+    ledger = cost.current_ledger()
+    work0 = ledger.work if ledger is not None else 0
+    depth0 = ledger.depth if ledger is not None else 0
+    alloc0 = sys.getallocatedblocks()
+    t0 = time.perf_counter_ns()
+    try:
+        yield record
+    finally:
+        record.wall_ns = time.perf_counter_ns() - t0
+        record.alloc_blocks = sys.getallocatedblocks() - alloc0
+        # The strand ledger may have been swapped mid-span (parallel
+        # regions); only diff against the ledger seen at entry.
+        end_ledger = cost.current_ledger()
+        if ledger is not None and end_ledger is ledger:
+            record.work = ledger.work - work0
+            record.depth = ledger.depth - depth0
+        cost._LABEL.reset(label_token)
+        _CURRENT.reset(cur_token)
+        if parent is not None:
+            parent.children.append(record)
+        else:
+            tracer.roots.append(record)
+        tracer.span_counts[category] = tracer.span_counts.get(category, 0) + 1
+
+
+def instrument(name: str, category: str = "pram") -> Callable:
+    """Decorator wrapping a function in a :func:`span` of ``name``.
+
+    The disabled fast path is one ContextVar read; primitives stay
+    near-free when no tracer is installed.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if _TRACER.get() is None:
+                return fn(*args, **kwargs)
+            with span(name, category):
+                return fn(*args, **kwargs)
+
+        wrapper.__wrapped_span__ = name  # type: ignore[attr-defined]
+        return wrapper
+
+    return decorate
+
+
+def instrument_methods(
+    cls: type,
+    methods: tuple[str, ...],
+    *,
+    category: str = "synopsis",
+    prefix: str | None = None,
+) -> type:
+    """Wrap the named methods *defined directly on* ``cls`` in spans
+    named ``<prefix or cls.__name__>.<method>``.
+
+    Inherited and already-instrumented methods are left alone, so the
+    helper is idempotent and safe to apply across a class hierarchy.
+    """
+    base = prefix or cls.__name__
+    for method in methods:
+        fn = cls.__dict__.get(method)
+        if fn is None or not callable(fn):
+            continue
+        if getattr(fn, "__wrapped_span__", None) is not None:
+            continue
+        setattr(cls, method, instrument(f"{base}.{method}", category)(fn))
+    return cls

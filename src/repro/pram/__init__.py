@@ -18,6 +18,14 @@ histogram   buildHist (Theorem 2.3)
 css         compacted stream segments (Lemma 2.1) and sift (Lemma 5.9)
 select      parallel rank selection (prune cutoff, Lemma 5.3)
 backend     serial and thread-pool fork-join execution backends
+
+Every primitive is additionally wrapped in a named observability span
+(``pram.<primitive>``, see docs/observability.md): when a
+:class:`~repro.observability.spans.SpanTracer` is active, each call
+records its ledger work/depth delta alongside measured wall-clock, and
+installs its name as the ambient charge label so the ledger's
+``by_operator`` attribution stays exact.  With no tracer the wrapper
+is a single ContextVar read.
 """
 
 from repro.pram.cost import (

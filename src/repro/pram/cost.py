@@ -36,7 +36,9 @@ __all__ = [
     "CostLedger",
     "ParallelRegion",
     "charge",
+    "current_label",
     "current_ledger",
+    "labeled",
     "measured",
     "parallel",
     "tracking",
@@ -76,29 +78,48 @@ class CostLedger:
     wall-clock speedup this host cannot measure; see DESIGN.md).
     """
 
-    __slots__ = ("work", "depth", "trace")
+    __slots__ = ("work", "depth", "trace", "by_operator")
 
     def __init__(self, record: bool = False) -> None:
         self.work: int = 0
         self.depth: int = 0
         #: When recording: list of ``("c", work, depth)`` charge items
-        #: and ``("p", [strand traces])`` parallel blocks, in program
-        #: order.  ``None`` when recording is off.
+        #: (``("c", work, depth, label)`` when the charge carries an
+        #: operator label) and ``("p", [strand traces])`` parallel
+        #: blocks, in program order.  ``None`` when recording is off.
         self.trace: list | None = [] if record else None
+        #: Operator attribution: label -> ``[work, depth, charges]``
+        #: accumulated from every labeled charge (labels come from the
+        #: ambient :func:`labeled` context, normally installed by
+        #: :mod:`repro.observability.spans`).  Unlabeled charges are
+        #: not attributed.
+        self.by_operator: dict[str, list[int]] = {}
 
     @property
     def recording(self) -> bool:
         return self.trace is not None
 
-    def charge(self, work: int, depth: int = 1) -> None:
+    def charge(self, work: int, depth: int = 1, label: str | None = None) -> None:
         """Charge a primitive step: ``work`` operations on a critical
-        path of length ``depth``."""
+        path of length ``depth``, optionally attributed to ``label``
+        (an operator / span name)."""
         if work < 0 or depth < 0:
             raise ValueError(f"negative cost charge: work={work} depth={depth}")
         self.work += int(work)
         self.depth += int(depth)
+        if label is not None:
+            slot = self.by_operator.get(label)
+            if slot is None:
+                self.by_operator[label] = [int(work), int(depth), 1]
+            else:
+                slot[0] += int(work)
+                slot[1] += int(depth)
+                slot[2] += 1
         if self.trace is not None:
-            self.trace.append(("c", int(work), int(depth)))
+            if label is None:
+                self.trace.append(("c", int(work), int(depth)))
+            else:
+                self.trace.append(("c", int(work), int(depth), label))
 
     def merge_parallel(
         self, children: list[Cost], traces: list[list] | None = None
@@ -127,6 +148,7 @@ class CostLedger:
             "work": self.work,
             "depth": self.depth,
             "trace": self.trace,
+            "by_operator": {k: list(v) for k, v in self.by_operator.items()},
         }
 
     def load_state(self, state: dict) -> None:
@@ -136,6 +158,10 @@ class CostLedger:
         self.depth = int(state["depth"])
         trace = state["trace"]
         self.trace = _as_trace(trace) if trace is not None else None
+        self.by_operator = {
+            str(k): [int(v[0]), int(v[1]), int(v[2])]
+            for k, v in (state.get("by_operator") or {}).items()
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CostLedger(work={self.work}, depth={self.depth})"
@@ -148,6 +174,8 @@ def _as_trace(items: list) -> list:
         entry = tuple(entry)
         if entry[0] == "p":
             out.append(("p", [_as_trace(strand) for strand in entry[1]]))
+        elif len(entry) > 3:
+            out.append(("c", int(entry[1]), int(entry[2]), str(entry[3])))
         else:
             out.append(("c", int(entry[1]), int(entry[2])))
     return out
@@ -157,17 +185,45 @@ _LEDGER: contextvars.ContextVar[CostLedger | None] = contextvars.ContextVar(
     "repro_pram_ledger", default=None
 )
 
+#: Ambient operator label: charges issued while a label is installed are
+#: attributed to it (trace entries gain a 4th element and the ledger's
+#: ``by_operator`` aggregate is updated).  The observability layer's
+#: spans install the innermost span name here.
+_LABEL: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "repro_pram_label", default=None
+)
+
 
 def current_ledger() -> CostLedger | None:
     """The ambient ledger, or ``None`` when cost tracking is off."""
     return _LEDGER.get()
 
 
-def charge(work: int, depth: int = 1) -> None:
-    """Charge the ambient ledger, if any."""
+def current_label() -> str | None:
+    """The ambient operator label, or ``None`` when unattributed."""
+    return _LABEL.get()
+
+
+@contextmanager
+def labeled(label: str | None) -> Iterator[None]:
+    """Attribute every charge inside the block to ``label``.
+
+    Nested labels shadow outer ones (innermost wins), so a primitive's
+    span overrides the enclosing operator's span for its own charges.
+    """
+    token = _LABEL.set(label)
+    try:
+        yield
+    finally:
+        _LABEL.reset(token)
+
+
+def charge(work: int, depth: int = 1, label: str | None = None) -> None:
+    """Charge the ambient ledger, if any, attributed to ``label`` (or
+    the ambient :func:`labeled` context when ``label`` is ``None``)."""
     ledger = _LEDGER.get()
     if ledger is not None:
-        ledger.charge(work, depth)
+        ledger.charge(work, depth, label if label is not None else _LABEL.get())
 
 
 @contextmanager
@@ -246,6 +302,15 @@ class ParallelRegion:
         finally:
             _LEDGER.reset(token)
         self._children.append(child.snapshot())
+        if self._parent is not None and child.by_operator:
+            # Fold strand attribution into the parent (work is exact;
+            # attributed depth is the per-operator charged chain, not
+            # the fork-join span).
+            for label, (w, d, n) in child.by_operator.items():
+                slot = self._parent.by_operator.setdefault(label, [0, 0, 0])
+                slot[0] += w
+                slot[1] += d
+                slot[2] += n
         if self._recording:
             self._traces.append(child.trace or [])
         return result
@@ -256,8 +321,17 @@ class ParallelRegion:
         if self._closed:
             raise RuntimeError("parallel region already closed")
         self._children.append(Cost(work, depth))
+        label = _LABEL.get()
+        if label is not None and self._parent is not None:
+            slot = self._parent.by_operator.setdefault(label, [0, 0, 0])
+            slot[0] += int(work)
+            slot[1] += int(depth)
+            slot[2] += 1
         if self._recording:
-            self._traces.append([("c", int(work), int(depth))])
+            if label is None:
+                self._traces.append([("c", int(work), int(depth))])
+            else:
+                self._traces.append([("c", int(work), int(depth), label)])
 
     @property
     def strand_costs(self) -> list[Cost]:

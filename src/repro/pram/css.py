@@ -22,6 +22,7 @@ from typing import Hashable, Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro.observability.spans import instrument
 from repro.pram.cost import charge
 from repro.pram.primitives import log2ceil, pack
 
@@ -104,6 +105,7 @@ def css_concat(first: CSS, second: CSS) -> CSS:
     return CSS(length=first.length + second.length, ones=ones)
 
 
+@instrument("pram.sift")
 def sift(
     segment: Sequence[Hashable] | np.ndarray,
     keep: Iterable[Hashable],

@@ -21,6 +21,7 @@ from typing import Hashable, Mapping, Sequence
 
 import numpy as np
 
+from repro.observability.spans import instrument
 from repro.pram.cost import charge, parallel
 from repro.pram.hashing import KWiseHash
 from repro.pram.primitives import log2ceil
@@ -67,6 +68,7 @@ def _resolve(key: int, universe: list[Hashable]) -> Hashable:
     return universe[key] if universe else key
 
 
+@instrument("pram.build_hist")
 def build_hist(
     items: Sequence[Hashable] | np.ndarray,
     rng: np.random.Generator | None = None,

@@ -25,6 +25,7 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from repro.observability.spans import instrument
 from repro.pram.cost import charge
 
 __all__ = [
@@ -48,6 +49,7 @@ def log2ceil(n: int) -> int:
     return (int(n) - 1).bit_length()
 
 
+@instrument("pram.par_map")
 def par_map(fn: Callable[[np.ndarray], np.ndarray], xs: np.ndarray) -> np.ndarray:
     """Apply a vectorized elementwise function to ``xs``.
 
@@ -59,6 +61,7 @@ def par_map(fn: Callable[[np.ndarray], np.ndarray], xs: np.ndarray) -> np.ndarra
     return fn(xs)
 
 
+@instrument("pram.reduce_add")
 def reduce_add(xs: np.ndarray) -> int | float:
     """Sum via a balanced binary reduction tree: O(n) work, O(log n) depth."""
     xs = np.asarray(xs)
@@ -69,6 +72,7 @@ def reduce_add(xs: np.ndarray) -> int | float:
     return xs.sum()
 
 
+@instrument("pram.reduce_max")
 def reduce_max(xs: np.ndarray) -> Any:
     """Max-reduce: O(n) work, O(log n) depth.  ``xs`` must be nonempty."""
     xs = np.asarray(xs)
@@ -79,6 +83,7 @@ def reduce_max(xs: np.ndarray) -> Any:
     return xs.max()
 
 
+@instrument("pram.reduce_min")
 def reduce_min(xs: np.ndarray) -> Any:
     """Min-reduce: O(n) work, O(log n) depth.  ``xs`` must be nonempty.
 
@@ -93,6 +98,7 @@ def reduce_min(xs: np.ndarray) -> Any:
     return xs.min()
 
 
+@instrument("pram.prefix_sum")
 def prefix_sum(xs: np.ndarray, *, exclusive: bool = True) -> np.ndarray:
     """Parallel scan (prefix sums): O(n) work, O(log n) depth.
 
@@ -113,6 +119,7 @@ def prefix_sum(xs: np.ndarray, *, exclusive: bool = True) -> np.ndarray:
     return out
 
 
+@instrument("pram.pack")
 def pack(xs: np.ndarray, flags: np.ndarray) -> np.ndarray:
     """Keep ``xs[i]`` where ``flags[i]`` is true, preserving order.
 
@@ -136,6 +143,7 @@ def par_filter(pred: Callable[[np.ndarray], np.ndarray], xs: np.ndarray) -> np.n
     return pack(xs, flags)
 
 
+@instrument("pram.par_concat")
 def par_concat(parts: Sequence[np.ndarray]) -> np.ndarray:
     """Concatenate ``k`` sequences of total length ``n``.
 

@@ -20,12 +20,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.observability.spans import instrument
 from repro.pram.cost import charge
 from repro.pram.primitives import log2ceil
 
 __all__ = ["rank_select", "prune_cutoff"]
 
 
+@instrument("pram.rank_select")
 def rank_select(values: np.ndarray, rank: int) -> int | float:
     """Return the ``rank``-th smallest element (1-based rank).
 

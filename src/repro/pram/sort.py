@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.observability.spans import instrument
 from repro.pram.cost import charge
 from repro.pram.primitives import log2ceil
 
@@ -51,6 +52,7 @@ def _validate(keys: np.ndarray, range_factor: int) -> int:
     return kmax
 
 
+@instrument("pram.int_sort")
 def int_sort(
     keys: np.ndarray, *, range_factor: int = DEFAULT_RANGE_FACTOR
 ) -> np.ndarray:
@@ -79,6 +81,7 @@ def int_sort_perm(
     return np.argsort(keys, kind="stable")
 
 
+@instrument("pram.int_sort_by_key")
 def int_sort_by_key(
     keys: np.ndarray,
     values: np.ndarray,

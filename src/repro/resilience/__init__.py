@@ -1,10 +1,22 @@
 """Fault-tolerant streaming runtime: checkpoint/restore, fault
 injection, and invariant-guarded recovery (docs/resilience.md).
 
+The layer sits between the minibatch driver and the synopsis
+structures: operator state is serialized deterministically, snapshotted
+atomically every K batches, and on failure the driver rolls back to the
+newest *intact* checkpoint, re-validating the paper's structural
+invariants (DESIGN.md's substitution rule applies — recovery must not
+change any work/depth or accuracy guarantee, only availability).
+
 ``repro.resilience.state``       versioned deterministic serialization
 ``repro.resilience.checkpoint``  atomic write-then-rename snapshots
 ``repro.resilience.faults``      seeded fault injector, retries, DLQ
 ``repro.resilience.invariants``  per-sketch structural audits
+
+Checkpoint saves are traced as ``checkpoint.save`` spans, and the save
+/ corruption / fault / dead-letter paths feed the process metrics
+registry (``repro_checkpoint_*``, ``repro_faults_injected_total``,
+``repro_dead_letter*`` — catalog in docs/observability.md).
 """
 
 from repro.resilience.checkpoint import (

@@ -18,15 +18,35 @@ recent *intact* checkpoint instead of failing outright.
 from __future__ import annotations
 
 import os
+import time
 from pathlib import Path
 from typing import Any, Mapping
 
+from repro.observability.metrics import REGISTRY
+from repro.observability.spans import span
 from repro.resilience import state as state_codec
 
 __all__ = ["CheckpointCorruption", "CheckpointManager", "CHECKPOINT_FORMAT"]
 
 #: Envelope format tag; bump with the envelope layout.
 CHECKPOINT_FORMAT = "repro-checkpoint-v1"
+
+# Checkpoint metrics (catalog: docs/observability.md).
+_M_SAVES = REGISTRY.counter(
+    "repro_checkpoint_saves_total", "Checkpoints successfully written"
+)
+_M_SAVE_SECONDS = REGISTRY.histogram(
+    "repro_checkpoint_save_seconds", "Wall-clock seconds per checkpoint save"
+)
+_M_BYTES = REGISTRY.gauge(
+    "repro_checkpoint_last_bytes", "Size of the most recent checkpoint file"
+)
+_M_LAST_INDEX = REGISTRY.gauge(
+    "repro_checkpoint_last_batch_index", "Batch index of the most recent save"
+)
+_M_CORRUPT = REGISTRY.counter(
+    "repro_checkpoint_corrupt_total", "Checkpoint files that failed validation"
+)
 
 
 class CheckpointCorruption(RuntimeError):
@@ -68,26 +88,32 @@ class CheckpointManager:
 
     def save(self, state: Mapping[str, Any], batch_index: int) -> Path:
         """Atomically persist one checkpoint (write-then-rename)."""
-        payload = state_codec.dumps(state)
-        envelope = {
-            "format": CHECKPOINT_FORMAT,
-            "batch_index": int(batch_index),
-            "checksum": state_codec.checksum(payload),
-            "payload": payload.decode("utf-8"),
-        }
-        blob = state_codec.dumps(envelope)
-        self.directory.mkdir(parents=True, exist_ok=True)
-        final = self._path_for(batch_index)
-        tmp = final.with_name(final.name + ".tmp")
-        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
-        try:
-            os.write(fd, blob)
-            os.fsync(fd)
-        finally:
-            os.close(fd)
-        os.replace(tmp, final)
-        self.saves += 1
-        self._prune()
+        t0 = time.perf_counter()
+        with span("checkpoint.save", "resilience"):
+            payload = state_codec.dumps(state)
+            envelope = {
+                "format": CHECKPOINT_FORMAT,
+                "batch_index": int(batch_index),
+                "checksum": state_codec.checksum(payload),
+                "payload": payload.decode("utf-8"),
+            }
+            blob = state_codec.dumps(envelope)
+            self.directory.mkdir(parents=True, exist_ok=True)
+            final = self._path_for(batch_index)
+            tmp = final.with_name(final.name + ".tmp")
+            fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+            try:
+                os.write(fd, blob)
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+            os.replace(tmp, final)
+            self.saves += 1
+            self._prune()
+        _M_SAVES.inc()
+        _M_SAVE_SECONDS.observe(time.perf_counter() - t0)
+        _M_BYTES.set(len(blob))
+        _M_LAST_INDEX.set(int(batch_index))
         return final
 
     # ------------------------------------------------------------------
@@ -119,6 +145,7 @@ class CheckpointManager:
             try:
                 return self.load(path)
             except CheckpointCorruption:
+                _M_CORRUPT.inc()
                 if strict:
                     raise
                 self.corrupt_seen.append(path)

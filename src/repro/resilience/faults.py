@@ -25,6 +25,7 @@ from typing import Any, Callable, Iterable, Iterator
 
 import numpy as np
 
+from repro.observability.metrics import REGISTRY
 from repro.resilience.state import STATE_VERSION, expect, header
 
 __all__ = [
@@ -42,6 +43,18 @@ __all__ = [
 
 #: Every fault kind the injector can produce, in threshold order.
 FAULT_KINDS = ("crash", "duplicate", "reorder", "truncate", "poison", "transient")
+
+# Fault-path metrics (catalog: docs/observability.md).
+_M_FAULTS = REGISTRY.counter(
+    "repro_faults_injected_total", "Faults injected into deliveries",
+    labels=("kind",),
+)
+_M_DEAD_LETTERS = REGISTRY.counter(
+    "repro_dead_letters_total", "Batches pushed to the dead-letter queue"
+)
+_M_DLQ_DEPTH = REGISTRY.gauge(
+    "repro_dead_letter_queue_depth", "Entries currently held by the DLQ"
+)
 
 
 class InjectedCrash(RuntimeError):
@@ -154,6 +167,8 @@ class DeadLetterQueue:
         if len(self._entries) > self.capacity:
             self._entries.popleft()
             self.evicted += 1
+        _M_DEAD_LETTERS.inc()
+        _M_DLQ_DEPTH.set(len(self._entries))
         return letter
 
     def entries(self) -> list[DeadLetter]:
@@ -299,6 +314,7 @@ class FaultInjector:
                 if batch_id not in self._crashed:
                     self._crashed.add(batch_id)
                     self.injected["crash"] += 1
+                    _M_FAULTS.inc(kind="crash")
                     if held is not None:
                         yield held
                     yield Delivery(batch_id, payload, "crash")
@@ -307,6 +323,7 @@ class FaultInjector:
 
             if fault == "duplicate":
                 self.injected["duplicate"] += 1
+                _M_FAULTS.inc(kind="duplicate")
                 delivery = Delivery(batch_id, payload, "duplicate")
                 if held is not None:
                     yield held
@@ -316,17 +333,21 @@ class FaultInjector:
                 continue
             if fault == "reorder" and held is None:
                 self.injected["reorder"] += 1
+                _M_FAULTS.inc(kind="reorder")
                 held = Delivery(batch_id, payload, "reorder")
                 continue
             if fault == "truncate":
                 self.injected["truncate"] += 1
+                _M_FAULTS.inc(kind="truncate")
                 keep = max(1, (len(payload) + 1) // 2)
                 delivery = Delivery(batch_id, np.asarray(payload)[:keep], "truncate")
             elif fault == "poison":
                 self.injected["poison"] += 1
+                _M_FAULTS.inc(kind="poison")
                 delivery = Delivery(batch_id, self._poisoned(batch_id, payload), "poison")
             elif fault == "transient":
                 self.injected["transient"] += 1
+                _M_FAULTS.inc(kind="transient")
                 delivery = Delivery(batch_id, payload, "transient")
             else:
                 delivery = Delivery(batch_id, payload, None)

@@ -1,6 +1,20 @@
 """Discretized-stream machinery: workload generators, exact oracles,
 window bookkeeping, and the minibatch pipeline driver (Section 1's
-Spark-Streaming-style processing model)."""
+Spark-Streaming-style processing model).
+
+A stream arrives as *minibatches* — NumPy arrays of µ items — and the
+:class:`~repro.stream.minibatch.MinibatchDriver` feeds each batch to a
+set of synopsis operators, charging the work-depth ledger per batch
+(the paper's per-batch work/depth bounds are stated in exactly this
+model).  Generators cover the evaluation workloads (Zipf, uniform,
+bursty, flash-crowd, adversarial heavy-hitter, bit and packet traces);
+oracles provide the exact answers the accuracy audits compare against.
+
+Each processed batch is traced as a ``driver.batch`` span and counted
+in the process metrics registry (``repro_batches_processed_total``,
+``repro_items_ingested_total``, ``repro_work_charged_total``,
+``repro_batch_seconds``, retry/duplicate/quarantine/recovery counters
+— catalog in docs/observability.md)."""
 
 from repro.stream.generators import (
     adversarial_hh_stream,

@@ -28,7 +28,9 @@ from typing import Any, Callable, Mapping, Protocol, Sequence
 
 import numpy as np
 
-from repro.pram.cost import CostLedger, tracking
+from repro.observability.metrics import REGISTRY
+from repro.observability.spans import span
+from repro.pram.cost import CostLedger, current_ledger, tracking
 from repro.resilience.checkpoint import CheckpointManager
 from repro.resilience.faults import (
     DeadLetterQueue,
@@ -49,6 +51,35 @@ __all__ = [
     "MinibatchDriver",
     "QuarantineEvent",
 ]
+
+# Driver metrics (catalog: docs/observability.md).
+_M_BATCHES = REGISTRY.counter(
+    "repro_batches_processed_total", "Minibatches fully processed"
+)
+_M_ITEMS = REGISTRY.counter(
+    "repro_items_ingested_total", "Stream elements ingested across operators"
+)
+_M_WORK = REGISTRY.counter(
+    "repro_work_charged_total", "Ledger work charged while processing batches"
+)
+_M_BATCH_SECONDS = REGISTRY.histogram(
+    "repro_batch_seconds", "Wall-clock seconds per processed minibatch"
+)
+_M_BATCH_DEPTH = REGISTRY.gauge(
+    "repro_batch_depth_last", "Ledger depth charged by the most recent batch"
+)
+_M_RETRIES = REGISTRY.counter(
+    "repro_retries_total", "Transient ingest failures that were retried"
+)
+_M_DUPLICATES = REGISTRY.counter(
+    "repro_duplicates_skipped_total", "Duplicate deliveries dropped by batch id"
+)
+_M_QUARANTINES = REGISTRY.counter(
+    "repro_quarantines_total", "Audit failures that forced a rollback"
+)
+_M_RECOVERIES = REGISTRY.counter(
+    "repro_recoveries_total", "Checkpoint recoveries performed"
+)
 
 
 class StreamOperator(Protocol):
@@ -229,6 +260,7 @@ class MinibatchDriver:
                 raise InjectedCrash(delivery.batch_id)
             if delivery.batch_id in self._processed_ids:
                 self.duplicates_skipped += 1
+                _M_DUPLICATES.inc()
                 continue
             try:
                 validate_batch(delivery.payload)
@@ -256,17 +288,29 @@ class MinibatchDriver:
 
     # ------------------------------------------------------------------
     def _process(self, batch: np.ndarray, delivery: Delivery | None = None) -> BatchReport:
-        ledger = CostLedger()
+        # Charge into the caller's ambient ledger when one is installed
+        # (so profiling/measuring a whole run sees the driver's work and
+        # per-operator attribution); fall back to a private per-batch
+        # ledger otherwise.  Either way the report carries this batch's
+        # delta.
+        ledger = current_ledger() or CostLedger()
+        work0, depth0 = ledger.work, ledger.depth
         t0 = time.perf_counter()
-        with tracking(ledger):
+        with tracking(ledger), span("driver.batch", "driver"):
             for op in self.operators.values():
                 op.ingest(batch)
         elapsed = time.perf_counter() - t0
+        work, depth = ledger.work - work0, ledger.depth - depth0
+        _M_BATCHES.inc()
+        _M_ITEMS.inc(int(len(batch)))
+        _M_WORK.inc(work)
+        _M_BATCH_SECONDS.observe(elapsed)
+        _M_BATCH_DEPTH.set(depth)
         report = BatchReport(
             index=self._batch_index,
             size=int(len(batch)),
-            work=ledger.work,
-            depth=ledger.depth,
+            work=work,
+            depth=depth,
             seconds=elapsed,
             batch_id=delivery.batch_id if delivery else None,
             fault=delivery.fault if delivery else None,
@@ -308,6 +352,7 @@ class MinibatchDriver:
                     self._restore_operator_states(baseline)
                 if attempt + 1 < attempts_allowed:
                     self.retries += 1
+                    _M_RETRIES.inc()
                     if policy is not None:
                         policy.backoff(attempt)
         self._to_dead_letter(
@@ -358,6 +403,7 @@ class MinibatchDriver:
                 self._processed_ids.add(bid)
                 self._since_checkpoint.append((bid, payload))
                 replayed += 1
+            _M_QUARANTINES.inc()
             self.quarantines.append(
                 QuarantineEvent(
                     batch_index=self._batch_index,
@@ -385,6 +431,7 @@ class MinibatchDriver:
             return None
         self.load_state(latest["state"])
         self.recoveries += 1
+        _M_RECOVERIES.inc()
         self.audit()
         return int(latest["batch_index"])
 

@@ -1,0 +1,158 @@
+"""Regression gate: scripts/bench_compare.py over synthetic results."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.observability.benchjson import (
+    add_table,
+    load_results,
+    new_results_doc,
+    save_results,
+)
+
+REPO = Path(__file__).parent.parent
+SCRIPT = REPO / "scripts" / "bench_compare.py"
+
+spec = importlib.util.spec_from_file_location("bench_compare", SCRIPT)
+bench_compare = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(bench_compare)
+
+
+def make_doc(work_scale: float = 1.0, err: float = 0.004):
+    doc = new_results_doc("e99")
+    add_table(
+        doc,
+        "sweep over n",
+        ["n", "work", "work/bound", "max rel err"],
+        [
+            [1024, int(10_000 * work_scale), 1.01, err],
+            [4096, int(42_000 * work_scale), 1.02, err],
+        ],
+        notes="synthetic",
+    )
+    return doc
+
+
+def write_pair(tmp_path: Path, candidate_scale: float) -> tuple[Path, Path]:
+    base = tmp_path / "baseline"
+    cand = tmp_path / "candidate"
+    base.mkdir()
+    cand.mkdir()
+    save_results(make_doc(1.0), base / "e99.json")
+    save_results(make_doc(candidate_scale), cand / "e99.json")
+    return base, cand
+
+
+def run(*argv: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *map(str, argv)],
+        capture_output=True,
+        text=True,
+    )
+
+
+def test_identical_results_pass(tmp_path):
+    base, cand = write_pair(tmp_path, 1.0)
+    proc = run(base, cand)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 regression(s)" in proc.stdout
+
+
+def test_twenty_percent_work_regression_fails(tmp_path):
+    base, cand = write_pair(tmp_path, 1.2)  # the injected regression
+    proc = run(base, cand)
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    assert "REGRESSION" in proc.stdout
+    assert "work" in proc.stdout
+
+
+def test_regression_under_threshold_passes(tmp_path):
+    base, cand = write_pair(tmp_path, 1.05)
+    assert run(base, cand).returncode == 0  # 5% < default 10%
+    assert run(base, cand, "--threshold", "0.01").returncode == 1
+
+
+def test_improvement_passes(tmp_path):
+    base, cand = write_pair(tmp_path, 0.5)
+    proc = run(base, cand)
+    assert proc.returncode == 0
+    assert "improved" in proc.stdout
+
+
+def test_single_file_arguments(tmp_path):
+    base = tmp_path / "old.json"
+    cand = tmp_path / "old.json"  # same stem required for matching
+    save_results(make_doc(1.0), base)
+    proc = run(base, cand)
+    assert proc.returncode == 0
+
+
+def test_missing_input_is_usage_error(tmp_path):
+    assert run(tmp_path / "nope", tmp_path / "nada").returncode == 2
+
+
+def test_ratio_and_error_columns_are_not_costs():
+    assert bench_compare.is_cost_column("work")
+    assert bench_compare.is_cost_column("batch seconds")
+    assert bench_compare.is_cost_column("space (words)")
+    assert not bench_compare.is_cost_column("work/bound")
+    assert not bench_compare.is_cost_column("max rel err")
+    assert not bench_compare.is_cost_column("scaling exponent")
+    assert not bench_compare.is_cost_column("time ratio")
+
+
+def test_compare_docs_matches_rows_by_key():
+    base = make_doc(1.0)
+    cand = make_doc(1.0)
+    cand["tables"][0]["rows"] = list(reversed(cand["tables"][0]["rows"]))
+    rows = list(bench_compare.compare_docs(base, cand, 0.1))
+    assert len(rows) == 2  # one 'work' cell per sweep row
+    assert not any(regressed for *_, regressed in rows)
+
+
+def test_harness_emits_valid_json(tmp_path, monkeypatch):
+    import benchmarks._harness as harness
+
+    monkeypatch.setattr(harness, "RESULTS_DIR", tmp_path)
+    harness.reset_results("e99")
+    harness.emit_table(
+        "e99",
+        "sweep",
+        ["n", "work"],
+        [[1024, 10], [2048, 20]],
+        notes="note",
+    )
+    harness.emit_table("e99", "second", ["n", "depth"], [[1024, 3]])
+    doc = load_results(tmp_path / "e99.json")
+    assert [t["title"] for t in doc["tables"]] == ["sweep", "second"]
+    assert doc["tables"][0]["rows"] == [[1024, 10], [2048, 20]]
+    text = (tmp_path / "e99.txt").read_text()
+    assert "sweep" in text and "second" in text
+
+
+def test_harness_json_coerces_numpy(tmp_path, monkeypatch):
+    import numpy as np
+
+    import benchmarks._harness as harness
+
+    monkeypatch.setattr(harness, "RESULTS_DIR", tmp_path)
+    harness.reset_results("e98")
+    harness.emit_table(
+        "e98", "numpy cells", ["n", "work"], [[np.int64(8), np.float64(1.5)]]
+    )
+    raw = json.loads((tmp_path / "e98.json").read_text())
+    assert raw["tables"][0]["rows"] == [[8, 1.5]]
+
+
+@pytest.mark.parametrize("scale,expected", [(1.0, 0), (1.2, 1)])
+def test_main_inprocess(tmp_path, capsys, scale, expected):
+    base, cand = write_pair(tmp_path, scale)
+    assert bench_compare.main([str(base), str(cand)]) == expected
+    capsys.readouterr()

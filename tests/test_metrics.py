@@ -1,0 +1,186 @@
+"""Metrics registry and exporters: registration rules, thread/process
+determinism, golden exporter outputs."""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.observability.export import (
+    METRICS_JSON_SCHEMA,
+    parse_prometheus_text,
+    to_json,
+    to_json_text,
+    to_prometheus_text,
+)
+from repro.observability.metrics import (
+    REGISTRY,
+    Counter,
+    MetricError,
+    MetricsRegistry,
+)
+
+GOLDEN = Path(__file__).parent / "golden"
+
+
+def golden_registry() -> MetricsRegistry:
+    """The fixed workload behind the golden exporter files."""
+    reg = MetricsRegistry()
+    batches = reg.counter("demo_batches_total", "Batches processed")
+    faults = reg.counter("demo_faults_total", "Faults by kind", labels=("kind",))
+    depth = reg.gauge("demo_depth_last", "Depth of the last batch")
+    seconds = reg.histogram(
+        "demo_batch_seconds", "Seconds per batch", buckets=(0.01, 0.1, 1.0)
+    )
+    batches.inc(4)
+    faults.inc(2, kind="crash")
+    faults.inc(kind="poison")
+    depth.set(17)
+    for value in (0.005, 0.05, 0.05, 2.5):
+        seconds.observe(value)
+    return reg
+
+
+# ----------------------------------------------------------------- rules
+def test_get_or_create_is_idempotent():
+    reg = MetricsRegistry()
+    a = reg.counter("x_total", "help")
+    b = reg.counter("x_total")
+    assert a is b
+
+
+def test_kind_conflict_raises():
+    reg = MetricsRegistry()
+    reg.counter("x_total")
+    with pytest.raises(MetricError):
+        reg.gauge("x_total")
+
+
+def test_label_conflict_raises():
+    reg = MetricsRegistry()
+    reg.counter("x_total", labels=("kind",))
+    with pytest.raises(MetricError):
+        reg.counter("x_total", labels=())
+
+
+def test_register_duplicate_raises():
+    reg = MetricsRegistry()
+    reg.register(Counter("x_total", ""))
+    with pytest.raises(MetricError):
+        reg.register(Counter("x_total", ""))
+
+
+def test_counter_cannot_decrease():
+    reg = MetricsRegistry()
+    with pytest.raises(MetricError):
+        reg.counter("x_total").inc(-1)
+
+
+def test_wrong_labels_raise():
+    reg = MetricsRegistry()
+    faults = reg.counter("f_total", labels=("kind",))
+    with pytest.raises(MetricError):
+        faults.inc()  # missing label
+    with pytest.raises(MetricError):
+        faults.inc(kind="crash", extra="nope")
+
+
+def test_unknown_metric_raises():
+    with pytest.raises(MetricError):
+        MetricsRegistry().get("nope")
+
+
+def test_reset_values_keeps_registrations():
+    reg = MetricsRegistry()
+    c = reg.counter("x_total")
+    c.inc(5)
+    reg.reset_values()
+    assert c.value() == 0.0
+    assert reg.counter("x_total") is c
+
+
+# ----------------------------------------------------- determinism
+def test_thread_updates_are_deterministic():
+    reg = MetricsRegistry()
+    c = reg.counter("hits_total", "")
+    h = reg.histogram("lat_seconds", "", buckets=(0.5,))
+
+    def worker():
+        for _ in range(1000):
+            c.inc()
+            h.observe(0.1)
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert c.value() == 8000.0
+    assert h.count() == 8000
+
+
+def test_same_operations_give_identical_exports():
+    assert to_prometheus_text(golden_registry()) == to_prometheus_text(
+        golden_registry()
+    )
+    assert to_json_text(golden_registry()) == to_json_text(golden_registry())
+
+
+# ----------------------------------------------------- golden files
+def test_prometheus_matches_golden():
+    assert to_prometheus_text(golden_registry()) == (
+        GOLDEN / "metrics.prom"
+    ).read_text()
+
+
+def test_json_matches_golden():
+    assert to_json_text(golden_registry()) == (GOLDEN / "metrics.json").read_text()
+
+
+def test_json_schema_tag():
+    doc = to_json(golden_registry())
+    assert doc["schema"] == METRICS_JSON_SCHEMA
+    assert json.loads(to_json_text(golden_registry())) == doc
+
+
+# ----------------------------------------------------- parser + process registry
+def test_parser_round_trips_golden():
+    parsed = parse_prometheus_text(to_prometheus_text(golden_registry()))
+    assert parsed["demo_batches_total"]["type"] == "counter"
+    assert parsed["demo_batch_seconds"]["type"] == "histogram"
+    # cumulative buckets + +Inf + sum + count for one label set
+    assert len(parsed["demo_batch_seconds"]["samples"]) == 6
+
+
+def test_parser_rejects_duplicates():
+    text = "# TYPE x counter\n# TYPE x counter\n"
+    with pytest.raises(ValueError, match="duplicate"):
+        parse_prometheus_text(text)
+    with pytest.raises(ValueError, match="undeclared"):
+        parse_prometheus_text("orphan_total 3\n")
+
+
+def test_process_registry_exports_cleanly():
+    # Importing the library registers the full catalog exactly once;
+    # the export must parse with zero duplicate metric names.
+    import repro  # noqa: F401
+    import repro.cli  # noqa: F401
+
+    names = REGISTRY.names()
+    assert "repro_batches_processed_total" in names
+    assert "repro_checkpoint_saves_total" in names
+    assert "repro_faults_injected_total" in names
+    assert "repro_cli_batches_total" in names
+    parsed = parse_prometheus_text(to_prometheus_text(REGISTRY))
+    assert sorted(parsed) == names
+
+
+def test_histogram_buckets_are_cumulative():
+    reg = golden_registry()
+    hist = reg.get("demo_batch_seconds")
+    ((_, slot),) = hist.samples()
+    assert slot["buckets"] == [1, 3, 3]  # <=0.01, <=0.1, <=1.0
+    assert slot["count"] == 4  # 2.5 only lands in +Inf

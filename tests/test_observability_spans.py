@@ -1,0 +1,188 @@
+"""Span tracer: nesting, fork-join depth, label attribution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.observability.spans import (
+    SpanTracer,
+    current_tracer,
+    instrument,
+    instrument_methods,
+    span,
+    span_tracing,
+)
+from repro.pram import parallel, prefix_sum
+from repro.pram.cost import charge, labeled, tracking
+
+
+def test_disabled_is_noop():
+    assert current_tracer() is None
+    with span("anything") as record:
+        assert record is None
+
+
+def test_span_records_ledger_delta():
+    with tracking(), span_tracing() as tracer:
+        with span("outer"):
+            charge(10, 2)
+    (root,) = tracer.roots
+    assert (root.name, root.work, root.depth) == ("outer", 10, 2)
+    assert root.wall_ns > 0
+
+
+def test_spans_nest_and_self_time_excludes_children():
+    with tracking(), span_tracing() as tracer:
+        with span("outer"):
+            charge(1, 1)
+            with span("inner"):
+                charge(5, 1)
+            with span("inner"):
+                charge(7, 1)
+    (root,) = tracer.roots
+    assert [c.name for c in root.children] == ["inner", "inner"]
+    assert root.work == 13          # outer sees everything
+    assert root.self_work == 1      # minus the two inner spans
+    assert root.self_wall_ns <= root.wall_ns
+    agg = tracer.aggregate()
+    assert agg["inner"].calls == 2
+    assert agg["inner"].work == 12
+    assert agg["outer"].self_work == 1
+
+
+def test_parallel_composition_reports_max_depth():
+    with tracking() as ledger, span_tracing() as tracer:
+        with span("fork"):
+            with parallel() as par:
+                par.run(charge, 10, 3)
+                par.run(charge, 20, 9)
+    (root,) = tracer.roots
+    assert root.work == 30          # work adds across strands
+    assert root.depth == 9          # depth is the max strand
+    assert (ledger.work, ledger.depth) == (30, 9)
+
+
+def test_span_installs_charge_label():
+    with tracking(record=True) as ledger, span_tracing():
+        with span("op.a"):
+            charge(5)
+            with span("op.b"):
+                charge(7)
+    assert ledger.by_operator["op.a"][0] == 5
+    assert ledger.by_operator["op.b"][0] == 7
+    labels = [entry[3] for entry in ledger.trace if len(entry) > 3]
+    assert labels == ["op.a", "op.b"]
+
+
+def test_unlabeled_charges_keep_three_tuple_trace():
+    with tracking(record=True) as ledger:
+        charge(5, 1)
+    assert ledger.trace == [("c", 5, 1)]
+    assert ledger.by_operator == {}
+
+
+def test_explicit_labeled_context():
+    with tracking() as ledger:
+        with labeled("manual"):
+            charge(3, 1)
+    assert ledger.by_operator == {"manual": [3, 1, 1]}
+
+
+def test_by_operator_survives_parallel_regions():
+    with tracking() as ledger, span_tracing():
+        with span("fanout"):
+            with parallel() as par:
+                par.run(charge, 4, 1)
+                par.run(charge, 6, 2)
+    assert ledger.by_operator["fanout"][0] == 10
+
+
+def test_instrument_decorator_only_traces_when_active():
+    calls = []
+
+    @instrument("demo.fn")
+    def fn(x):
+        calls.append(x)
+        charge(2, 1)
+        return x + 1
+
+    assert fn.__wrapped_span__ == "demo.fn"
+    with tracking():
+        assert fn(1) == 2  # tracer off: plain call
+    with tracking(), span_tracing() as tracer:
+        assert fn(2) == 3
+    assert calls == [1, 2]
+    (root,) = tracer.roots
+    assert (root.name, root.work) == ("demo.fn", 2)
+
+
+def test_instrument_methods_idempotent():
+    class Thing:
+        def ingest(self, batch):
+            charge(len(batch), 1)
+
+    instrument_methods(Thing, ("ingest", "missing"))
+    first = Thing.ingest
+    instrument_methods(Thing, ("ingest",))
+    assert Thing.ingest is first  # no double wrap
+    with tracking(), span_tracing() as tracer:
+        Thing().ingest([1, 2, 3])
+    assert tracer.roots[0].name == "Thing.ingest"
+
+
+def test_pram_primitives_open_spans():
+    with tracking() as ledger, span_tracing() as tracer:
+        prefix_sum(np.arange(64, dtype=np.int64))
+    agg = tracer.aggregate()
+    assert "pram.prefix_sum" in agg
+    assert agg["pram.prefix_sum"].work == ledger.work > 0
+    assert ledger.by_operator["pram.prefix_sum"][0] == ledger.work
+
+
+def test_core_ops_open_spans():
+    from repro.core import ParallelCountMin
+
+    cms = ParallelCountMin(eps=0.01, delta=0.1)
+    with tracking(), span_tracing() as tracer:
+        cms.ingest(np.arange(256, dtype=np.int64))
+        cms.point_query(3)
+    agg = tracer.aggregate()
+    assert "core.ParallelCountMin.ingest" in agg
+    assert "core.ParallelCountMin.point_query" in agg
+    # ingest's charges are attributed to its inner primitives too
+    assert any(name.startswith("pram.") for name in agg)
+
+
+def test_span_tree_to_dict_round_trip():
+    with tracking(), span_tracing() as tracer:
+        with span("a"):
+            with span("b"):
+                charge(1, 1)
+    tree = tracer.roots[0].to_dict()
+    assert tree["name"] == "a"
+    assert tree["children"][0]["name"] == "b"
+    assert tracer.span_counts["generic"] == 2
+
+
+def test_by_operator_in_state_dict():
+    with tracking() as ledger, span_tracing():
+        with span("op.x"):
+            charge(9, 2)
+    state = ledger.state_dict()
+    assert state["by_operator"] == {"op.x": [9, 2, 1]}
+    from repro.pram.cost import CostLedger
+
+    clone = CostLedger()
+    clone.load_state(state)
+    assert clone.by_operator == {"op.x": [9, 2, 1]}
+
+
+@pytest.mark.parametrize("nested", [1, 4])
+def test_aggregate_sorted_by_self_wall(nested):
+    with tracking(), span_tracing() as tracer:
+        for _ in range(nested):
+            with span("leaf"):
+                charge(1, 1)
+    agg = tracer.aggregate()
+    assert agg["leaf"].calls == nested

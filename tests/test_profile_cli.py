@@ -1,0 +1,93 @@
+"""Acceptance checks for ``repro profile`` and the metrics CLI flag."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.observability.export import parse_prometheus_text
+from repro.observability.profile import EXPERIMENTS, PRIMITIVE_SPANS, run_profile
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    out = io.StringIO()
+    rc = main(list(argv), out=out)
+    return rc, out.getvalue()
+
+
+def test_profile_e13_reports_every_primitive():
+    rc, text = run_cli("profile", "--experiment", "e13", "--items", "8000")
+    assert rc == 0
+    assert "ledger vs wall-clock" in text
+    for name in PRIMITIVE_SPANS:
+        assert name in text, f"missing attribution row for {name}"
+    assert "core.ParallelCountMin.ingest" in text
+    assert "coverage" in text
+
+
+def test_profile_json_document():
+    rc, text = run_cli(
+        "profile", "--experiment", "e13", "--items", "8000", "--json"
+    )
+    assert rc == 0
+    doc = json.loads(text)
+    assert doc["schema"] == "repro-profile/v1"
+    assert doc["experiment"] == "e13"
+    named = {row["operator"]: row for row in doc["operators"]}
+    for name in PRIMITIVE_SPANS:
+        assert name in named
+        assert named[name]["work"] > 0          # calibration guarantees this
+        assert named[name]["wall_ms"] > 0
+    assert doc["total_work"] > 0
+    assert doc["attributed_work"] > 0
+
+
+def test_profile_no_calibrate_covers_workload_only():
+    report = run_profile("e06", items=6000, calibrate=False)
+    rows = {r.name: r for r in report.rows}
+    exercised = [r for r in report.rows if r.work > 0]
+    assert exercised
+    # zero-rows are still listed so the table shape is stable
+    assert set(PRIMITIVE_SPANS) <= set(rows)
+
+
+@pytest.mark.parametrize("experiment", sorted(EXPERIMENTS))
+def test_every_registered_experiment_profiles(experiment):
+    report = run_profile(experiment, items=4000, calibrate=False)
+    assert report.total_work > 0
+    assert report.attributed_work <= report.total_work
+
+
+def test_unknown_experiment_is_an_error():
+    with pytest.raises(ValueError, match="unknown profile experiment"):
+        run_profile("e77")
+    rc, _ = run_cli("profile", "--experiment", "e77")
+    assert rc == 2
+
+
+def test_metrics_flag_emits_parseable_prometheus():
+    rc, text = run_cli(
+        "--metrics", "prom", "profile", "--experiment", "e13", "--items", "4000"
+    )
+    assert rc == 0
+    prom = text[text.index("# HELP") :]
+    parsed = parse_prometheus_text(prom)  # raises on duplicates
+    assert len(parsed) == len(set(parsed))
+    assert any(name.startswith("repro_") for name in parsed)
+
+
+def test_metrics_flag_json(tmp_path):
+    stream = tmp_path / "items.txt"
+    stream.write_text(" ".join(str(i % 7) for i in range(500)))
+    rc, text = run_cli(
+        "--metrics", "json", "cms", str(stream), "--query", "3"
+    )
+    assert rc == 0
+    doc = json.loads(text[text.index("{") :])
+    assert doc["schema"] == "repro-metrics/v1"
+    by_name = {m["name"]: m for m in doc["metrics"]}
+    assert by_name["repro_cli_batches_total"]["samples"][0]["value"] >= 1
+    assert by_name["repro_cli_items_total"]["samples"][0]["value"] >= 500
