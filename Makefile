@@ -3,7 +3,10 @@ PY ?= python
 # Fixed seeds for the fault-injection suite (reproducible fault plans).
 FAULT_SEEDS ?= 101 202 303
 
-.PHONY: install test faults docs-check bench bench-quick experiments examples clean
+.PHONY: install test faults docs-check bench bench-quick bench-gate experiments examples clean
+
+# Experiments with committed perf baselines, gated by bench_compare.
+GATED_EXPERIMENTS = e1 e13 e14 e16
 
 install:
 	pip install -e . --no-build-isolation
@@ -28,6 +31,19 @@ bench:
 
 bench-quick:
 	$(PY) -m pytest benchmarks/ --benchmark-disable
+
+# Perf regression gate: re-run the gated experiments, then diff their
+# fresh JSON against the committed baseline-*.json (charged work/space
+# columns only — wall-clock columns are excluded by design).
+bench-gate:
+	$(PY) -m pytest benchmarks/bench_e01_css.py benchmarks/bench_e13_countmin.py \
+		benchmarks/bench_e14_pipeline.py benchmarks/bench_e16_ingest_fastpath.py \
+		--benchmark-disable -q
+	for e in $(GATED_EXPERIMENTS); do \
+		$(PY) scripts/bench_compare.py \
+			benchmarks/results/baseline-$$e.json \
+			benchmarks/results/$$(echo $$e | tr a-z A-Z).json || exit 1; \
+	done
 
 experiments:
 	$(PY) scripts/run_experiments.py --quick

@@ -120,23 +120,29 @@ def main(argv: list[str] | None = None) -> int:
         print("error: baseline and candidate must exist", file=sys.stderr)
         return 2
 
-    base_paths = _doc_paths(args.baseline)
-    cand_paths = _doc_paths(args.candidate)
-    shared = sorted(set(base_paths) & set(cand_paths))
-    if not shared:
-        print("error: no result files in common", file=sys.stderr)
-        return 2
-    for missing in sorted(set(cand_paths) - set(base_paths)):
-        print(f"note: {missing}: no baseline, skipped")
+    if args.baseline.is_file() and args.candidate.is_file():
+        # Explicit file pair: compare directly, whatever the names
+        # (supports baseline-e16.json vs E16.json style baselines).
+        pairs = [(args.baseline, args.candidate)]
+    else:
+        base_paths = _doc_paths(args.baseline)
+        cand_paths = _doc_paths(args.candidate)
+        shared = sorted(set(base_paths) & set(cand_paths))
+        if not shared:
+            print("error: no result files in common", file=sys.stderr)
+            return 2
+        for missing in sorted(set(cand_paths) - set(base_paths)):
+            print(f"note: {missing}: no baseline, skipped")
+        pairs = [(base_paths[name], cand_paths[name]) for name in shared]
 
     compared = 0
     regressions: list[str] = []
-    for name in shared:
+    for base_path, cand_path in pairs:
         try:
-            baseline = load_results(base_paths[name])
-            candidate = load_results(cand_paths[name])
+            baseline = load_results(base_path)
+            candidate = load_results(cand_path)
         except (ValueError, OSError) as exc:
-            print(f"error: {name}: {exc}", file=sys.stderr)
+            print(f"error: {base_path.stem}: {exc}", file=sys.stderr)
             return 2
         for loc, col, old, new, delta, regressed in compare_docs(
             baseline, candidate, args.threshold
@@ -150,7 +156,7 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"improved   {loc} {col}: {old:g} -> {new:g} ({delta:+.1%})")
 
     print(
-        f"compared {compared} cost cells across {len(shared)} result file(s); "
+        f"compared {compared} cost cells across {len(pairs)} result file(s); "
         f"{len(regressions)} regression(s) beyond {args.threshold:.0%}"
     )
     return 1 if regressions else 0

@@ -35,6 +35,12 @@ class SequentialMisraGries(MisraGriesSummary):
     def ingest(self, batch) -> None:
         self.extend(batch)
 
+    def ingest_prepared(self, plan) -> None:
+        # Deliberately bypass the parent's vectorized batch kernel: this
+        # baseline exists to charge the sequential per-item cost, so a
+        # shared batch plan must not skip the per-item update() loop.
+        self.extend(plan.raw)
+
 
 def sequential_heavy_hitters(
     stream: Iterable[Hashable] | np.ndarray, phi: float, eps: float

@@ -84,6 +84,9 @@ class ParallelBasicCounter:
     # alias so the class satisfies stream.StreamOperator
     extend = ingest
 
+    def ingest_prepared(self, plan) -> None:
+        self.ingest(plan.values())
+
     def query(self) -> int:
         """ε-relative-error estimate of the window's 1s count.
 

@@ -24,13 +24,14 @@ Section 6 refers to.
 from __future__ import annotations
 
 import math
+import pickle
 from typing import Hashable, Sequence
 
 import numpy as np
 
 from repro.pram.cost import charge, parallel
 from repro.pram.hashing import KWiseHash, pairwise_hashes
-from repro.pram.histogram import build_hist
+from repro.pram.plan import PreparedBatch
 from repro.pram.primitives import log2ceil, reduce_min
 from repro.resilience.invariants import require
 from repro.resilience.state import expect, header, restore_rng, rng_state
@@ -81,20 +82,17 @@ class ParallelCountMin:
     # ------------------------------------------------------------------
     def ingest(self, batch: Sequence[Hashable] | np.ndarray) -> None:
         """Minibatch update: buildHist, then per-row parallel gather."""
-        mu = len(batch)
-        if mu == 0:
-            return
-        histogram = build_hist(batch, self._rng)
-        items = np.fromiter(
-            (self._key_of(item) for item in histogram),
-            dtype=np.int64,
-            count=len(histogram),
-        )
-        freqs = np.fromiter(histogram.values(), dtype=np.int64, count=len(histogram))
-        self._add_counts(items, freqs)
-        self.stream_length += mu
+        self.ingest_prepared(PreparedBatch(batch))
 
     extend = ingest
+
+    def ingest_prepared(self, plan: PreparedBatch) -> None:
+        """Array-native fast path over a (possibly shared) batch plan."""
+        if plan.size == 0:
+            return
+        keys, freqs = plan.sketch_hist()
+        self._add_counts(keys, freqs, plan)
+        self.stream_length += plan.size
 
     def update(self, item: Hashable, count: int = 1) -> None:
         """Single-item update (the sequential special case)."""
@@ -106,7 +104,12 @@ class ParallelCountMin:
         )
         self.stream_length += count
 
-    def _add_counts(self, keys: np.ndarray, freqs: np.ndarray) -> None:
+    def _add_counts(
+        self,
+        keys: np.ndarray,
+        freqs: np.ndarray,
+        plan: PreparedBatch | None = None,
+    ) -> None:
         if self.conservative:
             self._add_counts_conservative(keys, freqs)
             return
@@ -115,7 +118,7 @@ class ParallelCountMin:
             for i, h in enumerate(self.hashes):
 
                 def strand(i: int = i, h: KWiseHash = h) -> None:
-                    cols = h(keys)
+                    cols = plan.hash_columns(h, keys) if plan is not None else h(keys)
                     # Gather same-column frequencies (paper: intSort on
                     # hash values in {1..w}); bincount is the vectorized
                     # counting-sort reduction with identical cost.
@@ -182,6 +185,15 @@ class ParallelCountMin:
         charge(work=self.table.size, depth=1)
         self.table += other.table
         self.stream_length += other.stream_length
+
+    def fresh_clone(self) -> "ParallelCountMin":
+        """An empty sketch with identical configuration and hash
+        functions — the per-shard accumulator for
+        :func:`repro.pram.backend.shard_ingest`."""
+        clone = pickle.loads(pickle.dumps(self))
+        clone.table[:] = 0
+        clone.stream_length = 0
+        return clone
 
     def inner_product(self, other: "ParallelCountMin") -> int:
         """Estimate of the inner product of two streams' frequency
@@ -302,6 +314,12 @@ class DyadicCountMin:
         self.stream_length += int(batch.size)
 
     extend = ingest
+
+    def ingest_prepared(self, plan: PreparedBatch) -> None:
+        """Dyadic levels sketch *shifted* copies of the batch, so only
+        the cast is shareable — each level builds its own plan inside
+        :meth:`ParallelCountMin.ingest`."""
+        self.ingest(plan.values(np.int64))
 
     def point_query(self, item: int) -> int:
         return self.levels[0].point_query(int(item))

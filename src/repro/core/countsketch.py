@@ -24,13 +24,14 @@ depth per minibatch; queries are a parallel median over d cells.
 from __future__ import annotations
 
 import math
+import pickle
 from typing import Hashable, Sequence
 
 import numpy as np
 
 from repro.pram.cost import charge, parallel
 from repro.pram.hashing import KWiseHash
-from repro.pram.histogram import build_hist
+from repro.pram.plan import PreparedBatch
 from repro.pram.primitives import log2ceil
 from repro.resilience.invariants import require
 from repro.resilience.state import expect, header, restore_rng, rng_state
@@ -79,23 +80,22 @@ class ParallelCountSketch:
     # ------------------------------------------------------------------
     def ingest(self, batch: Sequence[Hashable] | np.ndarray) -> None:
         """Minibatch update: buildHist, then per-row signed gathers."""
-        mu = len(batch)
-        if mu == 0:
+        self.ingest_prepared(PreparedBatch(batch))
+
+    extend = ingest
+
+    def ingest_prepared(self, plan: PreparedBatch) -> None:
+        """Array-native fast path over a (possibly shared) batch plan."""
+        if plan.size == 0:
             return
-        histogram = build_hist(batch, self._rng)
-        keys = np.fromiter(
-            (self._key_of(item) for item in histogram),
-            dtype=np.int64,
-            count=len(histogram),
-        )
-        freqs = np.fromiter(histogram.values(), dtype=np.int64, count=len(histogram))
+        keys, freqs = plan.sketch_hist()
         p = keys.size
         with parallel() as par:
             for i in range(self.depth):
 
                 def strand(i: int = i) -> None:
-                    cols = self.bucket_hashes[i](keys)
-                    signs = 2 * self.sign_hashes[i](keys) - 1
+                    cols = plan.hash_columns(self.bucket_hashes[i], keys)
+                    signs = 2 * plan.hash_columns(self.sign_hashes[i], keys) - 1
                     charge(
                         work=max(1, p + self.width),
                         depth=1 + log2ceil(max(2, p + self.width)),
@@ -105,9 +105,7 @@ class ParallelCountSketch:
                     ).astype(np.int64)
 
                 par.run(strand)
-        self.stream_length += mu
-
-    extend = ingest
+        self.stream_length += plan.size
 
     def update(self, item: Hashable, count: int = 1) -> None:
         """Single-item update."""
@@ -136,6 +134,31 @@ class ParallelCountSketch:
         return int(np.median(estimates))
 
     estimate = point_query
+
+    def merge(self, other: "ParallelCountSketch") -> None:
+        """Fold another sketch built with the *same hash functions* into
+        this one: Count-Sketch is a linear sketch, so cell-wise addition
+        sketches the concatenated streams exactly."""
+        if self.table.shape != other.table.shape:
+            raise ValueError("sketches must share dimensions to merge")
+        for mine, theirs in zip(
+            self.bucket_hashes + self.sign_hashes,
+            other.bucket_hashes + other.sign_hashes,
+        ):
+            if not np.array_equal(mine.coeffs, theirs.coeffs):
+                raise ValueError("sketches must share hash functions to merge")
+        charge(work=self.table.size, depth=1)
+        self.table += other.table
+        self.stream_length += other.stream_length
+
+    def fresh_clone(self) -> "ParallelCountSketch":
+        """An empty sketch with identical configuration and hash
+        functions — the per-shard accumulator for
+        :func:`repro.pram.backend.shard_ingest`."""
+        clone = pickle.loads(pickle.dumps(self))
+        clone.table[:] = 0
+        clone.stream_length = 0
+        return clone
 
     @staticmethod
     def _key_of(item: Hashable) -> int:

@@ -14,8 +14,8 @@ from typing import Hashable, Sequence
 
 import numpy as np
 
-from repro.core.misra_gries import capacity_for_eps, mg_augment
-from repro.pram.histogram import build_hist
+from repro.core.misra_gries import capacity_for_eps, mg_augment, mg_augment_arrays
+from repro.pram.plan import PreparedBatch
 from repro.resilience.invariants import require
 from repro.resilience.state import expect, header, restore_rng, rng_state
 
@@ -46,14 +46,29 @@ class ParallelFrequencyEstimator:
 
     def ingest(self, batch: Sequence[Hashable] | np.ndarray) -> None:
         """Process one minibatch: buildHist → MGaugment."""
-        mu = len(batch)
-        if mu == 0:
-            return
-        histogram = build_hist(batch, self._rng)
-        self.counters = mg_augment(self.counters, histogram, self.capacity)
-        self.stream_length += mu
+        self.ingest_prepared(PreparedBatch(batch))
 
     extend = ingest
+
+    def ingest_prepared(self, plan: PreparedBatch) -> None:
+        """buildHist → MGaugment over a (possibly shared) batch plan.
+
+        Integer batches stay in array form end to end
+        (:func:`mg_augment_arrays`); other universes fall back to the
+        dict-shaped :func:`mg_augment` — identical semantics and
+        charges either way.
+        """
+        if plan.size == 0:
+            return
+        if plan.is_integer:
+            keys, freqs = plan.hist_arrays()[:2]
+            self.counters = mg_augment_arrays(
+                self.counters, keys, freqs, self.capacity
+            )
+        else:
+            histogram = plan.hist_dict()
+            self.counters = mg_augment(self.counters, histogram, self.capacity)
+        self.stream_length += plan.size
 
     def estimate(self, item: Hashable) -> int:
         """f̂_e ∈ [f_e − εm, f_e]."""

@@ -36,7 +36,7 @@ import numpy as np
 from repro.core.sbbc import SBBC
 from repro.pram.cost import charge, parallel
 from repro.pram.css import CSS, sift
-from repro.pram.histogram import build_hist
+from repro.pram.plan import PreparedBatch
 from repro.pram.primitives import log2ceil
 from repro.pram.select import prune_cutoff
 from repro.resilience.invariants import require
@@ -212,6 +212,28 @@ class _SlidingFrequencyBase:
     #: (the basic variant tracks every distinct item by design).
     _prunes_to_capacity = True
 
+    # ------------------------------------------------------------------
+    # Shared ingest plumbing: every variant ingests through a prepared
+    # plan; a batch of µ >= n voids the shared plan (the reset keeps
+    # only the last n items, a different array) and re-prepares locally.
+    # ------------------------------------------------------------------
+    def ingest(self, batch: Sequence[Hashable] | np.ndarray) -> None:
+        self.ingest_prepared(PreparedBatch(np.asarray(batch)))
+
+    extend = ingest
+
+    def ingest_prepared(self, plan: PreparedBatch) -> None:
+        batch = np.asarray(plan.raw)
+        if len(batch) >= self.window:
+            batch = self._maybe_reset(batch)
+            plan = PreparedBatch(batch)
+        if plan.size == 0:
+            return
+        self._ingest_plan(plan)
+
+    def _ingest_plan(self, plan: PreparedBatch) -> None:
+        raise NotImplementedError
+
 
 class BasicSlidingFrequency(_SlidingFrequencyBase):
     """§5.3.1 / Theorem 5.5 — an SBBC per distinct item in the window.
@@ -230,13 +252,9 @@ class BasicSlidingFrequency(_SlidingFrequencyBase):
         super().__init__(window, eps, lam=window / capacity)
         self.capacity = capacity
 
-    def ingest(self, batch: Sequence[Hashable] | np.ndarray) -> None:
-        batch = np.asarray(batch)
-        batch = self._maybe_reset(batch)
-        mu = len(batch)
-        if mu == 0:
-            return
-        groups = group_positions_by_sort(batch)
+    def _ingest_plan(self, plan: PreparedBatch) -> None:
+        mu = plan.size
+        groups = plan.positions_by_item()
         keys = list(groups.keys() | self.counters.keys())
         with parallel() as par:
             for item in keys:
@@ -259,8 +277,6 @@ class BasicSlidingFrequency(_SlidingFrequencyBase):
         for item in dead:
             del self.counters[item]
 
-    extend = ingest
-
 
 class SpaceEfficientSlidingFrequency(_SlidingFrequencyBase):
     """§5.3.2 / Algorithm 2 / Theorem 5.8 — basic + Misra-Gries prune.
@@ -277,14 +293,10 @@ class SpaceEfficientSlidingFrequency(_SlidingFrequencyBase):
         super().__init__(window, eps, lam=eps * window / 4.0)
         self.capacity = capacity
 
-    def ingest(self, batch: Sequence[Hashable] | np.ndarray) -> None:
-        batch = np.asarray(batch)
-        batch = self._maybe_reset(batch)
-        mu = len(batch)
-        if mu == 0:
-            return
+    def _ingest_plan(self, plan: PreparedBatch) -> None:
+        mu = plan.size
         # Steps 1-2: CSS per item in T ∪ B; advance all in parallel.
-        groups = group_positions_by_sort(batch)
+        groups = plan.positions_by_item()
         keys = list(groups.keys() | self.counters.keys())
         with parallel() as par:
             for item in keys:
@@ -302,8 +314,6 @@ class SpaceEfficientSlidingFrequency(_SlidingFrequencyBase):
                 par.run(counter.advance, css)
         self.t += mu
         self._prune()
-
-    extend = ingest
 
     def _prune(self) -> None:
         """Step 3: decrement so at most S counters stay positive."""
@@ -349,12 +359,12 @@ class WorkEfficientSlidingFrequency(_SlidingFrequencyBase):
         self._rng = rng if rng is not None else np.random.default_rng(0x51F7)
 
     def _predict(
-        self, batch: np.ndarray
+        self, plan: PreparedBatch
     ) -> tuple[dict[Hashable, int], int]:
         """The ``predict`` routine: post-advance counter values (shrunk
         existing value + batch histogram), and the prune cutoff ϕ."""
-        mu = len(batch)
-        histogram = build_hist(batch, self._rng)
+        mu = plan.size
+        histogram = plan.hist_dict()
         predicted: dict[Hashable, int] = {
             item: counter.peek_shrunk_value(mu)
             for item, counter in self.counters.items()
@@ -368,13 +378,10 @@ class WorkEfficientSlidingFrequency(_SlidingFrequencyBase):
         phi = prune_cutoff(values, self.capacity) if predicted.keys() else 0
         return predicted, phi
 
-    def ingest(self, batch: Sequence[Hashable] | np.ndarray) -> None:
-        batch = np.asarray(batch)
-        batch = self._maybe_reset(batch)
-        mu = len(batch)
-        if mu == 0:
-            return
-        predicted, phi = self._predict(batch)
+    def _ingest_plan(self, plan: PreparedBatch) -> None:
+        batch = np.asarray(plan.raw)
+        mu = plan.size
+        predicted, phi = self._predict(plan)
         keep = [item for item, value in predicted.items() if value > phi]
         segments = sift(batch, keep)
         with parallel() as par:
@@ -394,5 +401,3 @@ class WorkEfficientSlidingFrequency(_SlidingFrequencyBase):
                 if counter.raw_value() > 0:
                     survivors[item] = counter
         self.counters = survivors
-
-    extend = ingest

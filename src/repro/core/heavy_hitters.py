@@ -23,6 +23,7 @@ from repro.core.freq_sliding import (
     SpaceEfficientSlidingFrequency,
     WorkEfficientSlidingFrequency,
 )
+from repro.pram.plan import PreparedBatch
 from repro.resilience.invariants import require
 from repro.resilience.state import expect, header
 
@@ -69,6 +70,9 @@ class InfiniteHeavyHitters:
         self.estimator.ingest(batch)
 
     extend = ingest
+
+    def ingest_prepared(self, plan: PreparedBatch) -> None:
+        self.estimator.ingest_prepared(plan)
 
     def query(self) -> dict[Hashable, int]:
         """Items whose estimate clears (φ − ε)·N, with their estimates."""
@@ -147,6 +151,9 @@ class SlidingHeavyHitters:
         self.estimator.ingest(batch)
 
     extend = ingest
+
+    def ingest_prepared(self, plan: PreparedBatch) -> None:
+        self.estimator.ingest_prepared(plan)
 
     def query(self) -> dict[Hashable, float]:
         """Items whose estimate clears φ·L − ε·n (L = min(t, n)).

@@ -19,17 +19,23 @@ item-at-a-time.
 from __future__ import annotations
 
 import math
-from typing import Hashable, Mapping
+from typing import Any, Hashable, Mapping
 
 import numpy as np
 
 from repro.pram.cost import charge
+from repro.pram.plan import PreparedBatch
 from repro.pram.primitives import log2ceil
 from repro.pram.select import prune_cutoff
 from repro.resilience.invariants import require
 from repro.resilience.state import expect, header
 
-__all__ = ["MisraGriesSummary", "mg_augment", "capacity_for_eps"]
+__all__ = [
+    "MisraGriesSummary",
+    "mg_augment",
+    "mg_augment_arrays",
+    "capacity_for_eps",
+]
 
 
 def capacity_for_eps(eps: float) -> int:
@@ -85,8 +91,25 @@ class MisraGriesSummary:
             item = item.item() if isinstance(item, np.generic) else item
             self.update(item)
 
-    #: StreamOperator alias so the summary can sit in a MinibatchDriver.
-    ingest = extend
+    def ingest(self, batch) -> None:
+        """Batch ingest — bit-identical to :meth:`extend` (tested), but
+        vectorized between decrement events via the prepared plan."""
+        self.ingest_prepared(PreparedBatch(batch))
+
+    def ingest_prepared(self, plan: PreparedBatch) -> None:
+        """Array-native Algorithm 1 over an encoded batch.
+
+        Like the per-item loop, this charges nothing: the sequential
+        summary is the paper's *baseline*, not a parallel algorithm —
+        the host just runs it faster.
+        """
+        if plan.size == 0:
+            return
+        codes, universe = plan.encoded()
+        self.counters = _mg_ingest_codes(
+            self.counters, self.capacity, codes, universe
+        )
+        self.stream_length += plan.size
 
     def estimate(self, item: Hashable) -> int:
         """C_e, satisfying ``f_e − m/S <= C_e <= f_e`` (Lemma 5.1)."""
@@ -180,3 +203,130 @@ def mg_augment(
     # Subtract ϕ everywhere; keep strictly positive counters.
     charge(work=max(1, len(combined)), depth=1)
     return {item: c - phi for item, c in combined.items() if c > phi}
+
+
+def mg_augment_arrays(
+    summary: Mapping[int, int],
+    keys: np.ndarray,
+    freqs: np.ndarray,
+    capacity: int,
+) -> dict[int, int]:
+    """Lemma 5.3 on an integer-keyed histogram in array form.
+
+    Semantically identical to :func:`mg_augment` on the corresponding
+    dict (tested), with the same charges — the hash-join runs as one
+    ``unique``/``bincount`` pass instead of a per-entry Python loop.
+    """
+    if capacity < 1:
+        raise ValueError(f"capacity must be >= 1, got {capacity}")
+    if len(summary) > capacity:
+        raise ValueError(
+            f"input summary has {len(summary)} entries > capacity {capacity}"
+        )
+    total = len(summary) + int(keys.size)
+    # Hash-join of the two count maps (paper: hash table of size O(S+p)).
+    charge(work=max(1, total), depth=1 + log2ceil(max(2, total)) ** 2)
+    if np.any(freqs < 0):
+        raise ValueError("negative histogram frequency")
+    if summary:
+        keys = np.concatenate(
+            [np.fromiter(summary.keys(), dtype=np.int64, count=len(summary)), keys]
+        )
+        freqs = np.concatenate(
+            [np.fromiter(summary.values(), dtype=np.int64, count=len(summary)), freqs]
+        )
+    uniq, inverse = np.unique(keys, return_inverse=True)
+    merged = np.bincount(inverse, weights=freqs, minlength=uniq.size).astype(np.int64)
+
+    if uniq.size <= capacity:
+        return {int(k): int(c) for k, c in zip(uniq, merged)}
+
+    phi = prune_cutoff(merged, capacity)
+    # Subtract ϕ everywhere; keep strictly positive counters.
+    charge(work=max(1, uniq.size), depth=1)
+    keep = merged > phi
+    return {int(k): int(c) for k, c in zip(uniq[keep], merged[keep] - phi)}
+
+
+def _mg_ingest_codes(
+    counters: dict[Hashable, int],
+    capacity: int,
+    codes: np.ndarray,
+    universe: Any,
+) -> dict[Hashable, int]:
+    """Exact Algorithm 1 over an encoded minibatch, vectorized between
+    decrement events.
+
+    A decrement-all event happens only when an untracked item arrives at
+    a full summary; every decrement round removes ``capacity + 1`` units
+    of counter mass, so events are rare (≤ µ/(S+1)) and the stretches
+    between them — pure increments and inserts — fold into ``bincount``
+    adds.  The resulting counters are bit-identical to running
+    :meth:`MisraGriesSummary.update` item by item, in particular the
+    final state depends on arrival order exactly as the sequential
+    algorithm's does (which is why :func:`mg_augment` cannot be used
+    here — it is a different, order-insensitive operator).
+    """
+    decode_array = isinstance(universe, np.ndarray)
+    n_universe = len(universe)
+    if decode_array:
+        index = {int(v): i for i, v in enumerate(universe)}
+        items_by_code: list[Hashable] = [int(v) for v in universe]
+    else:
+        index = {item: i for i, item in enumerate(universe)}
+        items_by_code = list(universe)
+
+    # Code space: batch codes [0, n_universe) plus one slot per tracked
+    # item that does not occur in the batch.
+    counts = np.zeros(n_universe + len(counters), dtype=np.int64)
+    tracked = np.zeros(n_universe + len(counters), dtype=bool)
+    extra = n_universe
+    for item, count in counters.items():
+        i = index.get(item)
+        if i is None:
+            i = extra
+            items_by_code.append(item)
+            extra += 1
+        counts[i] = count
+        tracked[i] = True
+    counts = counts[:extra]
+    tracked = tracked[:extra]
+    ntracked = len(counters)
+
+    p = 0
+    mu = codes.size
+    while p < mu:
+        rel = codes[p:]
+        untracked = ~tracked[rel]
+        slots = capacity - ntracked
+        if untracked.any() and slots < int(untracked.sum()):
+            # Distinct untracked codes in first-occurrence order.
+            uniq, first = np.unique(rel[untracked], return_index=True)
+            if uniq.size > slots:
+                abs_first = np.flatnonzero(untracked)[first]
+                order = np.argsort(abs_first)
+                event = int(abs_first[order[slots]])
+                if slots:
+                    tracked[uniq[order[:slots]]] = True
+                if event:
+                    counts += np.bincount(rel[:event], minlength=extra)
+                # Decrement-all: the arriving item cancels against the
+                # S decrements and is not counted.
+                live = np.flatnonzero(tracked)
+                counts[live] -= 1
+                dead = live[counts[live] == 0]
+                tracked[dead] = False
+                ntracked = live.size - dead.size
+                p += event + 1
+                continue
+        # No further decrement event: every untracked arrival in the
+        # remainder finds a free slot, so one bincount finishes the batch.
+        if untracked.any():
+            tracked[np.unique(rel[untracked])] = True
+        counts += np.bincount(rel, minlength=extra)
+        break
+
+    return {
+        items_by_code[int(i)]: int(counts[int(i)])
+        for i in np.flatnonzero(tracked)
+    }

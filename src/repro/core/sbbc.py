@@ -32,7 +32,7 @@ import numpy as np
 
 from repro.core.snapshot import GammaSnapshot
 from repro.pram.cost import charge
-from repro.pram.css import CSS
+from repro.pram.css import CSS, css_of_bits
 from repro.pram.primitives import log2ceil
 from repro.resilience.invariants import require
 from repro.resilience.state import expect, header
@@ -178,6 +178,13 @@ class SBBC:
             work=max(1, num_samples + q + 1),
             depth=1 + log2ceil(max(2, num_samples + q)),
         )
+
+    def ingest(self, bits: np.ndarray) -> None:
+        """Incorporate a minibatch of raw 0/1 bits (StreamOperator verb
+        — compresses to a CSS, then :meth:`advance`)."""
+        self.advance(css_of_bits(np.asarray(bits)))
+
+    extend = ingest
 
     def query(self) -> GammaSnapshot | Overflowed:
         """Return the window snapshot, or OVERFLOWED if the snapshot's

@@ -34,7 +34,7 @@ from repro.core.sbbc import SBBC
 from repro.pram.cost import charge, parallel
 from repro.pram.css import CSS
 from repro.pram.hashing import KWiseHash, pairwise_hashes
-from repro.pram.histogram import build_hist
+from repro.pram.plan import PreparedBatch
 from repro.pram.primitives import log2ceil, reduce_min
 from repro.pram.sort import int_sort_by_key
 from repro.resilience.invariants import require
@@ -98,19 +98,22 @@ class WindowedCountMin:
     def ingest(self, batch: Sequence[Hashable] | np.ndarray) -> None:
         """Incorporate a minibatch: per row, group item positions by
         column (stable intSort) and advance only the touched cells."""
-        mu = len(batch)
+        self.ingest_prepared(PreparedBatch(batch))
+
+    extend = ingest
+
+    def ingest_prepared(self, plan: PreparedBatch) -> None:
+        """Per-row column grouping over a (possibly shared) batch plan."""
+        mu = plan.size
         if mu == 0:
             return
-        batch = np.asarray(batch)
-        keys = np.fromiter(
-            (self._key_of(item) for item in batch), dtype=np.int64, count=mu
-        )
+        keys = plan.item_keys()
         positions = np.arange(1, mu + 1, dtype=np.int64)
         with parallel() as par:
             for row in range(self.depth):
 
                 def strand(row: int = row) -> None:
-                    cols = self.hashes[row](keys)
+                    cols = plan.hash_columns(self.hashes[row], keys)
                     sorted_cols, sorted_pos = int_sort_by_key(
                         np.asarray(cols), positions, range_factor=self.width
                     )
@@ -133,8 +136,6 @@ class WindowedCountMin:
 
                 par.run(strand)
         self.t += mu
-
-    extend = ingest
 
     # ------------------------------------------------------------------
     def point_query(self, item: Hashable) -> int:

@@ -97,6 +97,11 @@ class WindowedHistogram:
 
     extend = ingest
 
+    def ingest_prepared(self, plan) -> None:
+        """Plan fast path: the searchsorted kernel is already
+        array-native, so only the float cast is shareable."""
+        self.ingest(plan.values(np.float64))
+
     # ------------------------------------------------------------------
     def bucket_count(self, index: int) -> int:
         """Windowed count of bucket ``index`` (true <= est <= (1+ε)·true)."""

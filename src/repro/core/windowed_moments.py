@@ -59,6 +59,9 @@ class WindowedLpNorm:
 
     extend = ingest
 
+    def ingest_prepared(self, plan) -> None:
+        self.ingest(plan.values(np.int64))
+
     def query(self) -> float:
         """‖x_window‖_p, one-sided: true <= est <= (1+ε)^(1/p) · true."""
         return float(self._sum.query()) ** (1.0 / self.p)
@@ -132,6 +135,9 @@ class WindowedVariance:
         self.t += int(values.size)
 
     extend = ingest
+
+    def ingest_prepared(self, plan) -> None:
+        self.ingest(plan.values(np.int64))
 
     def mean(self) -> float:
         occupied = min(self.t, self.window)

@@ -65,6 +65,11 @@ class ParallelWindowedSum:
 
     extend = ingest
 
+    def ingest_prepared(self, plan) -> None:
+        """Plan fast path: the bit-plane kernel is already
+        array-native, so only the int64 cast is shareable."""
+        self.ingest(plan.values(np.int64))
+
     def query(self) -> int:
         """ε-relative-error estimate of the window sum.
 
@@ -137,6 +142,9 @@ class ParallelWindowedMean:
         self._sum.ingest(values)
 
     extend = ingest
+
+    def ingest_prepared(self, plan) -> None:
+        self._sum.ingest_prepared(plan)
 
     def query(self) -> float:
         """Estimated mean over the current window (0.0 when empty)."""

@@ -28,6 +28,13 @@ installs its name as the ambient charge label so the ledger's
 is a single ContextVar read.
 """
 
+from repro.pram.backend import (
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadBackend,
+    fork_join,
+    shard_ingest,
+)
 from repro.pram.cost import (
     Cost,
     CostLedger,
@@ -39,7 +46,14 @@ from repro.pram.cost import (
 )
 from repro.pram.css import CSS, css_of_bits, css_concat, sift
 from repro.pram.hashing import KWiseHash, MERSENNE_P
-from repro.pram.histogram import build_hist, build_hist_collectbin, build_hist_vectorized
+from repro.pram.histogram import (
+    HistArrays,
+    build_hist,
+    build_hist_arrays,
+    build_hist_collectbin,
+    build_hist_vectorized,
+)
+from repro.pram.plan import PreparedBatch, fold_key
 from repro.pram.primitives import (
     pack,
     par_concat,
@@ -68,9 +82,18 @@ __all__ = [
     "sift",
     "KWiseHash",
     "MERSENNE_P",
+    "HistArrays",
     "build_hist",
+    "build_hist_arrays",
     "build_hist_collectbin",
     "build_hist_vectorized",
+    "PreparedBatch",
+    "fold_key",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessPoolBackend",
+    "fork_join",
+    "shard_ingest",
     "pack",
     "par_concat",
     "par_filter",

@@ -11,18 +11,41 @@ This module supplies two ways to actually execute them:
   Useful when strands release the GIL (large NumPy kernels) or on a
   true multicore host; provided so the task graph demonstrably *is*
   parallelizable, per DESIGN.md's substitution note.
+* :class:`ProcessPoolBackend` — run strands on a
+  ``ProcessPoolExecutor``: a real GIL-free vehicle on multicore hosts.
+  Tasks must be picklable (``functools.partial`` over module-level
+  functions — closures won't cross the process boundary); each worker
+  runs its task under a private ledger and ships the
+  :class:`~repro.pram.cost.Cost` back with the result.
 
-Both produce identical results and identical ledger charges.
+All backends produce identical results and identical ledger charges.
+
+:func:`shard_ingest` is the batch-parallel recipe built on top: split a
+minibatch into shards, ingest each shard into an empty clone of a
+*mergeable* synopsis (Count-Min / Count-Sketch expose ``fresh_clone`` +
+``merge``), and fold the partial states back into the original — the
+mergeable-summaries property the paper's sketches already guarantee.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from functools import partial
 from typing import Any, Callable, Protocol, Sequence
+
+import numpy as np
 
 from repro.pram.cost import Cost, CostLedger, _LEDGER, current_ledger
 
-__all__ = ["Backend", "SerialBackend", "ThreadBackend", "fork_join"]
+__all__ = [
+    "Backend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessPoolBackend",
+    "fork_join",
+    "shard_ingest",
+]
 
 Task = Callable[[], Any]
 
@@ -70,6 +93,85 @@ class ThreadBackend:
             return []
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
             return list(pool.map(_run_with_child_ledger, tasks))
+
+
+class ProcessPoolBackend:
+    """Run strands on a process pool (true parallelism, no GIL).
+
+    Every task is executed in a worker process under a private
+    :class:`CostLedger` (installed by :func:`_run_with_child_ledger`,
+    which pickles over together with the task), so the returned costs
+    are exactly what the strand charged — bit-identical to running the
+    same task under :class:`SerialBackend`.
+
+    Tasks must be picklable.  A single task runs inline: there is
+    nothing to parallelize, and skipping the pool spares the fork.
+    """
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+
+    def run_all(self, tasks: Sequence[Task]) -> list[tuple[Any, Cost]]:
+        if not tasks:
+            return []
+        if len(tasks) == 1:
+            return [_run_with_child_ledger(tasks[0])]
+        workers = self.max_workers or len(tasks)
+        with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+            return list(pool.map(_run_with_child_ledger, tasks))
+
+
+def _shard_ingest_task(clone_blob: bytes, shard: np.ndarray) -> dict:
+    """Worker body for :func:`shard_ingest`: ingest one shard into a
+    fresh clone and return its serializable state (module-level so the
+    task pickles into a :class:`ProcessPoolBackend` worker)."""
+    op = pickle.loads(clone_blob)
+    op.ingest(shard)
+    return op.state_dict()
+
+
+def shard_ingest(
+    op: Any,
+    batch: np.ndarray,
+    *,
+    shards: int,
+    backend: Backend | None = None,
+) -> Any:
+    """Ingest ``batch`` into ``op`` by sharding it across a backend.
+
+    The minibatch is split into ``shards`` contiguous chunks; each chunk
+    is ingested into an empty ``op.fresh_clone()`` (one per strand, so
+    process workers never share state) and the partial synopses are
+    folded back with ``op.merge`` — valid for any mergeable summary.
+    Strand costs merge into the ambient ledger with the fork-join rule,
+    so the charged totals are identical under Serial / Thread / Process
+    backends.  Returns ``op``.
+
+    Note the result is *merge-equivalent*, not ingest-identical: a
+    sharded Count-Min equals the sum of its shard sketches (linearity),
+    which is bit-identical across backends and shard counts but differs
+    from single-pass ingest only in ledger trace shape, never in cells.
+    """
+    for required in ("fresh_clone", "merge", "load_state"):
+        if not hasattr(op, required):
+            raise TypeError(
+                f"{type(op).__name__} has no {required}(); shard_ingest needs "
+                "a mergeable synopsis (fresh_clone + merge + load_state)"
+            )
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    batch = np.asarray(batch)
+    clone_blob = pickle.dumps(op.fresh_clone())
+    parts = [part for part in np.array_split(batch, shards) if part.size]
+    tasks = [partial(_shard_ingest_task, clone_blob, part) for part in parts]
+    states = fork_join(tasks, backend)
+    for state in states:
+        partial_op = pickle.loads(clone_blob)
+        partial_op.load_state(state)
+        op.merge(partial_op)
+    return op
 
 
 def fork_join(tasks: Sequence[Task], backend: Backend | None = None) -> list[Any]:

@@ -17,7 +17,7 @@ distinct-elements loop stays within O(log² µ) depth.
 
 from __future__ import annotations
 
-from typing import Hashable, Mapping, Sequence
+from typing import Hashable, Mapping, NamedTuple, Sequence
 
 import numpy as np
 
@@ -27,7 +27,28 @@ from repro.pram.hashing import KWiseHash
 from repro.pram.primitives import log2ceil
 from repro.pram.sort import int_sort_by_key
 
-__all__ = ["build_hist", "build_hist_collectbin", "build_hist_vectorized", "collect_bin"]
+__all__ = [
+    "HistArrays",
+    "build_hist",
+    "build_hist_arrays",
+    "build_hist_collectbin",
+    "build_hist_vectorized",
+    "collect_bin",
+]
+
+
+class HistArrays(NamedTuple):
+    """Array form of a minibatch histogram: distinct codes + frequencies.
+
+    ``codes`` are the distinct elements themselves for integer batches
+    (``universe`` empty) or dense ids indexing ``universe`` otherwise.
+    Both arrays are contiguous ``int64`` so sketch kernels can consume
+    them without dict round-trips.
+    """
+
+    codes: np.ndarray
+    counts: np.ndarray
+    universe: list
 
 
 def collect_bin(bucket: np.ndarray) -> list[tuple[int, int]]:
@@ -69,11 +90,18 @@ def _resolve(key: int, universe: list[Hashable]) -> Hashable:
 
 
 @instrument("pram.build_hist")
-def build_hist(
+def build_hist_arrays(
     items: Sequence[Hashable] | np.ndarray,
     rng: np.random.Generator | None = None,
-) -> Mapping[Hashable, int]:
-    """Theorem 2.3's ``buildHist``: frequencies of a minibatch.
+) -> HistArrays:
+    """Theorem 2.3's ``buildHist``, returning contiguous arrays.
+
+    Same pipeline and same ledger charges as :func:`build_hist` (which
+    is now a thin dict-building wrapper around this), but the result
+    stays in ``(codes, counts)`` int64-array form so array-native sketch
+    kernels — Count-Min, Count-Sketch, the Misra-Gries augment — can
+    consume it without a dict round-trip and the per-key
+    ``np.fromiter`` generators it used to force.
 
     Parameters
     ----------
@@ -83,11 +111,6 @@ def build_hist(
     rng:
         Source of the hash function's random coefficients.  Defaults to
         a fixed-seed generator so library use is reproducible.
-
-    Returns
-    -------
-    dict mapping each distinct element to its frequency.  Expected O(µ)
-    work and O(log² µ) depth whp, charged on the ambient ledger.
 
     Implementation note (docs/theory.md, PERFORMANCE.md): the pipeline
     is the proof's — hash, bucket via intSort, separate distinct
@@ -103,7 +126,8 @@ def build_hist(
     mu = len(items)
     if mu == 0:
         charge(work=1, depth=1)
-        return {}
+        empty = np.empty(0, dtype=np.int64)
+        return HistArrays(empty, empty.copy(), [])
 
     codes, universe = _intern(items)
     hash_range = max(1, mu)
@@ -144,14 +168,30 @@ def build_hist(
 
     # Emit the (element, frequency) pairs: O(#distinct) work, log depth.
     charge(work=max(1, group_codes.size), depth=1 + log2ceil(max(2, mu)))
+    return HistArrays(
+        np.ascontiguousarray(group_codes, dtype=np.int64),
+        np.ascontiguousarray(group_counts, dtype=np.int64),
+        universe,
+    )
+
+
+def build_hist(
+    items: Sequence[Hashable] | np.ndarray,
+    rng: np.random.Generator | None = None,
+) -> Mapping[Hashable, int]:
+    """Theorem 2.3's ``buildHist``: frequencies of a minibatch as a dict.
+
+    Thin wrapper over :func:`build_hist_arrays` — all work/depth charges
+    live there; the dict materialization itself is host bookkeeping and
+    charges nothing extra.
+    """
+    codes, counts, universe = build_hist_arrays(items, rng)
     if universe:
         return {
             universe[int(code)]: int(count)
-            for code, count in zip(group_codes, group_counts)
+            for code, count in zip(codes, counts)
         }
-    return {
-        int(code): int(count) for code, count in zip(group_codes, group_counts)
-    }
+    return {int(code): int(count) for code, count in zip(codes, counts)}
 
 
 def _charge_intsort_equiv(n: int, key_range: int) -> None:

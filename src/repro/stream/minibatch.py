@@ -31,6 +31,7 @@ import numpy as np
 from repro.observability.metrics import REGISTRY
 from repro.observability.spans import span
 from repro.pram.cost import CostLedger, current_ledger, tracking
+from repro.pram.plan import PreparedBatch
 from repro.resilience.checkpoint import CheckpointManager
 from repro.resilience.faults import (
     DeadLetterQueue,
@@ -83,10 +84,20 @@ _M_RECOVERIES = REGISTRY.counter(
 
 
 class StreamOperator(Protocol):
-    """Anything that can absorb a minibatch of stream elements."""
+    """Anything that can absorb a minibatch of stream elements.
+
+    Every operator in :mod:`repro.core` and :mod:`repro.baselines`
+    satisfies this protocol; core operators additionally expose
+    ``ingest_prepared(plan)``, the shared-prework fast path the driver
+    prefers (see :mod:`repro.pram.plan`).
+    """
 
     def ingest(self, batch: np.ndarray) -> None:
         """Incorporate one minibatch into the operator's state."""
+        ...
+
+    def extend(self, batch: np.ndarray) -> None:
+        """Alias of :meth:`ingest` (sequential-API compatibility)."""
         ...
 
 
@@ -167,6 +178,7 @@ class MinibatchDriver:
         dead_letter: DeadLetterQueue | None = None,
         checkpoint_manager: CheckpointManager | None = None,
         audit_every: int | None = None,
+        share_prework: bool = True,
     ) -> None:
         if not operators:
             raise ValueError("need at least one operator")
@@ -190,6 +202,13 @@ class MinibatchDriver:
         self.dead_letter = dead_letter
         self.checkpoint_manager = checkpoint_manager
         self.audit_every = audit_every
+        #: When True (default) the driver builds one PreparedBatch per
+        #: minibatch and hands it to every operator exposing
+        #: ``ingest_prepared``, so encode/hash/histogram prework is paid
+        #: once per batch instead of once per operator.  Charged ledger
+        #: totals are identical either way (repro.pram.plan replays the
+        #: cached costs); only wall-clock changes.
+        self.share_prework = share_prework
 
         self._processed_ids: set[int] = set()
         self._since_checkpoint: list[tuple[int, np.ndarray]] = []
@@ -297,8 +316,12 @@ class MinibatchDriver:
         work0, depth0 = ledger.work, ledger.depth
         t0 = time.perf_counter()
         with tracking(ledger), span("driver.batch", "driver"):
+            plan = PreparedBatch(batch) if self.share_prework else None
             for op in self.operators.values():
-                op.ingest(batch)
+                if plan is not None and hasattr(op, "ingest_prepared"):
+                    op.ingest_prepared(plan)
+                else:
+                    op.ingest(batch)
         elapsed = time.perf_counter() - t0
         work, depth = ledger.work - work0, ledger.depth - depth0
         _M_BATCHES.inc()

@@ -1,0 +1,160 @@
+"""PreparedBatch: shared prework caching and charge replay.
+
+The contract under test (repro/pram/plan.py): every cached product is
+computed once, later accesses replay the *exact* recorded work/depth
+into the ambient ledger, and a pickled plan drops its id-keyed hash
+memo but keeps positional caches.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.pram.cost import tracking
+from repro.pram.hashing import KWiseHash
+from repro.pram.histogram import build_hist, build_hist_arrays
+from repro.pram.plan import PreparedBatch, fold_key
+
+
+def _totals(fn):
+    """Run ``fn`` under a fresh ledger; return (result, work, depth)."""
+    with tracking() as led:
+        out = fn()
+    return out, led.work, led.depth
+
+
+class TestHistCaching:
+    def test_hist_arrays_matches_build_hist_arrays(self, rng):
+        batch = rng.integers(0, 50, size=400)
+        plan = PreparedBatch(batch)
+        codes, counts, universe = plan.hist_arrays()
+        expected = build_hist_arrays(batch)
+        np.testing.assert_array_equal(codes, expected.codes)
+        np.testing.assert_array_equal(counts, expected.counts)
+
+    def test_hist_dict_matches_build_hist(self, rng):
+        batch = rng.integers(0, 50, size=400)
+        assert PreparedBatch(batch).hist_dict() == build_hist(batch)
+
+    def test_second_access_replays_identical_charges(self, rng):
+        batch = rng.integers(0, 64, size=512)
+        plan = PreparedBatch(batch)
+        first, w1, d1 = _totals(plan.hist_arrays)
+        second, w2, d2 = _totals(plan.hist_arrays)
+        assert (w1, d1) == (w2, d2)
+        assert w1 > 0
+        np.testing.assert_array_equal(first.codes, second.codes)
+        assert first.codes is second.codes  # cached object, not recompute
+
+    def test_charges_match_unshared_computation(self, rng):
+        batch = rng.integers(0, 64, size=512)
+        _, w_plan, d_plan = _totals(PreparedBatch(batch).hist_arrays)
+        _, w_raw, d_raw = _totals(lambda: build_hist_arrays(batch))
+        assert (w_plan, d_plan) == (w_raw, d_raw)
+
+    def test_hist_dict_charges_equal_hist_arrays_charges(self, rng):
+        batch = rng.integers(0, 64, size=256)
+        _, w_arrays, d_arrays = _totals(PreparedBatch(batch).hist_arrays)
+        _, w_dict, d_dict = _totals(PreparedBatch(batch).hist_dict)
+        assert (w_dict, d_dict) == (w_arrays, d_arrays)
+        # ... and accessing the dict after the arrays replays, not adds.
+        plan = PreparedBatch(batch)
+        plan.hist_arrays()
+        _, w_after, d_after = _totals(plan.hist_dict)
+        assert (w_after, d_after) == (w_arrays, d_arrays)
+
+
+class TestHashMemo:
+    def test_hash_columns_computed_once_then_replayed(self, rng):
+        h = KWiseHash(2, 128, rng)
+        plan = PreparedBatch(np.arange(300))
+        keys = plan.item_keys()
+        first, w1, d1 = _totals(lambda: plan.hash_columns(h, keys))
+        second, w2, d2 = _totals(lambda: plan.hash_columns(h, keys))
+        assert first is second
+        assert (w1, d1) == (w2, d2)
+        np.testing.assert_array_equal(first, h(keys))
+
+    def test_distinct_hashes_cached_separately(self, rng):
+        h1 = KWiseHash(2, 128, rng)
+        h2 = KWiseHash(2, 128, rng)
+        plan = PreparedBatch(np.arange(100))
+        keys = plan.item_keys()
+        a = plan.hash_columns(h1, keys)
+        b = plan.hash_columns(h2, keys)
+        assert a is not b
+
+    def test_pickle_drops_hash_memo_keeps_caches(self, rng):
+        batch = rng.integers(0, 32, size=200)
+        plan = PreparedBatch(batch)
+        plan.hist_arrays()
+        h = KWiseHash(2, 64, rng)
+        plan.hash_columns(h, plan.item_keys())
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.size == plan.size
+        # hist cache survives: replayed charges match, no recompute cost drift
+        _, w1, d1 = _totals(plan.hist_arrays)
+        _, w2, d2 = _totals(clone.hist_arrays)
+        assert (w1, d1) == (w2, d2)
+        # memo was dropped (id-keyed entries are meaningless post-pickle)
+        assert not clone._hash_memo
+
+
+class TestAccessors:
+    def test_values_casts_and_caches_per_dtype(self):
+        plan = PreparedBatch(np.array([1.0, 2.0, 3.0]))
+        as_int = plan.values(np.int64)
+        assert as_int.dtype == np.int64
+        assert plan.values(np.int64) is as_int
+        assert plan.values(np.float64).dtype == np.float64
+
+    def test_item_keys_integer_passthrough(self):
+        plan = PreparedBatch(np.array([5, 7, 5], dtype=np.int32))
+        keys = plan.item_keys()
+        assert keys.dtype == np.int64
+        np.testing.assert_array_equal(keys, [5, 7, 5])
+
+    def test_item_keys_folds_objects(self):
+        items = np.array(["a", "b", "a"], dtype=object)
+        keys = PreparedBatch(items).item_keys()
+        np.testing.assert_array_equal(
+            keys, [fold_key("a"), fold_key("b"), fold_key("a")]
+        )
+
+    def test_encoded_integer_batch(self):
+        plan = PreparedBatch(np.array([9, 4, 9, 4, 1]))
+        codes, universe = plan.encoded()
+        decoded = np.asarray(universe)[codes]
+        np.testing.assert_array_equal(decoded, [9, 4, 9, 4, 1])
+
+    def test_encoded_object_batch_unwraps_scalars(self):
+        items = ["x", "y", "x"]
+        codes, universe = PreparedBatch(np.array(items, dtype=object)).encoded()
+        assert [universe[c] for c in codes] == items
+        assert all(not isinstance(u, np.generic) for u in universe)
+
+    def test_positions_by_item_one_indexed(self):
+        plan = PreparedBatch(np.array([3, 1, 3, 2, 1, 3]))
+        groups = plan.positions_by_item()
+        np.testing.assert_array_equal(groups[3], [1, 3, 6])
+        np.testing.assert_array_equal(groups[1], [2, 5])
+        np.testing.assert_array_equal(groups[2], [4])
+
+    def test_empty_batch(self):
+        plan = PreparedBatch(np.array([], dtype=np.int64))
+        assert plan.size == 0
+        codes, counts, _ = plan.hist_arrays()
+        assert codes.size == 0 and counts.size == 0
+        assert plan.hist_dict() == {}
+        assert plan.positions_by_item() == {}
+
+    def test_sketch_hist_frequencies(self, rng):
+        batch = rng.integers(0, 20, size=300)
+        keys, freqs = PreparedBatch(batch).sketch_hist()
+        expected = build_hist(batch)
+        assert {int(k): int(f) for k, f in zip(keys, freqs)} == {
+            int(k): int(v) for k, v in expected.items()
+        }

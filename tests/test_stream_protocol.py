@@ -1,0 +1,140 @@
+"""StreamOperator conformance sweep: every exported operator speaks
+both ``ingest`` and ``extend``.
+
+The driver's :class:`~repro.stream.minibatch.StreamOperator` protocol
+promises that any exported synopsis — core or baseline — can be dropped
+into a pipeline whether the call site uses the minibatch verb
+(``ingest``) or the sequential verb (``extend``).  This sweep walks the
+public surface of :mod:`repro.core` and :mod:`repro.baselines`
+mechanically, so adding an operator without both verbs fails here
+rather than in a user's pipeline.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import numpy as np
+import pytest
+
+import repro.baselines as baselines
+import repro.core as core
+from repro.resilience.state import dumps, loads
+from repro.stream.generators import zipf_stream
+
+
+def _canon(obj):
+    """Order-insensitive canonical form of a decoded state value.
+
+    Counter maps keep dict *insertion* order through dumps/loads; the
+    vectorized kernels insert in code order while per-item loops insert
+    in stream order — same mapping, different order, so compare as
+    sorted key/value sets."""
+    if isinstance(obj, dict):
+        return tuple(sorted((repr(k), _canon(v)) for k, v in obj.items()))
+    if isinstance(obj, (list, tuple)):
+        return tuple(_canon(v) for v in obj)
+    if isinstance(obj, np.ndarray):
+        return (obj.dtype.str, obj.shape, obj.tobytes())
+    return obj
+
+
+def _state(op):
+    return _canon(loads(dumps(op.state_dict())))
+
+# Constructor recipes for every exported operator class.  Item-stream
+# operators take the zipf stream; bit-stream operators take 0/1 ints.
+_ITEMS = "items"
+_BITS = "bits"
+
+RECIPES: dict[str, tuple] = {
+    # core
+    "ParallelBasicCounter": (lambda m: m(window=64, eps=0.25), _BITS),
+    "ParallelCountMin": (
+        lambda m: m(eps=0.05, delta=0.1, rng=np.random.default_rng(1)), _ITEMS),
+    "DyadicCountMin": (
+        lambda m: m(eps=0.05, delta=0.1, universe_bits=8,
+                    rng=np.random.default_rng(2)), _ITEMS),
+    "ParallelCountSketch": (
+        lambda m: m(eps=0.1, delta=0.1, rng=np.random.default_rng(3)), _ITEMS),
+    "ParallelFrequencyEstimator": (lambda m: m(eps=0.1), _ITEMS),
+    "BasicSlidingFrequency": (lambda m: m(window=128, eps=0.2), _ITEMS),
+    "SpaceEfficientSlidingFrequency": (lambda m: m(window=128, eps=0.2), _ITEMS),
+    "WorkEfficientSlidingFrequency": (
+        lambda m: m(window=128, eps=0.2, rng=np.random.default_rng(4)), _ITEMS),
+    "InfiniteHeavyHitters": (lambda m: m(phi=0.1, eps=0.05), _ITEMS),
+    "SlidingHeavyHitters": (lambda m: m(window=128, phi=0.2, eps=0.1), _ITEMS),
+    "MisraGriesSummary": (lambda m: m(eps=0.1), _ITEMS),
+    "SBBC": (lambda m: m(window=64, lam=4.0), _BITS),
+    "GammaSnapshot": None,   # value object, not a stream operator
+    "WindowedCountMin": (
+        lambda m: m(window=128, eps=0.1, delta=0.2,
+                    rng=np.random.default_rng(5)), _ITEMS),
+    "WindowedHistogram": (
+        lambda m: m(window=128, eps=0.2, edges=[0.0, 8.0, 64.0, 512.0]), _ITEMS),
+    "WindowedLpNorm": (lambda m: m(window=128, eps=0.2, max_value=511), _ITEMS),
+    "WindowedVariance": (lambda m: m(window=128, eps=0.2, max_value=511), _ITEMS),
+    "ParallelWindowedSum": (lambda m: m(window=128, eps=0.2, max_value=511), _ITEMS),
+    "ParallelWindowedMean": (lambda m: m(window=128, eps=0.2, max_value=511), _ITEMS),
+    # baselines
+    "DGIMCounter": (lambda m: m(window=64, eps=0.5), _BITS),
+    "ExactCounters": (lambda m: m(), _ITEMS),
+    "IndependentMGEnsemble": (lambda m: m(processors=3, eps=0.1), _ITEMS),
+    "LeeTingCounter": (lambda m: m(window=64, lam=4.0), _BITS),
+    "LossyCounting": (lambda m: m(eps=0.1), _ITEMS),
+    "SequentialCountMin": (
+        lambda m: m(eps=0.05, delta=0.1, rng=np.random.default_rng(6)), _ITEMS),
+    "SequentialMisraGries": (lambda m: m(eps=0.1), _ITEMS),
+    "SpaceSaving": (lambda m: m(eps=0.1), _ITEMS),
+}
+
+
+def _operator_classes():
+    for module in (core, baselines):
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if inspect.isclass(obj):
+                yield name, obj
+
+
+OPERATORS = sorted(_operator_classes())
+NAMES = [name for name, _ in OPERATORS]
+
+
+def _feed(kind: str) -> np.ndarray:
+    if kind == _BITS:
+        return (np.random.default_rng(9).random(200) < 0.5).astype(np.int64)
+    return zipf_stream(200, 64, 1.2, rng=10)
+
+
+def test_every_exported_class_has_a_recipe():
+    missing = [name for name, _ in OPERATORS if name not in RECIPES]
+    assert not missing, f"add conformance recipes for: {missing}"
+
+
+@pytest.mark.parametrize("name,cls", OPERATORS, ids=NAMES)
+def test_exposes_both_ingest_and_extend(name, cls):
+    recipe = RECIPES[name]
+    if recipe is None:
+        pytest.skip(f"{name} is not a stream operator")
+    assert callable(getattr(cls, "ingest", None)), f"{name} lacks ingest()"
+    assert callable(getattr(cls, "extend", None)), f"{name} lacks extend()"
+
+
+@pytest.mark.parametrize("name,cls", OPERATORS, ids=NAMES)
+def test_ingest_and_extend_agree(name, cls):
+    """Feeding the same stream through either verb yields the same
+    synopsis state (they are the same operation by contract)."""
+    recipe = RECIPES[name]
+    if recipe is None or recipe[1] is None:
+        pytest.skip(f"{name} is not batch-fed")
+    make, kind = recipe
+    batch = _feed(kind)
+    via_ingest, via_extend = make(cls), make(cls)
+    via_ingest.ingest(batch)
+    via_extend.extend(batch)
+    if hasattr(via_ingest, "state_dict"):
+        assert _state(via_ingest) == _state(via_extend)
+    if hasattr(via_ingest, "check_invariants"):
+        via_ingest.check_invariants()
+        via_extend.check_invariants()
