@@ -6,7 +6,7 @@ FAULT_SEEDS ?= 101 202 303
 .PHONY: install test faults docs-check bench bench-quick bench-gate experiments examples clean
 
 # Experiments with committed perf baselines, gated by bench_compare.
-GATED_EXPERIMENTS = e1 e13 e14 e16
+GATED_EXPERIMENTS = e1 e13 e14 e16 e17
 
 install:
 	pip install -e . --no-build-isolation
@@ -38,6 +38,7 @@ bench-quick:
 bench-gate:
 	$(PY) -m pytest benchmarks/bench_e01_css.py benchmarks/bench_e13_countmin.py \
 		benchmarks/bench_e14_pipeline.py benchmarks/bench_e16_ingest_fastpath.py \
+		benchmarks/bench_e17_mergetree.py \
 		--benchmark-disable -q
 	for e in $(GATED_EXPERIMENTS); do \
 		$(PY) scripts/bench_compare.py \

@@ -116,8 +116,30 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if not args.baseline.exists() or not args.candidate.exists():
-        print("error: baseline and candidate must exist", file=sys.stderr)
+    missing_paths = [
+        (role, path)
+        for role, path in (("baseline", args.baseline), ("candidate", args.candidate))
+        if not path.exists()
+    ]
+    if missing_paths:
+        for role, path in missing_paths:
+            print(f"error: {role} path does not exist: {path}", file=sys.stderr)
+            if role == "baseline":
+                print(
+                    "  hint: committed baselines live in benchmarks/results/"
+                    "baseline-<exp>.json; regenerate one by running the "
+                    "experiment (e.g. `make bench-quick`) and copying "
+                    "benchmarks/results/<EXP>.json over it",
+                    file=sys.stderr,
+                )
+            else:
+                print(
+                    "  hint: produce fresh candidate results with "
+                    "`python -m pytest benchmarks/bench_<exp>*.py "
+                    "--benchmark-disable` (writes benchmarks/results/"
+                    "<EXP>.json)",
+                    file=sys.stderr,
+                )
         return 2
 
     if args.baseline.is_file() and args.candidate.is_file():

@@ -8,6 +8,9 @@ Layout
 ------
 ``repro.pram``      work-depth (PRAM) runtime substrate: cost ledger,
                     data-parallel primitives, intSort, buildHist, CSS
+``repro.engine``    unified synopsis engine: typed protocol + operator
+                    registry, dataflow DAG over minibatches, k-ary
+                    merge trees for sharded folds
 ``repro.stream``    discretized-stream machinery: generators, exact
                     oracles, minibatch pipeline driver
 ``repro.core``      the paper's algorithms: γ-snapshots, SBBC, basic
@@ -30,8 +33,16 @@ Quickstart
 True
 """
 
-from repro import analysis, baselines, core, pram, stream
+from repro import analysis, baselines, core, engine, pram, stream
 
 __version__ = "1.0.0"
 
-__all__ = ["analysis", "baselines", "core", "pram", "stream", "__version__"]
+__all__ = [
+    "analysis",
+    "baselines",
+    "core",
+    "engine",
+    "pram",
+    "stream",
+    "__version__",
+]

@@ -96,3 +96,16 @@ class DGIMCounter:
     @property
     def space(self) -> int:
         return 2 * len(self._buckets) + 2
+
+
+# ----------------------------------------------------------------------
+from repro.engine.registry import Capabilities, register  # noqa: E402
+
+register(
+    DGIMCounter,
+    summary="DGIM exponential-histogram bit counter [DGIM02]",
+    input="bits",
+    caps=Capabilities(windowed=True),
+    build=lambda: DGIMCounter(window=64, eps=0.5),
+    probe=lambda op: op.query(),
+)

@@ -46,3 +46,29 @@ class ExactCounters:
     @property
     def space(self) -> int:
         return len(self.counters) + 1
+
+    def merge(self, other: "ExactCounters") -> None:
+        """Add another counter map into this one — trivially mergeable
+        (exact counts are linear), charged sequentially like the rest
+        of this baseline."""
+        charge(work=max(1, len(other.counters)), depth=max(1, len(other.counters)))
+        self.counters.update(other.counters)
+        self.stream_length += other.stream_length
+
+    def fresh_clone(self) -> "ExactCounters":
+        """An empty counter map — the per-shard accumulator for sharded
+        ingest / merge trees."""
+        return type(self)()
+
+
+# ----------------------------------------------------------------------
+from repro.engine.registry import Capabilities, register  # noqa: E402
+
+register(
+    ExactCounters,
+    summary="exact hash-map counts, unbounded memory reference",
+    input="items",
+    caps=Capabilities(mergeable=True),
+    build=lambda: ExactCounters(),
+    probe=lambda op: [op.estimate(i) for i in range(64)],
+)

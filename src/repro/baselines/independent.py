@@ -127,3 +127,16 @@ class IndependentMGEnsemble:
     def space(self) -> int:
         """Θ(p/ε) — the factor-p blow-up §5.4 calls out."""
         return sum(s.space for s in self.summaries)
+
+
+# ----------------------------------------------------------------------
+from repro.engine.registry import Capabilities, register  # noqa: E402
+
+register(
+    IndependentMGEnsemble,
+    summary="p independent MG summaries, no shared prework (E12 foil)",
+    input="items",
+    caps=Capabilities(),
+    build=lambda: IndependentMGEnsemble(processors=3, eps=0.1),
+    probe=lambda op: [op.estimate(i) for i in range(64)],
+)

@@ -69,3 +69,16 @@ class LeeTingCounter:
     @property
     def space(self) -> int:
         return len(self._blocks) + 3
+
+
+# ----------------------------------------------------------------------
+from repro.engine.registry import Capabilities, register  # noqa: E402
+
+register(
+    LeeTingCounter,
+    summary="Lee-Ting lambda-approximate sliding bit counter [LT06]",
+    input="bits",
+    caps=Capabilities(windowed=True),
+    build=lambda: LeeTingCounter(window=64, lam=4.0),
+    probe=lambda op: op.query(),
+)

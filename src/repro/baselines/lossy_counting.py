@@ -77,3 +77,16 @@ class LossyCounting:
     @property
     def space(self) -> int:
         return 2 * len(self.entries) + 2
+
+
+# ----------------------------------------------------------------------
+from repro.engine.registry import Capabilities, register  # noqa: E402
+
+register(
+    LossyCounting,
+    summary="Lossy Counting [MM02], bucket-deleting frequency baseline",
+    input="items",
+    caps=Capabilities(),
+    build=lambda: LossyCounting(eps=0.1),
+    probe=lambda op: [op.estimate(i) for i in range(64)],
+)

@@ -10,6 +10,7 @@ identical tables on identical input order).
 from __future__ import annotations
 
 import math
+import pickle
 from typing import Hashable, Iterable
 
 import numpy as np
@@ -72,3 +73,40 @@ class SequentialCountMin:
     @property
     def space(self) -> int:
         return self.table.size + 2 * self.depth
+
+    def merge(self, other: "SequentialCountMin") -> None:
+        """Cell-wise addition of a same-hash sketch (mergeable
+        summaries, [ACH+13]) — the sequential counterpart of
+        :meth:`repro.core.ParallelCountMin.merge`, charged with
+        depth = work like every operation of this baseline."""
+        if self.table.shape != other.table.shape:
+            raise ValueError("sketches must share dimensions to merge")
+        for mine, theirs in zip(self.hashes, other.hashes):
+            if not np.array_equal(mine.coeffs, theirs.coeffs):
+                raise ValueError("sketches must share hash functions to merge")
+        charge(work=self.table.size, depth=self.table.size)
+        self.table += other.table
+        self.stream_length += other.stream_length
+
+    def fresh_clone(self) -> "SequentialCountMin":
+        """An empty sketch with identical hash functions — the
+        per-shard accumulator for sharded ingest / merge trees."""
+        clone = pickle.loads(pickle.dumps(self))
+        clone.table[:] = 0
+        clone.stream_length = 0
+        return clone
+
+
+# ----------------------------------------------------------------------
+from repro.engine.registry import Capabilities, register  # noqa: E402
+
+register(
+    SequentialCountMin,
+    summary="item-at-a-time Count-Min sketch [CM05], E13 baseline",
+    input="items",
+    caps=Capabilities(mergeable=True),
+    build=lambda: SequentialCountMin(
+        eps=0.05, delta=0.1, rng=np.random.default_rng(6)
+    ),
+    probe=lambda op: [op.point_query(i) for i in range(64)],
+)

@@ -56,3 +56,16 @@ def sequential_heavy_hitters(
     summary.extend(stream)
     threshold = (phi - eps) * summary.stream_length
     return {e: c for e, c in summary.counters.items() if c >= threshold}
+
+
+# ----------------------------------------------------------------------
+from repro.engine.registry import Capabilities, register  # noqa: E402
+
+register(
+    SequentialMisraGries,
+    summary="item-at-a-time Misra-Gries [MG82], depth=work charging",
+    input="items",
+    caps=Capabilities(mergeable=True, preparable=True, invariant_checked=True),
+    build=lambda: SequentialMisraGries(eps=0.1),
+    probe=lambda op: [op.estimate(i) for i in range(64)],
+)

@@ -83,3 +83,62 @@ class SpaceSaving:
     @property
     def space(self) -> int:
         return len(self.counters) + 2
+
+    def merge(self, other: "SpaceSaving") -> None:
+        """Fold another Space-Saving summary of the same capacity into
+        this one (Cafaro et al.'s parallel merge, PAPERS.md).
+
+        An untracked item's frequency in summary *i* is at most that
+        summary's minimum counter (when full), so substituting the
+        minimum preserves the one-sided overestimate; summing then
+        keeps ``f_e <= ĉ_e <= f_e + ε(m₁+m₂)``, and keeping the top-S
+        counters re-establishes the capacity bound.  Ties break
+        deterministically on ``repr`` so merge trees are
+        order-reproducible.
+        """
+        if self.capacity != other.capacity:
+            raise ValueError(
+                f"capacity mismatch: {self.capacity} != {other.capacity}"
+            )
+        total = len(self.counters) + len(other.counters)
+        charge(work=max(1, total), depth=max(1, total))  # sequential baseline
+        off_self = (
+            min(self.counters.values())
+            if len(self.counters) >= self.capacity
+            else 0
+        )
+        off_other = (
+            min(other.counters.values())
+            if len(other.counters) >= other.capacity
+            else 0
+        )
+        merged = {
+            item: self.counters.get(item, off_self)
+            + other.counters.get(item, off_other)
+            for item in set(self.counters) | set(other.counters)
+        }
+        if len(merged) > self.capacity:
+            ranked = sorted(merged.items(), key=lambda kv: (-kv[1], repr(kv[0])))
+            merged = dict(ranked[: self.capacity])
+        self.counters = merged
+        self._heap = [(count, item) for item, count in merged.items()]
+        heapq.heapify(self._heap)
+        self.stream_length += other.stream_length
+
+    def fresh_clone(self) -> "SpaceSaving":
+        """An empty summary with identical capacity — the per-shard
+        accumulator for sharded ingest / merge trees."""
+        return type(self)(capacity=self.capacity)
+
+
+# ----------------------------------------------------------------------
+from repro.engine.registry import Capabilities, register  # noqa: E402
+
+register(
+    SpaceSaving,
+    summary="Space-Saving [MAE06], one-sided overestimates, S counters",
+    input="items",
+    caps=Capabilities(mergeable=True),
+    build=lambda: SpaceSaving(eps=0.1),
+    probe=lambda op: [op.estimate(i) for i in range(64)],
+)

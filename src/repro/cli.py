@@ -20,19 +20,12 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Iterator, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Sequence
 
 import numpy as np
 
-from repro.core import (
-    InfiniteHeavyHitters,
-    ParallelBasicCounter,
-    ParallelCountMin,
-    ParallelFrequencyEstimator,
-    ParallelWindowedSum,
-    SlidingHeavyHitters,
-    WorkEfficientSlidingFrequency,
-)
+from repro.engine import registry
 from repro.observability.metrics import REGISTRY
 from repro.pram.cost import tracking
 from repro.resilience.invariants import InvariantViolation
@@ -175,6 +168,12 @@ def build_parser() -> argparse.ArgumentParser:
     var.add_argument("--max-value", type=int, required=True)
     var.add_argument("file", nargs="?", default=None)
 
+    sub.add_parser(
+        "ops",
+        help="list every registered synopsis with its capability flags "
+        "(M=mergeable P=preparable W=windowed I=invariant-checked)",
+    )
+
     prof = sub.add_parser(
         "profile",
         help="ledger-vs-wallclock profiler: per-operator attribution "
@@ -224,51 +223,121 @@ def _dump_metrics(fmt: str, out) -> None:
     print(text, end="", file=out)
 
 
+@dataclass(frozen=True)
+class _Command:
+    """How a CLI subcommand maps onto the synopsis registry.
+
+    ``resolve`` picks the registered operator name and constructor
+    kwargs from the parsed arguments (e.g. ``heavy-hitters`` dispatches
+    on ``--window``); ``answer`` renders the final/interim query.  The
+    operators themselves come from :mod:`repro.engine.registry`, so the
+    CLI never hard-codes a class — new synopses become runnable by
+    registering them.
+    """
+
+    resolve: Callable[[argparse.Namespace], tuple[str, dict[str, Any]]]
+    answer: Callable[[Any, argparse.Namespace], Any]
+
+
+def _resolve_heavy_hitters(args: argparse.Namespace) -> tuple[str, dict[str, Any]]:
+    if args.window:
+        return "SlidingHeavyHitters", {
+            "window": args.window, "phi": args.phi, "eps": args.eps,
+        }
+    return "InfiniteHeavyHitters", {"phi": args.phi, "eps": args.eps}
+
+
+def _resolve_frequency(args: argparse.Namespace) -> tuple[str, dict[str, Any]]:
+    if args.window:
+        return "WorkEfficientSlidingFrequency", {
+            "window": args.window, "eps": args.eps,
+        }
+    return "ParallelFrequencyEstimator", {"eps": args.eps}
+
+
+def _quantile_kwargs(args: argparse.Namespace) -> dict[str, Any]:
+    edges = np.linspace(0, args.max_value + 1, args.buckets + 1)
+    return {"window": args.window, "eps": args.eps, "edges": edges}
+
+
+_COMMANDS: dict[str, _Command] = {
+    "heavy-hitters": _Command(
+        _resolve_heavy_hitters,
+        lambda op, args: sorted(op.query().items(), key=lambda kv: -kv[1]),
+    ),
+    "frequency": _Command(
+        _resolve_frequency,
+        lambda op, args: [(item, op.estimate(item)) for item in args.query],
+    ),
+    "count": _Command(
+        lambda args: (
+            "ParallelBasicCounter", {"window": args.window, "eps": args.eps}
+        ),
+        lambda op, args: op.query(),
+    ),
+    "sum": _Command(
+        lambda args: ("ParallelWindowedSum", {
+            "window": args.window, "eps": args.eps, "max_value": args.max_value,
+        }),
+        lambda op, args: op.query(),
+    ),
+    "cms": _Command(
+        lambda args: ("ParallelCountMin", {
+            "eps": args.eps, "delta": args.delta,
+            "conservative": args.conservative,
+        }),
+        lambda op, args: [(item, op.point_query(item)) for item in args.query],
+    ),
+    "quantile": _Command(
+        lambda args: ("WindowedHistogram", _quantile_kwargs(args)),
+        lambda op, args: [(q, op.quantile(q)) for q in args.q],
+    ),
+    "variance": _Command(
+        lambda args: ("WindowedVariance", {
+            "window": args.window, "eps": args.eps, "max_value": args.max_value,
+        }),
+        lambda op, args: {
+            "mean": round(op.mean(), 3), "variance": round(op.query(), 3)
+        },
+    ),
+}
+
+
+def _list_ops(out) -> None:
+    """``repro ops``: every registered synopsis with capability flags."""
+    specs = sorted(registry.specs(), key=lambda s: (s.kind != "core", s.name))
+    rows = [
+        (spec.name, spec.kind, spec.input, spec.caps.flags(), spec.summary)
+        for spec in specs
+    ]
+    widths = [max(len(row[i]) for row in rows) for i in range(4)]
+    header = ("NAME", "KIND", "INPUT", "CAPS", "SUMMARY")
+    widths = [max(w, len(h)) for w, h in zip(widths, header)]
+    legend = (
+        "caps: M=mergeable  P=preparable (shared-prework ingest)  "
+        "W=windowed  I=invariant-checked"
+    )
+    print(legend, file=out)
+    for row in (header, *rows):
+        columns = "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        print(f"{columns}  {row[4]}", file=out)
+    print(f"{len(rows)} synopses registered", file=out)
+
+
 def _run(args: argparse.Namespace, out) -> None:
     if args.command == "profile":
         _profile(args, out)
         return
-    if args.command == "heavy-hitters":
-        if args.window:
-            op = SlidingHeavyHitters(args.window, args.phi, args.eps)
-        else:
-            op = InfiniteHeavyHitters(args.phi, args.eps)
-        final = lambda: sorted(op.query().items(), key=lambda kv: -kv[1])
-        interim = final
-    elif args.command == "frequency":
-        if args.window:
-            op = WorkEfficientSlidingFrequency(args.window, args.eps)
-        else:
-            op = ParallelFrequencyEstimator(args.eps)
-        final = lambda: [(item, op.estimate(item)) for item in args.query]
-        interim = final
-    elif args.command == "count":
-        op = ParallelBasicCounter(args.window, args.eps)
-        final = op.query
-        interim = final
-    elif args.command == "sum":
-        op = ParallelWindowedSum(args.window, args.eps, args.max_value)
-        final = op.query
-        interim = final
-    elif args.command == "cms":
-        op = ParallelCountMin(args.eps, args.delta, conservative=args.conservative)
-        final = lambda: [(item, op.point_query(item)) for item in args.query]
-        interim = final
-    elif args.command == "quantile":
-        from repro.core import WindowedHistogram
-
-        edges = np.linspace(0, args.max_value + 1, args.buckets + 1)
-        op = WindowedHistogram(args.window, args.eps, edges)
-        final = lambda: [(q, op.quantile(q)) for q in args.q]
-        interim = final
-    elif args.command == "variance":
-        from repro.core import WindowedVariance
-
-        op = WindowedVariance(args.window, args.eps, args.max_value)
-        final = lambda: {"mean": round(op.mean(), 3), "variance": round(op.query(), 3)}
-        interim = final
-    else:  # pragma: no cover - argparse enforces choices
+    if args.command == "ops":
+        _list_ops(out)
+        return
+    command = _COMMANDS.get(args.command)
+    if command is None:  # pragma: no cover - argparse enforces choices
         raise SystemExit(f"unknown command {args.command}")
+    name, kwargs = command.resolve(args)
+    op = registry.create(name, **kwargs)
+    final = lambda: command.answer(op, args)  # noqa: E731
+    interim = final
 
     manager = None
     items = 0

@@ -51,12 +51,16 @@ __all__ = [
 
 # ----------------------------------------------------------------------
 # Observability: wrap every core-synopsis operation in a named span
-# (docs/observability.md).  Wrapping happens once, on the class in the
-# MRO that actually defines the method, so shared base-class methods
-# (e.g. the sliding-frequency estimate()) are traced exactly once under
-# the defining class's name.  When no tracer is active the wrappers add
-# a single ContextVar read per call.
+# (docs/observability.md).  The class list comes from the engine
+# registry — every module above registered itself on import — so a new
+# operator is traced the moment it is registered, with no second list
+# to update.  Wrapping happens once, on the class in the MRO that
+# actually defines the method, so shared base-class methods (e.g. the
+# sliding-frequency estimate()) are traced exactly once under the
+# defining class's name.  When no tracer is active the wrappers add a
+# single ContextVar read per call.
 # ----------------------------------------------------------------------
+from repro.engine.registry import registered as _registered
 from repro.observability.spans import instrument_methods as _instrument_methods
 
 _SYNOPSIS_OPS = (
@@ -78,27 +82,8 @@ _SYNOPSIS_OPS = (
     "check_invariants",
 )
 
-for _cls in (
-    ParallelBasicCounter,
-    ParallelCountMin,
-    DyadicCountMin,
-    ParallelCountSketch,
-    ParallelFrequencyEstimator,
-    BasicSlidingFrequency,
-    SpaceEfficientSlidingFrequency,
-    WorkEfficientSlidingFrequency,
-    InfiniteHeavyHitters,
-    SlidingHeavyHitters,
-    MisraGriesSummary,
-    SBBC,
-    WindowedCountMin,
-    WindowedHistogram,
-    WindowedLpNorm,
-    WindowedVariance,
-    ParallelWindowedMean,
-    ParallelWindowedSum,
-):
-    for _base in _cls.__mro__:
+for _spec in _registered("repro.core"):
+    for _base in _spec.cls.__mro__:
         if _base is object:
             continue
         _instrument_methods(
@@ -106,4 +91,4 @@ for _cls in (
             prefix=f"core.{_base.__name__.lstrip('_')}",
         )
 
-del _cls, _base, _instrument_methods, _SYNOPSIS_OPS
+del _spec, _base, _instrument_methods, _registered, _SYNOPSIS_OPS

@@ -149,3 +149,16 @@ class ParallelBasicCounter:
             f"ParallelBasicCounter(window={self.window}, eps={self.eps}, "
             f"levels={self.num_levels}, t={self.t})"
         )
+
+
+# ----------------------------------------------------------------------
+from repro.engine.registry import Capabilities, register  # noqa: E402
+
+register(
+    ParallelBasicCounter,
+    summary="eps-approximate basic counting over a sliding window (S4)",
+    input="bits",
+    caps=Capabilities(preparable=True, windowed=True, invariant_checked=True),
+    build=lambda: ParallelBasicCounter(window=64, eps=0.25),
+    probe=lambda op: op.query(),
+)

@@ -422,3 +422,27 @@ class DyadicCountMin:
                 f"{self.stream_length}",
             )
             level.check_invariants()
+
+
+# ----------------------------------------------------------------------
+from repro.engine.registry import Capabilities, register  # noqa: E402
+
+register(
+    ParallelCountMin,
+    summary="minibatch-parallel Count-Min sketch (Theorem 6.1)",
+    input="items",
+    caps=Capabilities(mergeable=True, preparable=True, invariant_checked=True),
+    build=lambda: ParallelCountMin(eps=0.05, delta=0.1, rng=np.random.default_rng(1)),
+    probe=lambda op: [op.point_query(i) for i in range(64)],
+)
+register(
+    DyadicCountMin,
+    summary="dyadic CMS stack: range queries and quantiles [CM05]",
+    input="items",
+    caps=Capabilities(preparable=True, invariant_checked=True),
+    build=lambda: DyadicCountMin(
+        eps=0.05, delta=0.1, universe_bits=8, rng=np.random.default_rng(2)
+    ),
+    probe=lambda op: [op.point_query(i) for i in range(64)]
+    + [op.range_query(0, 63)],
+)

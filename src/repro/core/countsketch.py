@@ -216,3 +216,16 @@ class ParallelCountSketch:
             name,
             f"row ℓ1 mass {row_l1.tolist()} exceeds total weight {self.stream_length}",
         )
+
+
+# ----------------------------------------------------------------------
+from repro.engine.registry import Capabilities, register  # noqa: E402
+
+register(
+    ParallelCountSketch,
+    summary="minibatch-parallel Count-Sketch, unbiased estimates [CCF02]",
+    input="items",
+    caps=Capabilities(mergeable=True, preparable=True, invariant_checked=True),
+    build=lambda: ParallelCountSketch(eps=0.1, delta=0.1, rng=np.random.default_rng(3)),
+    probe=lambda op: [op.point_query(i) for i in range(64)],
+)

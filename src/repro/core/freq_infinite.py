@@ -10,6 +10,7 @@ O(ε⁻¹ + µ) work and polylog depth per minibatch — work-optimal once
 
 from __future__ import annotations
 
+import pickle
 from typing import Hashable, Sequence
 
 import numpy as np
@@ -94,6 +95,28 @@ class ParallelFrequencyEstimator:
         """Words of state — Theorem 5.2's O(ε⁻¹)."""
         return len(self.counters) + 2
 
+    def merge(self, other: "ParallelFrequencyEstimator") -> None:
+        """Fold another estimator of the same capacity into this one
+        (mergeable summaries, [ACH+13]): the other's counters are a
+        deficient histogram of its stream, so ``MGaugment`` (Lemma 5.3)
+        merges them with the usual additive-error composition —
+        estimates for the concatenated stream stay within ε(m₁+m₂)."""
+        if self.capacity != other.capacity:
+            raise ValueError(
+                f"capacity mismatch: {self.capacity} != {other.capacity}"
+            )
+        self.counters = mg_augment(self.counters, other.counters, self.capacity)
+        self.stream_length += other.stream_length
+
+    def fresh_clone(self) -> "ParallelFrequencyEstimator":
+        """An empty estimator with identical configuration (including
+        the hash rng cursor) — the per-shard accumulator for sharded
+        ingest / merge trees."""
+        clone = pickle.loads(pickle.dumps(self))
+        clone.counters = {}
+        clone.stream_length = 0
+        return clone
+
     # ------------------------------------------------------------------
     def state_dict(self) -> dict:
         return {
@@ -132,3 +155,16 @@ class ParallelFrequencyEstimator:
             name,
             "counter mass exceeds stream length",
         )
+
+
+# ----------------------------------------------------------------------
+from repro.engine.registry import Capabilities, register  # noqa: E402
+
+register(
+    ParallelFrequencyEstimator,
+    summary="minibatch-parallel MG frequency estimation (Theorem 5.2)",
+    input="items",
+    caps=Capabilities(mergeable=True, preparable=True, invariant_checked=True),
+    build=lambda: ParallelFrequencyEstimator(eps=0.1),
+    probe=lambda op: [op.estimate(i) for i in range(64)],
+)

@@ -401,3 +401,41 @@ class WorkEfficientSlidingFrequency(_SlidingFrequencyBase):
                 if counter.raw_value() > 0:
                     survivors[item] = counter
         self.counters = survivors
+
+
+# ----------------------------------------------------------------------
+from repro.engine.registry import Capabilities, register  # noqa: E402
+
+_SLIDING_CAPS = Capabilities(preparable=True, windowed=True, invariant_checked=True)
+
+
+def _sliding_probe(op):
+    return sorted((repr(k), v) for k, v in op.estimates().items())
+
+
+register(
+    BasicSlidingFrequency,
+    summary="sliding-window MG, one summary per block (S5.3 basic)",
+    input="items",
+    caps=_SLIDING_CAPS,
+    build=lambda: BasicSlidingFrequency(window=128, eps=0.2),
+    probe=_sliding_probe,
+)
+register(
+    SpaceEfficientSlidingFrequency,
+    summary="sliding-window MG, space-efficient variant (Theorem 5.6)",
+    input="items",
+    caps=_SLIDING_CAPS,
+    build=lambda: SpaceEfficientSlidingFrequency(window=128, eps=0.2),
+    probe=_sliding_probe,
+)
+register(
+    WorkEfficientSlidingFrequency,
+    summary="sliding-window MG, work-efficient variant (Theorem 5.9)",
+    input="items",
+    caps=_SLIDING_CAPS,
+    build=lambda: WorkEfficientSlidingFrequency(
+        window=128, eps=0.2, rng=np.random.default_rng(4)
+    ),
+    probe=_sliding_probe,
+)

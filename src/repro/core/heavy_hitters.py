@@ -205,3 +205,29 @@ class SlidingHeavyHitters:
         require(0 < self.eps < self.phi < 1, "SlidingHeavyHitters",
                 f"need 0 < eps < phi < 1, got eps={self.eps}, phi={self.phi}")
         self.estimator.check_invariants()
+
+
+# ----------------------------------------------------------------------
+from repro.engine.registry import Capabilities, register  # noqa: E402
+
+
+def _hh_probe(op):
+    return sorted((repr(k), v) for k, v in op.query().items())
+
+
+register(
+    InfiniteHeavyHitters,
+    summary="phi-heavy hitters over the infinite window (Theorem 5.2)",
+    input="items",
+    caps=Capabilities(preparable=True, invariant_checked=True),
+    build=lambda: InfiniteHeavyHitters(phi=0.1, eps=0.05),
+    probe=_hh_probe,
+)
+register(
+    SlidingHeavyHitters,
+    summary="phi-heavy hitters over a sliding window (Theorem 5.4)",
+    input="items",
+    caps=Capabilities(preparable=True, windowed=True, invariant_checked=True),
+    build=lambda: SlidingHeavyHitters(window=128, phi=0.2, eps=0.1),
+    probe=_hh_probe,
+)

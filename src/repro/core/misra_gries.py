@@ -119,6 +119,29 @@ class MisraGriesSummary:
     def space(self) -> int:
         return len(self.counters) + 2
 
+    def merge(self, other: "MisraGriesSummary") -> None:
+        """Fold another MG summary of the same capacity into this one
+        (mergeable summaries, [ACH+13]).
+
+        The other summary's counters are a (deficient) histogram of its
+        stream, so :func:`mg_augment` applies verbatim: combine, pick
+        the cutoff ϕ, subtract.  Errors add — each input is at most
+        m_i/S below truth and the prune subtracts at most
+        (m₁+m₂)/S more — so the merged summary still satisfies
+        Lemma 5.1's bound for the concatenated stream.
+        """
+        if self.capacity != other.capacity:
+            raise ValueError(
+                f"capacity mismatch: {self.capacity} != {other.capacity}"
+            )
+        self.counters = mg_augment(self.counters, other.counters, self.capacity)
+        self.stream_length += other.stream_length
+
+    def fresh_clone(self) -> "MisraGriesSummary":
+        """An empty summary with identical configuration — the
+        per-shard accumulator for sharded ingest / merge trees."""
+        return type(self)(capacity=self.capacity)
+
     # ------------------------------------------------------------------
     def state_dict(self) -> dict:
         """Versioned serializable snapshot of the summary."""
@@ -330,3 +353,16 @@ def _mg_ingest_codes(
         items_by_code[int(i)]: int(counts[int(i)])
         for i in np.flatnonzero(tracked)
     }
+
+
+# ----------------------------------------------------------------------
+from repro.engine.registry import Capabilities, register  # noqa: E402
+
+register(
+    MisraGriesSummary,
+    summary="sequential Misra-Gries summary, S=ceil(1/eps) counters (Alg. 1)",
+    input="items",
+    caps=Capabilities(mergeable=True, preparable=True, invariant_checked=True),
+    build=lambda: MisraGriesSummary(eps=0.1),
+    probe=lambda op: [op.estimate(i) for i in range(64)],
+)

@@ -114,7 +114,9 @@ class SBBC:
             raise ValueError(f"sigma must be > 0, got {sigma}")
         self.window = int(window)
         self.lam = float(lam)
-        self.sigma = sigma
+        # Canonical float so live and checkpoint-restored instances
+        # serialize to identical bytes (load_state floats it too).
+        self.sigma = float(sigma)
         self.gamma = max(1, int(lam // 2))
         self.t = 0  # global stream length ingested
         self.r = 0  # coverage: snapshot represents W_r(S_t)
@@ -269,7 +271,7 @@ class SBBC:
             **header("sbbc"),
             "window": self.window,
             "lam": self.lam,
-            "sigma": self.sigma if isinstance(self.sigma, (int, float)) else float(self.sigma),
+            "sigma": self.sigma,
             "gamma": self.gamma,
             "t": self.t,
             "r": self.r,
@@ -285,8 +287,7 @@ class SBBC:
         expect(state, "sbbc")
         self.window = int(state["window"])
         self.lam = float(state["lam"])
-        sigma = state["sigma"]
-        self.sigma = sigma if sigma == math.inf else float(sigma)
+        self.sigma = float(state["sigma"])
         self.gamma = int(state["gamma"])
         self.t = int(state["t"])
         self.r = int(state["r"])
@@ -330,3 +331,16 @@ class SBBC:
             f"SBBC(window={self.window}, lam={self.lam}, sigma={self.sigma}, "
             f"t={self.t}, r={self.r}, |Q|={self._blocks.size}, {state})"
         )
+
+
+# ----------------------------------------------------------------------
+from repro.engine.registry import Capabilities, register  # noqa: E402
+
+register(
+    SBBC,
+    summary="space-bounded block counter, m-hat in [m, m+lam] (S3)",
+    input="bits",
+    caps=Capabilities(windowed=True, invariant_checked=True),
+    build=lambda: SBBC(window=64, lam=4.0),
+    probe=lambda op: op.value(),
+)

@@ -248,3 +248,18 @@ class WindowedCountMin:
                 require(cell.t == ts, name,
                         f"cell ({row}, {col}) SBBC clock {cell.t} != directory {ts}")
                 cell.check_invariants()
+
+
+# ----------------------------------------------------------------------
+from repro.engine.registry import Capabilities, register  # noqa: E402
+
+register(
+    WindowedCountMin,
+    summary="Count-Min over a sliding window via block sketches",
+    input="items",
+    caps=Capabilities(preparable=True, windowed=True, invariant_checked=True),
+    build=lambda: WindowedCountMin(
+        window=128, eps=0.1, delta=0.2, rng=np.random.default_rng(5)
+    ),
+    probe=lambda op: [op.point_query(i) for i in range(64)],
+)

@@ -178,3 +178,18 @@ class WindowedHistogram:
         for i, counter in enumerate(self.counters):
             require(counter.t == self.t, name, f"bucket {i} clock {counter.t} != {self.t}")
             counter.check_invariants()
+
+
+# ----------------------------------------------------------------------
+from repro.engine.registry import Capabilities, register  # noqa: E402
+
+register(
+    WindowedHistogram,
+    summary="approximate bucket histogram over a sliding window",
+    input="items",
+    caps=Capabilities(preparable=True, windowed=True, invariant_checked=True),
+    build=lambda: WindowedHistogram(
+        window=128, eps=0.2, edges=[0.0, 8.0, 64.0, 512.0]
+    ),
+    probe=lambda op: op.histogram().tolist(),
+)

@@ -183,3 +183,24 @@ class WindowedVariance:
         require(self._sumsq.t == self.t, name, "x²-sum clock drifted")
         self._sum.check_invariants()
         self._sumsq.check_invariants()
+
+
+# ----------------------------------------------------------------------
+from repro.engine.registry import Capabilities, register  # noqa: E402
+
+register(
+    WindowedLpNorm,
+    summary="approximate Lp norm of the last W values (Sum reduction)",
+    input="items",
+    caps=Capabilities(preparable=True, windowed=True, invariant_checked=True),
+    build=lambda: WindowedLpNorm(window=128, eps=0.2, max_value=511),
+    probe=lambda op: op.query(),
+)
+register(
+    WindowedVariance,
+    summary="approximate variance of the last W values (Sum reduction)",
+    input="items",
+    caps=Capabilities(preparable=True, windowed=True, invariant_checked=True),
+    build=lambda: WindowedVariance(window=128, eps=0.2, max_value=511),
+    probe=lambda op: op.query(),
+)

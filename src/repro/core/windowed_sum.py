@@ -179,3 +179,24 @@ class ParallelWindowedMean:
 
     def check_invariants(self) -> None:
         self._sum.check_invariants()
+
+
+# ----------------------------------------------------------------------
+from repro.engine.registry import Capabilities, register  # noqa: E402
+
+register(
+    ParallelWindowedSum,
+    summary="eps-approximate Sum over a sliding window (Theorem 4.3)",
+    input="items",
+    caps=Capabilities(preparable=True, windowed=True, invariant_checked=True),
+    build=lambda: ParallelWindowedSum(window=128, eps=0.2, max_value=511),
+    probe=lambda op: op.query(),
+)
+register(
+    ParallelWindowedMean,
+    summary="windowed mean via the Sum synopsis (Section 4 reduction)",
+    input="items",
+    caps=Capabilities(preparable=True, windowed=True, invariant_checked=True),
+    build=lambda: ParallelWindowedMean(window=128, eps=0.2, max_value=511),
+    probe=lambda op: op.query(),
+)

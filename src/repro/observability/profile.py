@@ -288,6 +288,21 @@ def _scenario_e14(items: int) -> None:
     driver.run(zipf_stream(items, 1 << 12, 1.1, rng=15), 4_096)
 
 
+def _scenario_e17(items: int) -> None:
+    from repro.engine.mergetree import merge_partials, shard_partials
+    from repro.engine.registry import create
+    from repro.stream.generators import minibatches, zipf_stream
+
+    # Registry-built sketch; sharded leaf ingest + binary-tree fold per
+    # minibatch, so the attribution shows leaf strands vs tree merges.
+    cm = create("ParallelCountMin", eps=0.01, delta=0.01)
+    for batch in minibatches(zipf_stream(items, 1 << 12, 1.2, rng=17), 4_096):
+        partials = shard_partials(cm, batch, shards=8)
+        merge_partials(cm, partials, arity=2)
+    for item in range(64):
+        cm.point_query(item)
+
+
 EXPERIMENTS: dict[str, Callable[[int], None]] = {
     "e01": _scenario_e01,
     "e03": _scenario_e03,
@@ -297,6 +312,7 @@ EXPERIMENTS: dict[str, Callable[[int], None]] = {
     "e10": _scenario_e10,
     "e13": _scenario_e13,
     "e14": _scenario_e14,
+    "e17": _scenario_e17,
 }
 
 

@@ -138,6 +138,7 @@ def shard_ingest(
     *,
     shards: int,
     backend: Backend | None = None,
+    arity: int | None = None,
 ) -> Any:
     """Ingest ``batch`` into ``op`` by sharding it across a backend.
 
@@ -149,11 +150,25 @@ def shard_ingest(
     so the charged totals are identical under Serial / Thread / Process
     backends.  Returns ``op``.
 
+    With ``arity=None`` (default) the fold is the original flat left
+    fold: S sequential merges, charged depth Θ(S).  Passing an arity
+    delegates to :func:`repro.engine.mergetree.merge_tree_ingest`,
+    which folds the partials through a k-ary merge tree at
+    O(log_arity S) charged depth — same final state, since merge order
+    is free for mergeable summaries (benchmark E17 verifies both).
+
     Note the result is *merge-equivalent*, not ingest-identical: a
     sharded Count-Min equals the sum of its shard sketches (linearity),
     which is bit-identical across backends and shard counts but differs
     from single-pass ingest only in ledger trace shape, never in cells.
     """
+    if arity is not None:
+        # Imported lazily: repro.engine.mergetree imports this module.
+        from repro.engine.mergetree import merge_tree_ingest
+
+        return merge_tree_ingest(
+            op, batch, shards=shards, arity=arity, backend=backend
+        )
     for required in ("fresh_clone", "merge", "load_state"):
         if not hasattr(op, required):
             raise TypeError(

@@ -9,8 +9,10 @@ module provides:
   keys (sketch counter maps are keyed by stream items), and the
   non-finite floats JSON rejects (``SBBC.sigma`` is ``inf``);
 * **determinism** — ``dumps`` emits canonical JSON (sorted keys, fixed
-  separators), so identical states serialize to identical bytes and a
-  checkpoint's checksum is reproducible;
+  separators, ``__map__`` association lists sorted by encoded key), so
+  identical states serialize to identical bytes — *including* counter
+  maps built in different insertion orders — and a checkpoint's
+  checksum is reproducible;
 * **versioning** — every ``state_dict()`` carries a ``kind`` tag and a
   format ``version``; ``expect`` rejects mismatched kinds and states
   written by a *newer* format, turning silent misloads into
@@ -86,8 +88,14 @@ def encode(obj: Any) -> Any:
         if all(isinstance(k, str) and not k.startswith("__") for k in obj):
             return {k: encode(v) for k, v in obj.items()}
         # Non-string (or reserved) keys: keep as an association list so
-        # integer-keyed counter maps survive JSON.
-        return {"__map__": [[encode(k), encode(v)] for k, v in obj.items()]}
+        # integer-keyed counter maps survive JSON.  Pairs are sorted by
+        # the canonical JSON of the encoded key: counter maps reach the
+        # same contents in different insertion orders (vectorized kernel
+        # vs per-item loop, merge-tree vs flat fold), and a canonical
+        # encoding must not leak that order into the checkpoint bytes.
+        pairs = [[encode(k), encode(v)] for k, v in obj.items()]
+        pairs.sort(key=lambda kv: _canonical_key(kv[0]))
+        return {"__map__": pairs}
     raise StateError(f"cannot serialize {type(obj).__name__}: {obj!r}")
 
 
@@ -114,6 +122,13 @@ def decode(obj: Any) -> Any:
 def _freeze(key: Any) -> Any:
     """Dict keys must be hashable; lists decoded from JSON become tuples."""
     return tuple(key) if isinstance(key, list) else key
+
+
+def _canonical_key(encoded_key: Any) -> str:
+    """Total order over encoded ``__map__`` keys: their canonical JSON."""
+    return json.dumps(
+        encoded_key, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
 
 
 def dumps(state: Any) -> bytes:

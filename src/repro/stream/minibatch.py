@@ -9,6 +9,17 @@ queries can be answered after any minibatch.
 tracks the work/depth charged per batch on a fresh ledger, and records
 wall-clock throughput — the numbers benchmark E14 reports.
 
+Per-batch execution goes through the :mod:`repro.engine.graph` dataflow
+DAG (source → prepare → operator fan-out → fold); executed serially the
+DAG replays the classic linear loop call-for-call, so reports, ledgers,
+and checkpoint states are bit-identical to the pre-engine driver
+(``use_engine=False`` keeps the legacy loop around as the parity
+comparator, asserted in ``tests/test_engine_graph.py``).  Handing the
+driver an ``engine_backend`` schedules the operator fan-out as
+fork-join strands over Serial/Thread/Process backends — charged
+sum-work / max-depth, so per-batch depth reflects the parallel
+schedule rather than the sequential visit order.
+
 Resilience (docs/resilience.md): the driver optionally runs under a
 fault-tolerant regime — a seeded :class:`~repro.resilience.FaultInjector`
 mutates deliveries (duplicates are deduplicated by batch id, poisoned
@@ -28,8 +39,10 @@ from typing import Any, Callable, Mapping, Protocol, Sequence
 
 import numpy as np
 
+from repro.engine.graph import DataflowGraph, operator_graph
 from repro.observability.metrics import REGISTRY
 from repro.observability.spans import span
+from repro.pram.backend import Backend
 from repro.pram.cost import CostLedger, current_ledger, tracking
 from repro.pram.plan import PreparedBatch
 from repro.resilience.checkpoint import CheckpointManager
@@ -165,6 +178,20 @@ class MinibatchDriver:
         If set, run every operator's ``check_invariants()`` after each
         ``audit_every`` processed batches; a violation quarantines the
         offending batch and rolls back to the last checkpoint.
+    use_engine:
+        When True (default) each batch executes through the
+        :func:`repro.engine.graph.operator_graph` dataflow DAG; when
+        False, through the legacy inline loop.  Serially scheduled, the
+        two are bit-identical — the flag exists so the parity tests can
+        assert exactly that.
+    engine_backend:
+        Optional :class:`~repro.pram.backend.Backend`; with one set
+        (and ``use_engine``), each DAG level's independent nodes run as
+        one fork-join region, so per-batch depth is the max over
+        operator strands instead of their sum.  Process backends
+        require every operator to round-trip ``pickle`` (the worker's
+        mutated copy is re-adopted via ``state_dict``/``load_state``
+        when available, by replacement otherwise).
     """
 
     def __init__(
@@ -179,6 +206,8 @@ class MinibatchDriver:
         checkpoint_manager: CheckpointManager | None = None,
         audit_every: int | None = None,
         share_prework: bool = True,
+        use_engine: bool = True,
+        engine_backend: Backend | None = None,
     ) -> None:
         if not operators:
             raise ValueError("need at least one operator")
@@ -209,6 +238,9 @@ class MinibatchDriver:
         #: totals are identical either way (repro.pram.plan replays the
         #: cached costs); only wall-clock changes.
         self.share_prework = share_prework
+        self.use_engine = use_engine
+        self.engine_backend = engine_backend
+        self._graph: DataflowGraph | None = None
 
         self._processed_ids: set[int] = set()
         self._since_checkpoint: list[tuple[int, np.ndarray]] = []
@@ -316,12 +348,23 @@ class MinibatchDriver:
         work0, depth0 = ledger.work, ledger.depth
         t0 = time.perf_counter()
         with tracking(ledger), span("driver.batch", "driver"):
-            plan = PreparedBatch(batch) if self.share_prework else None
-            for op in self.operators.values():
-                if plan is not None and hasattr(op, "ingest_prepared"):
-                    op.ingest_prepared(plan)
-                else:
-                    op.ingest(batch)
+            if self.use_engine:
+                # The DAG's serial schedule replays the legacy loop
+                # below call-for-call (bit-identical charges); with an
+                # engine_backend, operator nodes run as fork-join
+                # strands instead.
+                ctx = self._engine_graph().execute(
+                    {"source": batch}, backend=self.engine_backend
+                )
+                if self.engine_backend is not None:
+                    self._adopt_folded(ctx["fold"])
+            else:
+                plan = PreparedBatch(batch) if self.share_prework else None
+                for op in self.operators.values():
+                    if plan is not None and hasattr(op, "ingest_prepared"):
+                        op.ingest_prepared(plan)
+                    else:
+                        op.ingest(batch)
         elapsed = time.perf_counter() - t0
         work, depth = ledger.work - work0, ledger.depth - depth0
         _M_BATCHES.inc()
@@ -343,6 +386,31 @@ class MinibatchDriver:
             report.query_results = {name: q() for name, q in self.queries.items()}
         self._batch_index += 1
         return report
+
+    def _engine_graph(self) -> DataflowGraph:
+        """The per-batch dataflow DAG, built once per operator set."""
+        if self._graph is None:
+            self._graph = operator_graph(
+                self.operators, share_prework=self.share_prework
+            )
+        return self._graph
+
+    def _adopt_folded(self, folded: Mapping[str, Any]) -> None:
+        """Re-adopt operators returned by a scheduled graph execution.
+
+        In-process backends mutate the driver's own operator objects
+        (nothing to do); a process backend returns the worker's mutated
+        copies, whose state is copied back — or, for operators without
+        the state codec, swapped in wholesale."""
+        for name, result in folded.items():
+            op = self.operators[name]
+            if result is op:
+                continue
+            if hasattr(op, "load_state") and hasattr(result, "state_dict"):
+                op.load_state(result.state_dict())
+            else:
+                self.operators[name] = result
+                self._graph = None  # node closures hold the old object
 
     def _ingest_with_retries(self, delivery: Delivery) -> BatchReport | None:
         """Process one delivery under the retry policy; ``None`` means the

@@ -95,7 +95,26 @@ def test_single_file_arguments(tmp_path):
 
 
 def test_missing_input_is_usage_error(tmp_path):
-    assert run(tmp_path / "nope", tmp_path / "nada").returncode == 2
+    proc = run(tmp_path / "nope", tmp_path / "nada")
+    assert proc.returncode == 2
+    # The error names each missing path and which role it played, plus a
+    # regeneration hint — a bare "must exist" helps nobody at 2am in CI.
+    assert "baseline path does not exist" in proc.stderr
+    assert "candidate path does not exist" in proc.stderr
+    assert str(tmp_path / "nope") in proc.stderr
+    assert str(tmp_path / "nada") in proc.stderr
+    assert "hint" in proc.stderr
+
+
+def test_missing_baseline_only_names_the_baseline(tmp_path):
+    cand = tmp_path / "E17.json"
+    save_results(make_doc(1.0), cand)
+    proc = run(tmp_path / "baseline-e17.json", cand)
+    assert proc.returncode == 2
+    assert "baseline path does not exist" in proc.stderr
+    assert "baseline-e17.json" in proc.stderr
+    assert "candidate path does not exist" not in proc.stderr
+    assert "benchmarks/results/baseline-" in proc.stderr  # regeneration hint
 
 
 def test_ratio_and_error_columns_are_not_costs():

@@ -189,3 +189,35 @@ class TestVarianceCommand:
         assert "'mean':" in output and "'variance':" in output
         mean = float(output.split("'mean': ")[1].split(",")[0])
         assert 48 <= mean <= 53
+
+
+class TestOpsCommand:
+    def test_lists_every_exported_operator(self):
+        """``repro ops`` is the registry's human surface: every operator
+        exported from repro.core and repro.baselines must appear."""
+        import inspect
+
+        import repro.baselines as baselines
+        import repro.core as core
+
+        code, output = run_cli(["ops"])
+        assert code == 0
+        for module in (core, baselines):
+            for name in module.__all__:
+                obj = getattr(module, name)
+                if inspect.isclass(obj) and callable(getattr(obj, "ingest", None)):
+                    assert name in output, f"repro ops omits {name}"
+
+    def test_shows_capability_flags_and_count(self):
+        from repro.engine import registry
+
+        code, output = run_cli(["ops"])
+        assert code == 0
+        assert f"{len(registry.specs())} synopses registered" in output
+        assert "M=mergeable" in output  # legend explains the flag letters
+        # A known mergeable+preparable+invariant-checked core synopsis.
+        cms_line = next(
+            line for line in output.splitlines()
+            if line.startswith("ParallelCountMin ")
+        )
+        assert "MPI" in cms_line and "core" in cms_line

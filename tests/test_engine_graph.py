@@ -1,0 +1,273 @@
+"""The dataflow engine: DAG mechanics, driver-shim parity, merge tree.
+
+Three claims, each load-bearing for the engine refactor:
+
+1. :class:`~repro.engine.graph.DataflowGraph` is a correct little DAG
+   executor — stable topological order, longest-path levels, hard
+   errors on cycles/duplicates/unseeded sources.
+2. The :class:`~repro.stream.minibatch.MinibatchDriver` running through
+   the engine graph is **bit-identical** to the legacy inline loop:
+   same reports, same cumulative ledger, same checkpoint
+   ``state_dict()`` — wall-clock ``seconds`` excepted, which is the one
+   field allowed to differ.  Scheduled over a backend, operator states
+   stay identical while charged per-batch depth *drops* (fork-join max
+   instead of sequential sum).
+3. The k-ary merge tree folds shard partials to the same state as the
+   flat fold at logarithmically shallower charged depth.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.engine import registry
+from repro.engine.graph import DataflowGraph, operator_graph
+from repro.engine.mergetree import merge_partials, merge_tree_ingest, shard_partials
+from repro.pram.backend import (
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadBackend,
+    shard_ingest,
+)
+from repro.pram.cost import tracking
+from repro.resilience.state import dumps
+from repro.stream.generators import zipf_stream
+from repro.stream.minibatch import MinibatchDriver
+
+
+# ----------------------------------------------------------------------
+# DataflowGraph mechanics
+# ----------------------------------------------------------------------
+class TestDataflowGraph:
+    def test_execute_serial_computes_all_nodes(self):
+        g = DataflowGraph()
+        g.add("a", None)
+        g.add("b", lambda ctx: ctx["a"] + 1, deps=("a",))
+        g.add("c", lambda ctx: ctx["a"] * 10, deps=("a",))
+        g.add("d", lambda ctx: ctx["b"] + ctx["c"], deps=("b", "c"))
+        ctx = g.execute({"a": 4})
+        assert ctx == {"a": 4, "b": 5, "c": 40, "d": 45}
+
+    def test_execute_backend_matches_serial(self):
+        def build():
+            g = DataflowGraph()
+            g.add("a", None)
+            g.add("b", lambda ctx: ctx["a"] + 1, deps=("a",))
+            g.add("c", lambda ctx: ctx["a"] * 10, deps=("a",))
+            g.add("d", lambda ctx: ctx["b"] + ctx["c"], deps=("b", "c"))
+            return g
+
+        serial = build().execute({"a": 4})
+        threaded = build().execute({"a": 4}, backend=ThreadBackend(2))
+        assert serial == threaded
+
+    def test_topo_order_is_stable_insertion_order(self):
+        g = DataflowGraph()
+        for name, deps in [("s", ()), ("x", ("s",)), ("y", ("s",)), ("z", ("x", "y"))]:
+            g.add(name, lambda ctx: None, deps=deps)
+        assert [n.name for n in g.topo_order()] == ["s", "x", "y", "z"]
+
+    def test_levels_are_longest_path_layers(self):
+        g = DataflowGraph()
+        g.add("s", None)
+        g.add("p", lambda ctx: None, deps=("s",))
+        g.add("o1", lambda ctx: None, deps=("s", "p"))
+        g.add("o2", lambda ctx: None, deps=("s", "p"))
+        g.add("f", lambda ctx: None, deps=("o1", "o2"))
+        layers = [[n.name for n in layer] for layer in g.levels()]
+        assert layers == [["s"], ["p"], ["o1", "o2"], ["f"]]
+
+    def test_duplicate_node_rejected(self):
+        g = DataflowGraph()
+        g.add("a", None)
+        with pytest.raises(ValueError, match="duplicate"):
+            g.add("a", None)
+
+    def test_forward_reference_rejected(self):
+        g = DataflowGraph()
+        with pytest.raises(ValueError, match="unknown"):
+            g.add("b", lambda ctx: None, deps=("a",))
+
+    def test_unseeded_source_rejected(self):
+        g = DataflowGraph()
+        g.add("a", None)
+        with pytest.raises(ValueError, match="seeded"):
+            g.execute()
+        with pytest.raises(ValueError, match="seeded"):
+            g.execute(backend=SerialBackend())
+
+    def test_operator_graph_shape(self):
+        ops = {"x": object(), "y": object()}
+        g = operator_graph(ops)
+        names = [n.name for n in g.topo_order()]
+        assert names == ["source", "prepare", "op:x", "op:y", "fold"]
+        kinds = {n.name: n.kind for n in g.nodes}
+        assert kinds["source"] == "source"
+        assert kinds["prepare"] == "prepare"
+        assert kinds["op:x"] == kinds["op:y"] == "operator"
+        assert kinds["fold"] == "fold"
+
+
+# ----------------------------------------------------------------------
+# Driver-shim parity: engine DAG vs legacy loop, bit for bit
+# ----------------------------------------------------------------------
+def _make_driver(**kwargs) -> MinibatchDriver:
+    """Three registry-built operators (seeded, so two independently
+    built drivers hold identical instances) plus interleaved queries."""
+    ops = {
+        "cms": registry.get("ParallelCountMin").build(),
+        "mg": registry.get("MisraGriesSummary").build(),
+        "swf": registry.get("WorkEfficientSlidingFrequency").build(),
+    }
+    queries = {
+        "cms0": lambda: ops["cms"].point_query(0),
+        "mg0": lambda: ops["mg"].estimate(0),
+    }
+    return MinibatchDriver(ops, query_every=3, queries=queries, **kwargs)
+
+
+def _stream() -> np.ndarray:
+    return zipf_stream(3_000, 64, 1.2, rng=7)
+
+
+def _report_tuples(driver: MinibatchDriver) -> list[tuple]:
+    """Everything in a report except wall-clock seconds."""
+    return [
+        (r.index, r.size, r.work, r.depth, r.query_results, r.batch_id, r.fault)
+        for r in driver.reports
+    ]
+
+
+def _driver_state(driver: MinibatchDriver) -> bytes:
+    """Canonical checkpoint bytes with wall-clock seconds zeroed —
+    the only field allowed to differ between engine and legacy runs."""
+    state = driver.state_dict()
+    for report in state["reports"]:
+        report["seconds"] = 0.0
+    return dumps(state)
+
+
+class TestDriverShimParity:
+    @pytest.mark.parametrize("share_prework", [True, False])
+    def test_engine_matches_legacy_bit_identically(self, share_prework):
+        engine = _make_driver(share_prework=share_prework, use_engine=True)
+        legacy = _make_driver(share_prework=share_prework, use_engine=False)
+        engine.run(_stream(), 256)
+        legacy.run(_stream(), 256)
+        assert _report_tuples(engine) == _report_tuples(legacy)
+        assert dumps(engine.ledger.state_dict()) == dumps(legacy.ledger.state_dict())
+        assert _driver_state(engine) == _driver_state(legacy)
+
+    @pytest.mark.parametrize(
+        "backend", [SerialBackend(), ThreadBackend(4)], ids=["serial", "thread"]
+    )
+    def test_scheduled_states_match_unscheduled(self, backend):
+        plain = _make_driver()
+        scheduled = _make_driver(engine_backend=backend)
+        plain.run(_stream(), 256)
+        scheduled.run(_stream(), 256)
+        plain_state = {n: dumps(op.state_dict()) for n, op in plain.operators.items()}
+        sched_state = {
+            n: dumps(op.state_dict()) for n, op in scheduled.operators.items()
+        }
+        assert plain_state == sched_state
+        assert _report_tuples(plain) != [] and scheduled.total_items() == 3_000
+
+    def test_scheduled_depth_below_sequential(self):
+        """Fork-join over the operator fan-out charges max over strands,
+        so every batch's depth is strictly below the sequential sum."""
+        plain = _make_driver()
+        scheduled = _make_driver(engine_backend=SerialBackend())
+        plain.run(_stream(), 256)
+        scheduled.run(_stream(), 256)
+        for seq, par in zip(plain.reports, scheduled.reports):
+            assert par.depth < seq.depth
+            assert par.work == seq.work  # scheduling never changes work
+
+    def test_process_backend_readopts_worker_state(self):
+        plain = _make_driver()
+        scheduled = _make_driver(engine_backend=ProcessPoolBackend(max_workers=3))
+        stream = _stream()[:1024]
+        plain.run(stream, 256)
+        scheduled.run(stream, 256)
+        plain_state = {n: dumps(op.state_dict()) for n, op in plain.operators.items()}
+        sched_state = {
+            n: dumps(op.state_dict()) for n, op in scheduled.operators.items()
+        }
+        assert plain_state == sched_state
+
+
+# ----------------------------------------------------------------------
+# Merge tree: state parity with the flat fold, logarithmic fold depth
+# ----------------------------------------------------------------------
+def _cms():
+    return registry.get("ParallelCountMin").build()
+
+
+class TestMergeTree:
+    def test_tree_state_matches_flat_fold_and_serial_ingest(self):
+        batch = zipf_stream(8_192, 256, 1.1, rng=11)
+        serial = _cms()
+        serial.ingest(batch)
+        flat = shard_ingest(_cms(), batch, shards=16)
+        tree = shard_ingest(_cms(), batch, shards=16, arity=2)
+        assert np.array_equal(serial.table, flat.table)
+        assert np.array_equal(serial.table, tree.table)
+        assert dumps(flat.state_dict()) == dumps(tree.state_dict())
+
+    @pytest.mark.parametrize("arity", [2, 4])
+    def test_fold_depth_is_logarithmic(self, arity):
+        """Tree-fold depth obeys the (arity−1)·⌈log_arity S⌉ + 1 bound
+        and sits strictly below the flat fold's Θ(S) for larger S."""
+        import math
+
+        batch = zipf_stream(8_192, 256, 1.1, rng=12)
+        shards = 16
+        partials = shard_partials(_cms(), batch, shards=shards)
+
+        def fold_depth(fold):
+            op = _cms()
+            with tracking() as ledger:
+                fold(op)
+            return ledger.depth
+
+        def flat_fold(op):
+            for part in partials:
+                op.merge(pickle.loads(pickle.dumps(part)))
+
+        def tree_fold(op):
+            merge_partials(
+                op, [pickle.loads(pickle.dumps(p)) for p in partials], arity=arity
+            )
+
+        flat, tree = fold_depth(flat_fold), fold_depth(tree_fold)
+        rounds = math.ceil(math.log(shards, arity))
+        per_merge = flat // shards  # every CMS merge charges equal depth
+        assert tree <= ((arity - 1) * rounds + 1) * per_merge
+        assert tree < flat
+
+    def test_backend_choice_does_not_change_state(self):
+        batch = zipf_stream(4_096, 128, 1.2, rng=13)
+        serial = merge_tree_ingest(_cms(), batch, shards=8, arity=2)
+        threaded = merge_tree_ingest(
+            _cms(), batch, shards=8, arity=2, backend=ThreadBackend(4)
+        )
+        assert dumps(serial.state_dict()) == dumps(threaded.state_dict())
+
+    def test_arity_validated(self):
+        with pytest.raises(ValueError, match="arity"):
+            merge_partials(_cms(), [], arity=1)
+
+    def test_non_mergeable_rejected(self):
+        op = registry.get("DGIMCounter").build()
+        with pytest.raises(TypeError, match="mergeable"):
+            merge_tree_ingest(op, np.ones(16, dtype=np.int64), shards=4)
+
+    def test_empty_partials_leave_op_unchanged(self):
+        op = _cms()
+        before = dumps(op.state_dict())
+        merge_partials(op, [])
+        assert dumps(op.state_dict()) == before

@@ -1,140 +1,91 @@
-"""StreamOperator conformance sweep: every exported operator speaks
-both ``ingest`` and ``extend``.
+"""Registry-driven StreamOperator conformance sweep.
 
-The driver's :class:`~repro.stream.minibatch.StreamOperator` protocol
-promises that any exported synopsis — core or baseline — can be dropped
-into a pipeline whether the call site uses the minibatch verb
-(``ingest``) or the sequential verb (``extend``).  This sweep walks the
-public surface of :mod:`repro.core` and :mod:`repro.baselines`
-mechanically, so adding an operator without both verbs fails here
-rather than in a user's pipeline.
+Every exported operator — core or baseline — must (a) be declared in
+:mod:`repro.engine.registry`, (b) satisfy the runtime-checkable
+:class:`~repro.engine.registry.Synopsis` protocol (both pipeline verbs,
+``ingest`` and ``extend``), and (c) declare capability flags that match
+its actual class surface, so a stale declaration fails here rather than
+misleading a ``repro ops`` user or skipping an operator in the merge
+and checkpoint sweeps.
+
+State comparisons go through the resilience codec's canonical
+``dumps`` directly: since the ``__map__`` association lists are sorted
+at the source (resilience/state.py), two operators that reached the
+same counters in different insertion orders serialize to identical
+bytes — no test-side canonicalization needed.
 """
 
 from __future__ import annotations
 
 import inspect
 
-import numpy as np
 import pytest
 
 import repro.baselines as baselines
 import repro.core as core
-from repro.resilience.state import dumps, loads
-from repro.stream.generators import zipf_stream
+from repro.engine import registry
+from repro.engine.registry import Capabilities, Synopsis
+from repro.resilience.state import dumps
+
+SPECS = registry.specs()
+IDS = [spec.name for spec in SPECS]
 
 
-def _canon(obj):
-    """Order-insensitive canonical form of a decoded state value.
-
-    Counter maps keep dict *insertion* order through dumps/loads; the
-    vectorized kernels insert in code order while per-item loops insert
-    in stream order — same mapping, different order, so compare as
-    sorted key/value sets."""
-    if isinstance(obj, dict):
-        return tuple(sorted((repr(k), _canon(v)) for k, v in obj.items()))
-    if isinstance(obj, (list, tuple)):
-        return tuple(_canon(v) for v in obj)
-    if isinstance(obj, np.ndarray):
-        return (obj.dtype.str, obj.shape, obj.tobytes())
-    return obj
+def _state(op) -> bytes:
+    return dumps(op.state_dict())
 
 
-def _state(op):
-    return _canon(loads(dumps(op.state_dict())))
-
-# Constructor recipes for every exported operator class.  Item-stream
-# operators take the zipf stream; bit-stream operators take 0/1 ints.
-_ITEMS = "items"
-_BITS = "bits"
-
-RECIPES: dict[str, tuple] = {
-    # core
-    "ParallelBasicCounter": (lambda m: m(window=64, eps=0.25), _BITS),
-    "ParallelCountMin": (
-        lambda m: m(eps=0.05, delta=0.1, rng=np.random.default_rng(1)), _ITEMS),
-    "DyadicCountMin": (
-        lambda m: m(eps=0.05, delta=0.1, universe_bits=8,
-                    rng=np.random.default_rng(2)), _ITEMS),
-    "ParallelCountSketch": (
-        lambda m: m(eps=0.1, delta=0.1, rng=np.random.default_rng(3)), _ITEMS),
-    "ParallelFrequencyEstimator": (lambda m: m(eps=0.1), _ITEMS),
-    "BasicSlidingFrequency": (lambda m: m(window=128, eps=0.2), _ITEMS),
-    "SpaceEfficientSlidingFrequency": (lambda m: m(window=128, eps=0.2), _ITEMS),
-    "WorkEfficientSlidingFrequency": (
-        lambda m: m(window=128, eps=0.2, rng=np.random.default_rng(4)), _ITEMS),
-    "InfiniteHeavyHitters": (lambda m: m(phi=0.1, eps=0.05), _ITEMS),
-    "SlidingHeavyHitters": (lambda m: m(window=128, phi=0.2, eps=0.1), _ITEMS),
-    "MisraGriesSummary": (lambda m: m(eps=0.1), _ITEMS),
-    "SBBC": (lambda m: m(window=64, lam=4.0), _BITS),
-    "GammaSnapshot": None,   # value object, not a stream operator
-    "WindowedCountMin": (
-        lambda m: m(window=128, eps=0.1, delta=0.2,
-                    rng=np.random.default_rng(5)), _ITEMS),
-    "WindowedHistogram": (
-        lambda m: m(window=128, eps=0.2, edges=[0.0, 8.0, 64.0, 512.0]), _ITEMS),
-    "WindowedLpNorm": (lambda m: m(window=128, eps=0.2, max_value=511), _ITEMS),
-    "WindowedVariance": (lambda m: m(window=128, eps=0.2, max_value=511), _ITEMS),
-    "ParallelWindowedSum": (lambda m: m(window=128, eps=0.2, max_value=511), _ITEMS),
-    "ParallelWindowedMean": (lambda m: m(window=128, eps=0.2, max_value=511), _ITEMS),
-    # baselines
-    "DGIMCounter": (lambda m: m(window=64, eps=0.5), _BITS),
-    "ExactCounters": (lambda m: m(), _ITEMS),
-    "IndependentMGEnsemble": (lambda m: m(processors=3, eps=0.1), _ITEMS),
-    "LeeTingCounter": (lambda m: m(window=64, lam=4.0), _BITS),
-    "LossyCounting": (lambda m: m(eps=0.1), _ITEMS),
-    "SequentialCountMin": (
-        lambda m: m(eps=0.05, delta=0.1, rng=np.random.default_rng(6)), _ITEMS),
-    "SequentialMisraGries": (lambda m: m(eps=0.1), _ITEMS),
-    "SpaceSaving": (lambda m: m(eps=0.1), _ITEMS),
-}
-
-
-def _operator_classes():
+def _exported_operator_classes():
+    """Exported classes that speak ``ingest`` — i.e. stream operators
+    (value objects like GammaSnapshot are exported but not operators)."""
     for module in (core, baselines):
         for name in module.__all__:
             obj = getattr(module, name)
-            if inspect.isclass(obj):
+            if inspect.isclass(obj) and callable(getattr(obj, "ingest", None)):
                 yield name, obj
 
 
-OPERATORS = sorted(_operator_classes())
-NAMES = [name for name, _ in OPERATORS]
+def test_every_exported_operator_is_registered():
+    known = set(registry.names())
+    missing = [name for name, _ in _exported_operator_classes() if name not in known]
+    assert not missing, f"add registry declarations for: {missing}"
 
 
-def _feed(kind: str) -> np.ndarray:
-    if kind == _BITS:
-        return (np.random.default_rng(9).random(200) < 0.5).astype(np.int64)
-    return zipf_stream(200, 64, 1.2, rng=10)
+def test_registry_names_match_exported_classes():
+    exported = dict(_exported_operator_classes())
+    for spec in SPECS:
+        assert spec.name in exported, f"{spec.name} registered but not exported"
+        assert spec.cls is exported[spec.name]
 
 
-def test_every_exported_class_has_a_recipe():
-    missing = [name for name, _ in OPERATORS if name not in RECIPES]
-    assert not missing, f"add conformance recipes for: {missing}"
+@pytest.mark.parametrize("spec", SPECS, ids=IDS)
+def test_satisfies_synopsis_protocol(spec):
+    op = spec.build()
+    assert isinstance(op, spec.cls)
+    assert isinstance(op, Synopsis), f"{spec.name} lacks ingest()/extend()"
 
 
-@pytest.mark.parametrize("name,cls", OPERATORS, ids=NAMES)
-def test_exposes_both_ingest_and_extend(name, cls):
-    recipe = RECIPES[name]
-    if recipe is None:
-        pytest.skip(f"{name} is not a stream operator")
-    assert callable(getattr(cls, "ingest", None)), f"{name} lacks ingest()"
-    assert callable(getattr(cls, "extend", None)), f"{name} lacks extend()"
+@pytest.mark.parametrize("spec", SPECS, ids=IDS)
+def test_declared_capabilities_match_class_surface(spec):
+    observed = Capabilities.observe(spec.cls)
+    assert spec.caps == observed, (
+        f"{spec.name} declares {spec.caps} but the class surface shows "
+        f"{observed}"
+    )
 
 
-@pytest.mark.parametrize("name,cls", OPERATORS, ids=NAMES)
-def test_ingest_and_extend_agree(name, cls):
+@pytest.mark.parametrize("spec", SPECS, ids=IDS)
+def test_ingest_and_extend_agree(spec):
     """Feeding the same stream through either verb yields the same
     synopsis state (they are the same operation by contract)."""
-    recipe = RECIPES[name]
-    if recipe is None or recipe[1] is None:
-        pytest.skip(f"{name} is not batch-fed")
-    make, kind = recipe
-    batch = _feed(kind)
-    via_ingest, via_extend = make(cls), make(cls)
+    batch = registry.sample_feed(spec.input)
+    via_ingest, via_extend = spec.build(), spec.build()
     via_ingest.ingest(batch)
     via_extend.extend(batch)
+    if spec.probe is not None:
+        assert spec.probe(via_ingest) == spec.probe(via_extend)
     if hasattr(via_ingest, "state_dict"):
         assert _state(via_ingest) == _state(via_extend)
-    if hasattr(via_ingest, "check_invariants"):
+    if spec.caps.invariant_checked:
         via_ingest.check_invariants()
         via_extend.check_invariants()
