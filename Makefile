@@ -3,16 +3,31 @@ PY ?= python
 # Fixed seeds for the fault-injection suite (reproducible fault plans).
 FAULT_SEEDS ?= 101 202 303
 
-.PHONY: install test faults docs-check bench bench-quick bench-gate experiments examples clean
+.PHONY: install test faults docs-check fuzz-smoke fuzz bench bench-quick bench-gate experiments examples clean
 
 # Experiments with committed perf baselines, gated by bench_compare.
 GATED_EXPERIMENTS = e1 e13 e14 e16 e17
 
+# Differential fuzzer knobs (docs/testing.md).  The smoke tier is a
+# fixed-seed sweep small enough for every `make test`; the soak tier
+# cycles the registry until the time budget runs out.
+FUZZ_SEED ?= 5
+FUZZ_SMOKE_CASES ?= 200
+FUZZ_BUDGET ?= 300
+
 install:
 	pip install -e . --no-build-isolation
 
-test: faults docs-check
+test: faults docs-check fuzz-smoke
 	$(PY) -m pytest tests/
+
+# Fuzz smoke: every registered operator, deterministic, < 2 minutes.
+fuzz-smoke:
+	$(PY) -m repro fuzz --cases $(FUZZ_SMOKE_CASES) --seed $(FUZZ_SEED)
+
+# Fuzz soak: keep cycling the registry under a wall-clock budget.
+fuzz:
+	$(PY) -m repro fuzz --soak --seed $(FUZZ_SEED) --time-budget $(FUZZ_BUDGET)
 
 # Documentation lint: dead links + stale benchmark references.
 docs-check:

@@ -19,13 +19,41 @@ three things:
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any, Sequence
+
+import numpy as np
 
 from repro.analysis.report import format_table
 from repro.observability import benchjson
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The single root seed every benchmark derives its generator seeds
+#: from.  Each call site asks for ``bench_seed(offset)`` /
+#: ``bench_rng(offset)`` with a small offset that is unique within its
+#: experiment file, so no module holds RNG state and no stream draw
+#: depends on execution order.  The default root of 0 makes the
+#: derived seeds equal to the historical literal seeds, keeping every
+#: stream — and therefore the charged-work columns in the committed
+#: ``results/baseline-*.json`` — bit-identical.  Export
+#: ``REPRO_BENCH_SEED`` to re-derive the whole suite from a different
+#: root (the regression gate only holds at the default root).
+ROOT_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+def bench_seed(offset: int) -> int:
+    """Derive one generator seed from :data:`ROOT_SEED`."""
+    if offset < 0:
+        raise ValueError(f"seed offset must be >= 0, got {offset}")
+    return ROOT_SEED + int(offset)
+
+
+def bench_rng(offset: int) -> np.random.Generator:
+    """A fresh generator seeded by :func:`bench_seed` — call-site-local,
+    never shared across sweeps."""
+    return np.random.default_rng(bench_seed(offset))
 
 
 def _json_path(experiment: str) -> Path:

@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from benchmarks._harness import emit_table, reset_results
+from benchmarks._harness import bench_seed, emit_table, reset_results
 from repro.core.basic_counting import ParallelBasicCounter
 from repro.stream.generators import bursty_bit_stream, minibatches
 from repro.stream.oracle import ExactWindowCounter
@@ -26,7 +26,7 @@ WINDOW = 1 << 12
 def test_a01_slack_cost_benefit(benchmark):
     reset_results(EXPERIMENT)
     eps = 0.1
-    bits = bursty_bit_stream(6 * WINDOW, period=WINDOW // 2, rng=1)
+    bits = bursty_bit_stream(6 * WINDOW, period=WINDOW // 2, rng=bench_seed(1))
     rows = []
     errors = {}
     for slack in (0, 1, 4):

@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from benchmarks._harness import emit_table, reset_results
+from benchmarks._harness import bench_seed, emit_table, reset_results
 from repro.core.sbbc import SBBC
 from repro.pram.css import css_of_bits
 from repro.stream.generators import bit_stream, minibatches
@@ -29,7 +29,7 @@ BUDGET = 64.0  # the fixed additive-error budget λ
 @pytest.mark.benchmark(group="A2-gamma")
 def test_a02_gamma_sweep_at_fixed_budget(benchmark):
     reset_results(EXPERIMENT)
-    bits = bit_stream(1 << 15, 0.5, rng=1)
+    bits = bit_stream(1 << 15, 0.5, rng=bench_seed(1))
     rows = []
     outcome = {}
     for gamma in (4, 8, 16, 32, 64, 128):
@@ -61,5 +61,5 @@ def test_a02_gamma_sweep_at_fixed_budget(benchmark):
     assert outcome[32][0] < outcome[16][0] < outcome[8][0] < outcome[4][0]
 
     sbbc = SBBC(WINDOW, lam=BUDGET)
-    segment = css_of_bits(bit_stream(1 << 11, 0.5, rng=2))
+    segment = css_of_bits(bit_stream(1 << 11, 0.5, rng=bench_seed(2)))
     benchmark(sbbc.advance, segment)

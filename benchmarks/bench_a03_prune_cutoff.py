@@ -21,7 +21,7 @@ from collections import Counter
 import numpy as np
 import pytest
 
-from benchmarks._harness import emit_table, reset_results
+from benchmarks._harness import bench_rng, bench_seed, emit_table, reset_results
 from repro.pram.histogram import build_hist
 from repro.pram.select import rank_select
 from repro.stream.generators import minibatches, zipf_stream
@@ -46,10 +46,10 @@ def augment_with_cutoff(summary, hist, capacity, *, rank_from_top):
 def test_a03_cutoff_rank_ablation(benchmark):
     reset_results(EXPERIMENT)
     capacity = 128
-    stream = zipf_stream(1 << 15, 1 << 12, 1.1, rng=1)
+    stream = zipf_stream(1 << 15, 1 << 12, 1.1, rng=bench_seed(1))
     true = Counter(stream.tolist())
     m = len(stream)
-    rng = np.random.default_rng(2)
+    rng = bench_rng(2)
 
     variants = [
         ("(S+1)-th largest (paper)", capacity, capacity),
@@ -88,7 +88,7 @@ def test_a03_cutoff_rank_ablation(benchmark):
     )
 
     summary: dict = {}
-    hist = build_hist(zipf_stream(1 << 11, 1 << 12, 1.1, rng=3), rng)
+    hist = build_hist(zipf_stream(1 << 11, 1 << 12, 1.1, rng=bench_seed(3)), rng)
     benchmark(
         augment_with_cutoff, summary, hist, capacity, rank_from_top=capacity
     )

@@ -21,7 +21,7 @@ from collections import Counter
 import numpy as np
 import pytest
 
-from benchmarks._harness import emit_table, reset_results
+from benchmarks._harness import bench_rng, bench_seed, emit_table, reset_results
 from repro.core.countmin import ParallelCountMin
 from repro.core.countsketch import ParallelCountSketch
 from repro.pram.cost import tracking
@@ -34,12 +34,12 @@ EXPERIMENT = "A4"
 def test_a04_overestimate_distribution(benchmark):
     reset_results(EXPERIMENT)
     eps, delta = 0.01, 0.01
-    stream = zipf_stream(1 << 16, 1 << 13, 1.2, rng=1)
+    stream = zipf_stream(1 << 16, 1 << 13, 1.2, rng=bench_seed(1))
     true = Counter(stream.tolist())
 
-    std = ParallelCountMin(eps, delta, np.random.default_rng(2))
-    con = ParallelCountMin(eps, delta, np.random.default_rng(2), conservative=True)
-    cs = ParallelCountSketch(0.13, delta, np.random.default_rng(3))
+    std = ParallelCountMin(eps, delta, bench_rng(2))
+    con = ParallelCountMin(eps, delta, bench_rng(2), conservative=True)
+    cs = ParallelCountSketch(0.13, delta, bench_rng(3))
 
     costs = {}
     for name, sketch in (("std", std), ("con", con), ("cs", cs)):
@@ -77,5 +77,5 @@ def test_a04_overestimate_distribution(benchmark):
     for led in costs.values():
         assert led.depth < led.work / 20
 
-    batch = zipf_stream(1 << 12, 1 << 13, 1.2, rng=4)
+    batch = zipf_stream(1 << 12, 1 << 13, 1.2, rng=bench_seed(4))
     benchmark(con.ingest, batch)

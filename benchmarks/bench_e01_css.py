@@ -9,7 +9,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from benchmarks._harness import emit_table, reset_results
+from benchmarks._harness import bench_seed, emit_table, reset_results
 from repro.analysis.fit import fit_loglog_slope
 from repro.pram.cost import tracking
 from repro.pram.css import css_of_bits
@@ -25,7 +25,7 @@ def test_e01_css_linear_work(benchmark):
     sizes = [1 << k for k in range(10, 19, 2)]
     works, depths = [], []
     for n in sizes:
-        bits = bit_stream(n, 0.5, rng=1)
+        bits = bit_stream(n, 0.5, rng=bench_seed(1))
         with tracking() as led:
             css_of_bits(bits)
         rows.append([n, led.work, led.work / n, led.depth, int(np.log2(n))])
@@ -45,7 +45,7 @@ def test_e01_css_linear_work(benchmark):
     for n, depth in zip(sizes, depths):
         assert depth <= 4 * np.log2(n)
 
-    bits = bit_stream(1 << 18, 0.5, rng=2)
+    bits = bit_stream(1 << 18, 0.5, rng=bench_seed(2))
     benchmark(css_of_bits, bits)
 
 
@@ -56,7 +56,7 @@ def test_e01_css_density_independence(benchmark):
     rows = []
     works = []
     for density in (0.01, 0.25, 0.5, 0.75, 0.99):
-        bits = bit_stream(n, density, rng=3)
+        bits = bit_stream(n, density, rng=bench_seed(3))
         with tracking() as led:
             css = css_of_bits(bits)
         rows.append([density, css.count_ones, led.work, led.depth])
@@ -70,4 +70,4 @@ def test_e01_css_density_independence(benchmark):
     )
     assert max(works) <= 1.5 * min(works)
 
-    benchmark(css_of_bits, bit_stream(n, 0.9, rng=4))
+    benchmark(css_of_bits, bit_stream(n, 0.9, rng=bench_seed(4)))

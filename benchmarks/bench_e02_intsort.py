@@ -6,7 +6,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from benchmarks._harness import emit_table, reset_results
+from benchmarks._harness import bench_rng, emit_table, reset_results
 from repro.analysis.fit import fit_loglog_slope
 from repro.pram.cost import tracking
 from repro.pram.sort import int_sort, int_sort_perm
@@ -17,7 +17,7 @@ EXPERIMENT = "E2"
 @pytest.mark.benchmark(group="E2-intsort")
 def test_e02_linear_work_polylog_depth(benchmark):
     reset_results(EXPERIMENT)
-    rng = np.random.default_rng(1)
+    rng = bench_rng(1)
     sizes = [1 << k for k in range(10, 21, 2)]
     rows, works = [], []
     for n in sizes:
@@ -46,7 +46,7 @@ def test_e02_linear_work_polylog_depth(benchmark):
 @pytest.mark.benchmark(group="E2-intsort")
 def test_e02_stability(benchmark):
     """Stability is load-bearing for sift and the CMS row gather."""
-    rng = np.random.default_rng(2)
+    rng = bench_rng(2)
     n = 1 << 16
     keys = rng.integers(0, 64, size=n)  # many duplicates
     perm = int_sort_perm(keys)

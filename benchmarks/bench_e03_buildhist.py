@@ -8,7 +8,7 @@ from collections import Counter
 import numpy as np
 import pytest
 
-from benchmarks._harness import emit_table, reset_results
+from benchmarks._harness import bench_rng, bench_seed, emit_table, reset_results
 from repro.analysis.fit import fit_loglog_slope
 from repro.pram.cost import tracking
 from repro.pram.histogram import build_hist
@@ -18,7 +18,7 @@ EXPERIMENT = "E3"
 
 
 def _sweep(make_stream, label: str):
-    rng = np.random.default_rng(7)
+    rng = bench_rng(7)
     sizes = [1 << k for k in range(10, 19, 2)]
     rows, works = [], []
     for mu in sizes:
@@ -48,16 +48,16 @@ def _sweep(make_stream, label: str):
 @pytest.mark.benchmark(group="E3-buildhist")
 def test_e03_zipf(benchmark):
     reset_results(EXPERIMENT)
-    _sweep(lambda mu: zipf_stream(mu, mu, 1.1, rng=1), "Zipf(1.1)")
-    batch = zipf_stream(1 << 16, 1 << 16, 1.1, rng=2)
-    benchmark(build_hist, batch, np.random.default_rng(3))
+    _sweep(lambda mu: zipf_stream(mu, mu, 1.1, rng=bench_seed(1)), "Zipf(1.1)")
+    batch = zipf_stream(1 << 16, 1 << 16, 1.1, rng=bench_seed(2))
+    benchmark(build_hist, batch, bench_rng(3))
 
 
 @pytest.mark.benchmark(group="E3-buildhist")
 def test_e03_uniform(benchmark):
-    _sweep(lambda mu: uniform_stream(mu, mu, rng=4), "uniform (worst-case distinct)")
-    batch = uniform_stream(1 << 16, 1 << 16, rng=5)
-    benchmark(build_hist, batch, np.random.default_rng(6))
+    _sweep(lambda mu: uniform_stream(mu, mu, rng=bench_seed(4)), "uniform (worst-case distinct)")
+    batch = uniform_stream(1 << 16, 1 << 16, rng=bench_seed(5))
+    benchmark(build_hist, batch, bench_rng(6))
 
 
 @pytest.mark.benchmark(group="E3-buildhist")

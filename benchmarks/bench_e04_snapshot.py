@@ -9,7 +9,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from benchmarks._harness import emit_table, reset_results
+from benchmarks._harness import bench_rng, bench_seed, emit_table, reset_results
 from repro.core.snapshot import snapshot_of_stream
 from repro.stream.generators import bit_stream
 
@@ -44,7 +44,7 @@ def test_e04_figure2_worked_example(benchmark):
 def test_e04_lemma32_gamma_sweep(benchmark):
     """Accuracy-space tradeoff: error grows with γ, space shrinks."""
     n, window = 1 << 16, 1 << 14
-    bits = bit_stream(n, 0.5, rng=1)
+    bits = bit_stream(n, 0.5, rng=bench_seed(1))
     m = int(bits[-window:].sum())
     rows = []
     for gamma in (1, 4, 16, 64, 256, 1024):
@@ -68,7 +68,7 @@ def test_e04_lemma32_gamma_sweep(benchmark):
 
 @pytest.mark.benchmark(group="E4-snapshot")
 def test_e04_random_streams_never_violate(benchmark):
-    rng = np.random.default_rng(2)
+    rng = bench_rng(2)
     violations = 0
     trials = 300
     for _ in range(trials):
@@ -87,5 +87,5 @@ def test_e04_random_streams_never_violate(benchmark):
         [[trials, violations]],
     )
     assert violations == 0
-    bits = bit_stream(1 << 14, 0.3, rng=3)
+    bits = bit_stream(1 << 14, 0.3, rng=bench_seed(3))
     benchmark(snapshot_of_stream, bits, 16, 1 << 12)

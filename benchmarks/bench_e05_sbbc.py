@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from benchmarks._harness import emit_table, reset_results
+from benchmarks._harness import bench_seed, emit_table, reset_results
 from repro.analysis.bounds import sbbc_advance_work_bound, sbbc_space_bound
 from repro.baselines.lee_ting import LeeTingCounter
 from repro.core.sbbc import SBBC
@@ -31,7 +31,7 @@ def test_e05_advance_work_vs_bound(benchmark):
     reset_results(EXPERIMENT)
     rows = []
     mu = 1 << 12
-    bits = bit_stream(1 << 16, 0.5, rng=1)
+    bits = bit_stream(1 << 16, 0.5, rng=bench_seed(1))
     for lam in (8.0, 32.0, 128.0, 512.0):
         sbbc = SBBC(WINDOW, lam)
         oracle = ExactWindowCounter(WINDOW)
@@ -65,7 +65,7 @@ def test_e05_advance_work_vs_bound(benchmark):
         notes="work/bound flat: advance is O(min(σ,m/λ)+|T|/λ); error <= λ",
     )
     sbbc = SBBC(WINDOW, 64.0)
-    segment = css_of_bits(bit_stream(mu, 0.5, rng=2))
+    segment = css_of_bits(bit_stream(mu, 0.5, rng=bench_seed(2)))
     benchmark(sbbc.advance, segment)
 
 
@@ -77,7 +77,7 @@ def test_e05_overflow_certificate(benchmark):
     for sigma in (4, 16, 64):
         sbbc = SBBC(WINDOW, lam, sigma=sigma)
         oracle = ExactWindowCounter(WINDOW)
-        bits = bit_stream(3 * WINDOW, 0.6, rng=3)
+        bits = bit_stream(3 * WINDOW, 0.6, rng=bench_seed(3))
         certified_ok = True
         for chunk in minibatches(bits, 1 << 11):
             sbbc.advance(css_of_bits(chunk))
@@ -100,7 +100,7 @@ def test_e05_overflow_certificate(benchmark):
         notes="every truncation certified count >= γ(2σ+1) ~ σλ (Thm 3.4)",
     )
     sbbc = SBBC(WINDOW, lam, sigma=16)
-    segment = css_of_bits(bit_stream(1 << 11, 0.6, rng=4))
+    segment = css_of_bits(bit_stream(1 << 11, 0.6, rng=bench_seed(4)))
     benchmark(sbbc.advance, segment)
 
 
@@ -109,7 +109,7 @@ def test_e05_work_vs_sequential_lee_ting(benchmark):
     """Work efficiency: charged work within a constant of the sequential
     counter's, while depth is polylog instead of linear."""
     lam = 64.0
-    bits = bit_stream(1 << 16, 0.5, rng=5)
+    bits = bit_stream(1 << 16, 0.5, rng=bench_seed(5))
     sbbc = SBBC(WINDOW, lam)
     with tracking() as led_par:
         for chunk in minibatches(bits, 1 << 12):

@@ -9,7 +9,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from benchmarks._harness import emit_table, reset_results
+from benchmarks._harness import bench_seed, emit_table, reset_results
 from repro.analysis.bounds import basic_counting_space_bound
 from repro.baselines.dgim import DGIMCounter
 from repro.core.basic_counting import ParallelBasicCounter
@@ -26,7 +26,7 @@ WINDOW = 1 << 13
 def test_e06_accuracy_and_space_vs_eps(benchmark):
     reset_results(EXPERIMENT)
     rows = []
-    bits = bursty_bit_stream(4 * WINDOW, period=WINDOW // 2, rng=1)
+    bits = bursty_bit_stream(4 * WINDOW, period=WINDOW // 2, rng=bench_seed(1))
     for eps in (0.5, 0.2, 0.1, 0.05, 0.02):
         counter = ParallelBasicCounter(WINDOW, eps)
         oracle = ExactWindowCounter(WINDOW)
@@ -54,7 +54,7 @@ def test_e06_accuracy_and_space_vs_eps(benchmark):
         notes="space tracks ε⁻¹ log n; measured error always within ε (Thm 4.1)",
     )
     counter = ParallelBasicCounter(WINDOW, 0.1)
-    chunk = bit_stream(1 << 10, 0.5, rng=2)
+    chunk = bit_stream(1 << 10, 0.5, rng=bench_seed(2))
     benchmark(counter.ingest, chunk)
 
 
@@ -65,7 +65,7 @@ def test_e06_work_linear_in_batch(benchmark):
     counter = ParallelBasicCounter(WINDOW, eps)
     per_item = []
     for mu in (1 << 8, 1 << 10, 1 << 12, 1 << 14):
-        segment = css_of_bits(bit_stream(mu, 0.5, rng=3))
+        segment = css_of_bits(bit_stream(mu, 0.5, rng=bench_seed(3)))
         with tracking() as led:
             counter.advance(segment)
         rows.append([mu, led.work, round(led.work / mu, 2), led.depth])
@@ -78,7 +78,7 @@ def test_e06_work_linear_in_batch(benchmark):
         notes="per-item work flattens once µ >> S: O(1) amortized per element",
     )
     assert per_item[-1] <= per_item[0]  # amortization improves with µ
-    segment = css_of_bits(bit_stream(1 << 12, 0.5, rng=4))
+    segment = css_of_bits(bit_stream(1 << 12, 0.5, rng=bench_seed(4)))
     benchmark(counter.advance, segment)
 
 
@@ -87,7 +87,7 @@ def test_e06_vs_dgim(benchmark):
     """Same accuracy target as DGIM; the parallel structure matches its
     work up to constants but runs at polylog depth per batch."""
     eps = 0.1
-    bits = bit_stream(1 << 15, 0.5, rng=5)
+    bits = bit_stream(1 << 15, 0.5, rng=bench_seed(5))
     par = ParallelBasicCounter(WINDOW, eps)
     with tracking() as led_par:
         for chunk in minibatches(bits, 1 << 11):

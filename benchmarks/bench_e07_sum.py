@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from benchmarks._harness import emit_table, reset_results
+from benchmarks._harness import bench_rng, bench_seed, emit_table, reset_results
 from repro.analysis.fit import fit_loglog_slope
 from repro.core.windowed_sum import ParallelWindowedSum
 from repro.pram.cost import tracking
@@ -24,7 +24,7 @@ WINDOW = 1 << 12
 @pytest.mark.benchmark(group="E7-sum")
 def test_e07_cost_scales_with_log_r(benchmark):
     reset_results(EXPERIMENT)
-    rng = np.random.default_rng(1)
+    rng = bench_rng(1)
     eps = 0.1
     rows, works, logs = [], [], []
     for bits in (4, 8, 12, 16):
@@ -55,7 +55,7 @@ def test_e07_cost_scales_with_log_r(benchmark):
 @pytest.mark.benchmark(group="E7-sum")
 def test_e07_accuracy_on_packet_bytes(benchmark):
     eps = 0.05
-    _flows, sizes = packet_trace(1 << 14, rng=2)
+    _flows, sizes = packet_trace(1 << 14, rng=bench_seed(2))
     ws = ParallelWindowedSum(WINDOW, eps, max_value=1_500)
     oracle = ExactWindowSum(WINDOW)
     worst = 0.0

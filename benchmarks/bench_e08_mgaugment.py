@@ -12,7 +12,7 @@ from collections import Counter
 import numpy as np
 import pytest
 
-from benchmarks._harness import emit_table, reset_results
+from benchmarks._harness import bench_rng, bench_seed, emit_table, reset_results
 from repro.analysis.fit import fit_loglog_slope
 from repro.core.misra_gries import MisraGriesSummary, mg_augment
 from repro.pram.cost import tracking
@@ -25,7 +25,7 @@ EXPERIMENT = "E8"
 @pytest.mark.benchmark(group="E8-mgaugment")
 def test_e08_augment_cost_linear(benchmark):
     reset_results(EXPERIMENT)
-    rng = np.random.default_rng(1)
+    rng = bench_rng(1)
     capacity = 1 << 10
     summary = {i: int(c) for i, c in enumerate(rng.integers(1, 100, capacity))}
     rows, works, sizes = [], [], []
@@ -57,9 +57,9 @@ def test_e08_error_after_many_augments(benchmark):
     """Repeated augments keep C_e ∈ [f_e − m/S, f_e] for the whole
     stream (the Lemma 5.1 argument batch-ified)."""
     capacity = 64
-    stream = zipf_stream(1 << 15, 1 << 12, 1.1, rng=2)
+    stream = zipf_stream(1 << 15, 1 << 12, 1.1, rng=bench_seed(2))
     summary: dict = {}
-    rng = np.random.default_rng(3)
+    rng = bench_rng(3)
     for chunk in minibatches(stream, 1 << 11):
         summary = mg_augment(summary, build_hist(chunk, rng), capacity)
     true = Counter(stream.tolist())
@@ -80,7 +80,7 @@ def test_e08_error_after_many_augments(benchmark):
         rows,
         notes=f"worst loss {worst_loss} <= m/S = {m / capacity:.0f} (Lemma 5.1)",
     )
-    chunk = zipf_stream(1 << 11, 1 << 12, 1.1, rng=4)
+    chunk = zipf_stream(1 << 11, 1 << 12, 1.1, rng=bench_seed(4))
     benchmark(lambda: mg_augment(summary, build_hist(chunk, rng), capacity))
 
 
@@ -89,11 +89,11 @@ def test_e08_sequential_vs_batched_summary_quality(benchmark):
     """Item-at-a-time MG and batched MGaugment land in the same error
     class on the same stream."""
     eps = 0.02
-    stream = zipf_stream(1 << 14, 500, 1.2, rng=5)
+    stream = zipf_stream(1 << 14, 500, 1.2, rng=bench_seed(5))
     seq = MisraGriesSummary(eps=eps)
     seq.extend(stream)
     batched: dict = {}
-    rng = np.random.default_rng(6)
+    rng = bench_rng(6)
     for chunk in minibatches(stream, 1 << 10):
         batched = mg_augment(batched, build_hist(chunk, rng), seq.capacity)
     true = Counter(stream.tolist())

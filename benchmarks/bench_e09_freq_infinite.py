@@ -13,7 +13,7 @@ from collections import Counter
 import numpy as np
 import pytest
 
-from benchmarks._harness import emit_table, reset_results
+from benchmarks._harness import bench_seed, emit_table, reset_results
 from repro.baselines import LossyCounting, SequentialMisraGries, SpaceSaving
 from repro.core.freq_infinite import ParallelFrequencyEstimator
 from repro.core.heavy_hitters import InfiniteHeavyHitters
@@ -33,7 +33,7 @@ def test_e09_per_item_work_vs_batch_size(benchmark):
     for mu_exp in (6, 8, 10, 12, 14):
         mu = 1 << mu_exp
         est = ParallelFrequencyEstimator(eps)
-        stream = zipf_stream(4 * mu, 10_000, 1.1, rng=1)
+        stream = zipf_stream(4 * mu, 10_000, 1.1, rng=bench_seed(1))
         with tracking() as led:
             for chunk in minibatches(stream, mu):
                 est.ingest(chunk)
@@ -51,14 +51,14 @@ def test_e09_per_item_work_vs_batch_size(benchmark):
     assert per_item[-1] <= per_item[0]
     assert per_item[-1] <= 1.5 * per_item[-2]  # flat tail
     est = ParallelFrequencyEstimator(eps)
-    chunk = zipf_stream(1 << 12, 10_000, 1.1, rng=2)
+    chunk = zipf_stream(1 << 12, 10_000, 1.1, rng=bench_seed(2))
     benchmark(est.ingest, chunk)
 
 
 @pytest.mark.benchmark(group="E9-freq-infinite")
 def test_e09_accuracy_vs_baselines(benchmark):
     eps = 0.01
-    stream = zipf_stream(1 << 15, 2_000, 1.2, rng=3)
+    stream = zipf_stream(1 << 15, 2_000, 1.2, rng=bench_seed(3))
     exact = ExactInfiniteFrequencies()
     exact.extend(stream)
     m = exact.t
@@ -105,7 +105,7 @@ def test_e09_accuracy_vs_baselines(benchmark):
 @pytest.mark.benchmark(group="E9-freq-infinite")
 def test_e09_heavy_hitters_recall_precision(benchmark):
     phi, eps = 0.02, 0.005
-    stream = zipf_stream(1 << 15, 5_000, 1.3, rng=4)
+    stream = zipf_stream(1 << 15, 5_000, 1.3, rng=bench_seed(4))
     tracker = InfiniteHeavyHitters(phi, eps)
     exact = ExactInfiniteFrequencies()
     rows = []

@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from benchmarks._harness import emit_table, reset_results
+from benchmarks._harness import bench_seed, emit_table, reset_results
 from repro.core.freq_sliding import (
     BasicSlidingFrequency,
     SpaceEfficientSlidingFrequency,
@@ -36,7 +36,7 @@ def test_e10_three_way_comparison(benchmark):
     reset_results(EXPERIMENT)
     window, eps = 1 << 14, 0.02
     mu = 1 << 12
-    stream = zipf_stream(1 << 15, 1 << 13, 1.1, rng=1)
+    stream = zipf_stream(1 << 15, 1 << 13, 1.1, rng=bench_seed(1))
     oracle = ExactWindowFrequencies(window)
     for chunk in minibatches(stream, mu):
         oracle.extend(chunk)
@@ -69,7 +69,7 @@ def test_e10_three_way_comparison(benchmark):
     assert results["basic (Thm 5.5)"][1] > 3 * results["work-eff (Thm 5.4)"][1]
 
     est = WorkEfficientSlidingFrequency(window, eps)
-    chunk = zipf_stream(mu, 1 << 13, 1.1, rng=2)
+    chunk = zipf_stream(mu, 1 << 13, 1.1, rng=bench_seed(2))
     benchmark(est.ingest, chunk)
 
 
@@ -80,7 +80,7 @@ def test_e10_basic_space_blowup_with_universe(benchmark):
     window, eps = 1 << 13, 0.05
     rows = []
     for universe in (1 << 6, 1 << 9, 1 << 12):
-        stream = zipf_stream(1 << 14, universe, 1.0, rng=3)
+        stream = zipf_stream(1 << 14, universe, 1.0, rng=bench_seed(3))
         spaces = []
         for _label, cls in VARIANTS:
             est = cls(window, eps)
@@ -101,7 +101,7 @@ def test_e10_basic_space_blowup_with_universe(benchmark):
     assert basic_growth > 5 * flat_growth
 
     est = SpaceEfficientSlidingFrequency(window, eps)
-    chunk = zipf_stream(1 << 11, 1 << 12, 1.0, rng=4)
+    chunk = zipf_stream(1 << 11, 1 << 12, 1.0, rng=bench_seed(4))
     benchmark(est.ingest, chunk)
 
 
@@ -114,7 +114,7 @@ def test_e10_work_crossover_with_batch_size(benchmark):
     ratios = []
     for mu_exp in (9, 11, 13, 15):
         mu = 1 << mu_exp
-        stream = zipf_stream(2 * mu, 1 << 12, 1.1, rng=5)
+        stream = zipf_stream(2 * mu, 1 << 12, 1.1, rng=bench_seed(5))
         works = {}
         for label, cls in VARIANTS[1:]:
             est = cls(window, eps)
@@ -135,4 +135,4 @@ def test_e10_work_crossover_with_batch_size(benchmark):
     )
     assert ratios[-1] > ratios[0]
     est = WorkEfficientSlidingFrequency(window, eps)
-    benchmark(est.ingest, zipf_stream(1 << 13, 1 << 12, 1.1, rng=6))
+    benchmark(est.ingest, zipf_stream(1 << 13, 1 << 12, 1.1, rng=bench_seed(6)))

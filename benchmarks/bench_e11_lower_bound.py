@@ -19,7 +19,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from benchmarks._harness import emit_table, reset_results
+from benchmarks._harness import bench_seed, emit_table, reset_results
 from repro.analysis.fit import fit_loglog_slope
 from repro.baselines.sequential_mg import SequentialMisraGries
 from repro.core.freq_infinite import ParallelFrequencyEstimator
@@ -34,7 +34,7 @@ EXPERIMENT = "E11"
 def test_e11_skipping_misses_spread_out_hitter(benchmark):
     reset_results(EXPERIMENT)
     n, phi, eps = 40_000, 0.02, 0.005
-    stream = adversarial_hh_stream(n, phi=phi, hidden_item=7, margin=1.5, rng=1)
+    stream = adversarial_hh_stream(n, phi=phi, hidden_item=7, margin=1.5, rng=bench_seed(1))
     rows = []
     full_found = None
     for skip in (1, 2, 4, 8, 16):
@@ -76,7 +76,7 @@ def test_e11_our_work_meets_lower_bound(benchmark):
     rows, works, lengths = [], [], []
     for n_exp in (13, 15, 17):
         n = 1 << n_exp
-        stream = zipf_stream(n, 10_000, 1.1, rng=2)
+        stream = zipf_stream(n, 10_000, 1.1, rng=bench_seed(2))
         est = ParallelFrequencyEstimator(eps)
         with tracking() as led:
             for chunk in minibatches(stream, mu):
@@ -96,5 +96,5 @@ def test_e11_our_work_meets_lower_bound(benchmark):
     assert 0.9 <= slope <= 1.1
 
     tracker = InfiniteHeavyHitters(0.05, eps=eps)
-    chunk = zipf_stream(mu, 10_000, 1.1, rng=3)
+    chunk = zipf_stream(mu, 10_000, 1.1, rng=bench_seed(3))
     benchmark(tracker.ingest, chunk)

@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from benchmarks._harness import emit_table, reset_results
+from benchmarks._harness import bench_seed, emit_table, reset_results
 from repro.analysis.fit import fit_loglog_slope
 from repro.baselines.independent import IndependentMGEnsemble
 from repro.core.freq_infinite import ParallelFrequencyEstimator
@@ -26,7 +26,7 @@ EXPERIMENT = "E12"
 def test_e12_memory_and_merge_depth_vs_p(benchmark):
     reset_results(EXPERIMENT)
     eps = 0.01
-    stream = zipf_stream(1 << 15, 1 << 13, 1.05, rng=1)
+    stream = zipf_stream(1 << 15, 1 << 13, 1.05, rng=bench_seed(1))
 
     shared = ParallelFrequencyEstimator(eps)
     batch_depths = []
@@ -75,7 +75,7 @@ def test_e12_chain_vs_tree_merge(benchmark):
     """Even the tree merge is Ω(ε⁻¹ log p) deep; the chain is Ω(p/ε)."""
     eps, p = 0.01, 32
     ens = IndependentMGEnsemble(p, eps)
-    ens.ingest(zipf_stream(1 << 14, 1 << 12, 1.05, rng=2))
+    ens.ingest(zipf_stream(1 << 14, 1 << 12, 1.05, rng=bench_seed(2)))
     with tracking() as led_chain:
         ens.merged(tree=False)
     with tracking() as led_tree:
@@ -104,7 +104,7 @@ def test_e12_accuracy_parity(benchmark):
     from collections import Counter
 
     eps = 0.02
-    stream = zipf_stream(1 << 14, 500, 1.3, rng=3)
+    stream = zipf_stream(1 << 14, 500, 1.3, rng=bench_seed(3))
     true = Counter(stream.tolist())
     m = len(stream)
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from benchmarks._harness import emit_table, reset_results
+from benchmarks._harness import bench_rng, bench_seed, emit_table, reset_results
 from repro.analysis.bounds import cms_space_bound, cms_work_bound
 from repro.baselines.sequential_cms import SequentialCountMin
 from repro.core.countmin import DyadicCountMin, ParallelCountMin
@@ -30,7 +30,7 @@ def test_e13_work_vs_delta_and_mu(benchmark):
     mu = 1 << 13
     for delta in (0.1, 0.01, 0.001, 0.0001):
         cm = ParallelCountMin(eps, delta)
-        batch = zipf_stream(mu, 10_000, 1.1, rng=1)
+        batch = zipf_stream(mu, 10_000, 1.1, rng=bench_seed(1))
         with tracking() as led:
             cm.ingest(batch)
         bound = cms_work_bound(eps, delta, mu)
@@ -48,16 +48,16 @@ def test_e13_work_vs_delta_and_mu(benchmark):
         "on average, at polylog depth (Theorem 6.1)",
     )
     cm = ParallelCountMin(eps, 0.01)
-    batch = zipf_stream(mu, 10_000, 1.1, rng=2)
+    batch = zipf_stream(mu, 10_000, 1.1, rng=bench_seed(2))
     benchmark(cm.ingest, batch)
 
 
 @pytest.mark.benchmark(group="E13-countmin")
 def test_e13_accuracy_guarantee(benchmark):
     eps, delta = 0.002, 0.01
-    cm = ParallelCountMin(eps, delta, np.random.default_rng(3))
+    cm = ParallelCountMin(eps, delta, bench_rng(3))
     exact = ExactInfiniteFrequencies()
-    stream = zipf_stream(1 << 16, 5_000, 1.1, rng=4)
+    stream = zipf_stream(1 << 16, 5_000, 1.1, rng=bench_seed(4))
     for chunk in minibatches(stream, 1 << 13):
         cm.ingest(chunk)
         exact.extend(chunk)
@@ -89,12 +89,12 @@ def test_e13_accuracy_guarantee(benchmark):
 @pytest.mark.benchmark(group="E13-countmin")
 def test_e13_parallel_vs_sequential_cms(benchmark):
     eps, delta = 0.01, 0.01
-    stream = zipf_stream(1 << 14, 2_000, 1.2, rng=5)
-    par = ParallelCountMin(eps, delta, np.random.default_rng(6))
+    stream = zipf_stream(1 << 14, 2_000, 1.2, rng=bench_seed(5))
+    par = ParallelCountMin(eps, delta, bench_rng(6))
     with tracking() as led_par:
         for chunk in minibatches(stream, 1 << 12):
             par.ingest(chunk)
-    seq = SequentialCountMin(eps, delta, np.random.default_rng(6))
+    seq = SequentialCountMin(eps, delta, bench_rng(6))
     with tracking() as led_seq:
         seq.extend(stream)
     identical = bool(np.array_equal(par.table, seq.table))
@@ -117,8 +117,8 @@ def test_e13_parallel_vs_sequential_cms(benchmark):
 @pytest.mark.benchmark(group="E13-countmin")
 def test_e13_dyadic_applications(benchmark):
     """The applications §6 points to: range queries, quantiles, HH."""
-    dc = DyadicCountMin(0.005, 0.01, universe_bits=12, rng=np.random.default_rng(7))
-    data = zipf_stream(1 << 15, 1 << 12, 1.05, rng=8)
+    dc = DyadicCountMin(0.005, 0.01, universe_bits=12, rng=bench_rng(7))
+    data = zipf_stream(1 << 15, 1 << 12, 1.05, rng=bench_seed(8))
     dc.ingest(data)
     rows = []
     for lo, hi in [(0, 15), (100, 500), (1_000, 4_000)]:

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from benchmarks._harness import emit_table, reset_results
+from benchmarks._harness import bench_seed, emit_table, reset_results
 from repro.baselines import DGIMCounter, SequentialCountMin, SequentialMisraGries
 from repro.core import (
     InfiniteHeavyHitters,
@@ -42,7 +42,7 @@ def _parallel_operators():
 @pytest.mark.benchmark(group="E14-pipeline")
 def test_e14_full_parallel_pipeline(benchmark):
     reset_results(EXPERIMENT)
-    stream = flash_crowd_stream(1 << 15, universe=1 << 12, crowd_item=3, rng=1)
+    stream = flash_crowd_stream(1 << 15, universe=1 << 12, crowd_item=3, rng=bench_seed(1))
     ops = _parallel_operators()
     driver = MinibatchDriver(
         ops,
@@ -87,7 +87,7 @@ def test_e14_parallel_vs_sequential_pipeline(benchmark):
     """Same aggregates, sequential baselines: the work matches up to
     constants (work efficiency) while the depth gap is orders of
     magnitude (the parallelism the paper unlocks)."""
-    stream = flash_crowd_stream(1 << 14, universe=1 << 11, crowd_item=3, rng=2)
+    stream = flash_crowd_stream(1 << 14, universe=1 << 11, crowd_item=3, rng=bench_seed(2))
 
     par_ops = {
         "freq": ParallelFrequencyEstimator(0.01),
@@ -132,7 +132,7 @@ def test_e14_parallel_vs_sequential_pipeline(benchmark):
 def test_e14_packet_monitoring_scenario(benchmark):
     """The intro's network-monitoring deployment: heavy flows + window
     byte counts + per-flow point queries, one pass."""
-    flows, sizes = packet_trace(1 << 14, flows=1 << 10, rng=3)
+    flows, sizes = packet_trace(1 << 14, flows=1 << 10, rng=bench_seed(3))
     hh = SlidingHeavyHitters(WINDOW, 0.03, 0.01)
     byte_sum = ParallelWindowedSum(WINDOW, 0.05, max_value=1_500)
     bit_counter = ParallelBasicCounter(WINDOW, 0.1)

@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from benchmarks._harness import emit_table, reset_results
+from benchmarks._harness import bench_seed, emit_table, reset_results
 from repro.baselines import SequentialCountMin, SequentialMisraGries
 from repro.core import (
     ParallelBasicCounter,
@@ -45,8 +45,8 @@ def _record(build, feed) -> "CostLedger":
 @pytest.mark.benchmark(group="E15-speedup")
 def test_e15_speedup_curves(benchmark):
     reset_results(EXPERIMENT)
-    items = zipf_stream(1 << 14, 4_000, 1.15, rng=1)
-    bits = bit_stream(1 << 14, 0.5, rng=2)
+    items = zipf_stream(1 << 14, 4_000, 1.15, rng=bench_seed(1))
+    bits = bit_stream(1 << 14, 0.5, rng=bench_seed(2))
     mu = 1 << 12
 
     workloads = {
@@ -114,7 +114,7 @@ def test_e15_batch_size_vs_scalability(benchmark):
     rows = []
     for mu_exp in (8, 10, 12, 14):
         mu = 1 << mu_exp
-        items = zipf_stream(1 << 14, 4_000, 1.15, rng=3)
+        items = zipf_stream(1 << 14, 4_000, 1.15, rng=bench_seed(3))
         with tracking(record=True) as ledger:
             est = ParallelFrequencyEstimator(0.01)
             for chunk in minibatches(items, mu):
@@ -135,5 +135,5 @@ def test_e15_batch_size_vs_scalability(benchmark):
     )
     assert rows[-1][4] > rows[0][4]
     with tracking(record=True) as ledger:
-        ParallelFrequencyEstimator(0.01).ingest(zipf_stream(1 << 12, 4_000, 1.15, rng=4))
+        ParallelFrequencyEstimator(0.01).ingest(zipf_stream(1 << 12, 4_000, 1.15, rng=bench_seed(4)))
     benchmark(simulate, ledger, 8)

@@ -29,7 +29,7 @@ import time
 import numpy as np
 import pytest
 
-from benchmarks._harness import emit_table, reset_results
+from benchmarks._harness import bench_rng, bench_seed, emit_table, reset_results
 from repro.core import (
     InfiniteHeavyHitters,
     ParallelCountMin,
@@ -51,8 +51,8 @@ MU = 1 << 12
 REPEATS = 3
 
 STREAMS = {
-    "zipf": lambda: zipf_stream(N, UNIVERSE, 1.2, rng=1),
-    "uniform": lambda: uniform_stream(N, UNIVERSE, rng=2),
+    "zipf": lambda: zipf_stream(N, UNIVERSE, 1.2, rng=bench_seed(1)),
+    "uniform": lambda: uniform_stream(N, UNIVERSE, rng=bench_seed(2)),
 }
 
 #: Eight hist-dominated operator factories; a pipeline of n uses the
@@ -61,12 +61,12 @@ STREAMS = {
 _FACTORIES = [
     ("freq", lambda: ParallelFrequencyEstimator(0.01)),
     ("hh-inf", lambda: InfiniteHeavyHitters(0.05, 0.01)),
-    ("cms", lambda: ParallelCountMin(0.01, 0.01, rng=np.random.default_rng(5))),
-    ("csk", lambda: ParallelCountSketch(0.01, 0.01, rng=np.random.default_rng(6))),
+    ("cms", lambda: ParallelCountMin(0.01, 0.01, rng=bench_rng(5))),
+    ("csk", lambda: ParallelCountSketch(0.01, 0.01, rng=bench_rng(6))),
     ("freq2", lambda: ParallelFrequencyEstimator(0.02)),
     ("hh-inf2", lambda: InfiniteHeavyHitters(0.1, 0.02)),
-    ("cms2", lambda: ParallelCountMin(0.02, 0.01, rng=np.random.default_rng(7))),
-    ("csk2", lambda: ParallelCountSketch(0.02, 0.01, rng=np.random.default_rng(8))),
+    ("cms2", lambda: ParallelCountMin(0.02, 0.01, rng=bench_rng(7))),
+    ("csk2", lambda: ParallelCountSketch(0.02, 0.01, rng=bench_rng(8))),
 ]
 
 

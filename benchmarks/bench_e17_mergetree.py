@@ -30,7 +30,7 @@ import pickle
 import numpy as np
 import pytest
 
-from benchmarks._harness import emit_table, reset_results
+from benchmarks._harness import bench_rng, bench_seed, emit_table, reset_results
 from repro.core import ParallelCountMin
 from repro.engine.mergetree import merge_partials, shard_partials
 from repro.pram.cost import tracking
@@ -44,7 +44,7 @@ ARITY_SWEEP = (2, 4, 8)
 
 
 def _cms() -> ParallelCountMin:
-    return ParallelCountMin(0.01, 0.01, rng=np.random.default_rng(17))
+    return ParallelCountMin(0.01, 0.01, rng=bench_rng(17))
 
 
 def _copies(partials):
@@ -62,7 +62,7 @@ def _fold_cost(fold) -> tuple:
 @pytest.mark.benchmark(group="E17-mergetree")
 def test_e17_fold_depth_sweep(benchmark):
     reset_results(EXPERIMENT)
-    batch = zipf_stream(N, UNIVERSE, 1.2, rng=3)
+    batch = zipf_stream(N, UNIVERSE, 1.2, rng=bench_seed(3))
     serial = _cms()
     serial.ingest(batch)
 

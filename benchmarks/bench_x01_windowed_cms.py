@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from benchmarks._harness import emit_table, reset_results
+from benchmarks._harness import bench_rng, bench_seed, emit_table, reset_results
 from repro.core.countmin import ParallelCountMin
 from repro.core.freq_sliding import WorkEfficientSlidingFrequency
 from repro.core.windowed_countmin import WindowedCountMin
@@ -28,9 +28,9 @@ WINDOW = 1 << 12
 def test_x01_windowed_guarantee(benchmark):
     reset_results(EXPERIMENT)
     eps, delta = 0.01, 0.01
-    wcm = WindowedCountMin(WINDOW, eps, delta, np.random.default_rng(1))
+    wcm = WindowedCountMin(WINDOW, eps, delta, bench_rng(1))
     oracle = ExactWindowFrequencies(WINDOW)
-    stream = zipf_stream(1 << 14, 1 << 11, 1.2, rng=2)
+    stream = zipf_stream(1 << 14, 1 << 11, 1.2, rng=bench_seed(2))
     with tracking() as led:
         for chunk in minibatches(stream, 1 << 10):
             wcm.ingest(chunk)
@@ -54,7 +54,7 @@ def test_x01_windowed_guarantee(benchmark):
     )
     assert undercounts == 0
     assert big_over <= 5 * delta * queries
-    batch = zipf_stream(1 << 10, 1 << 11, 1.2, rng=3)
+    batch = zipf_stream(1 << 10, 1 << 11, 1.2, rng=bench_seed(3))
     benchmark(wcm.ingest, batch)
 
 
@@ -65,13 +65,13 @@ def test_x01_vs_parents_and_sliding_mg(benchmark):
     eps = 0.01
     # Flash crowd: item 5 dominates the first half, then vanishes.
     first = flash_crowd_stream(
-        1 << 13, universe=1 << 10, crowd_item=5, onset=0.0, crowd_share=0.6, rng=4
+        1 << 13, universe=1 << 10, crowd_item=5, onset=0.0, crowd_share=0.6, rng=bench_seed(4)
     )
-    second = zipf_stream(1 << 13, 1 << 10, 1.1, rng=5) + (1 << 11)
+    second = zipf_stream(1 << 13, 1 << 10, 1.1, rng=bench_seed(5)) + (1 << 11)
     stream = np.concatenate([first, second])
 
-    wcm = WindowedCountMin(WINDOW, eps, 0.01, np.random.default_rng(6))
-    cms = ParallelCountMin(eps, 0.01, np.random.default_rng(7))
+    wcm = WindowedCountMin(WINDOW, eps, 0.01, bench_rng(6))
+    cms = ParallelCountMin(eps, 0.01, bench_rng(7))
     mg = WorkEfficientSlidingFrequency(WINDOW, eps)
     oracle = ExactWindowFrequencies(WINDOW)
     for chunk in minibatches(stream, 1 << 10):

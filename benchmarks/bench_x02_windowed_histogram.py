@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from benchmarks._harness import emit_table, reset_results
+from benchmarks._harness import bench_rng, emit_table, reset_results
 from repro.core.windowed_histogram import WindowedHistogram
 from repro.pram.cost import tracking
 from repro.stream.generators import minibatches
@@ -25,7 +25,7 @@ WINDOW = 1 << 12
 @pytest.mark.benchmark(group="X2-windowed-histogram")
 def test_x02_accuracy_and_depth(benchmark):
     reset_results(EXPERIMENT)
-    rng = np.random.default_rng(1)
+    rng = bench_rng(1)
     eps = 0.05
     edges = np.linspace(0, 1_000, 21)
     hist = WindowedHistogram(WINDOW, eps, edges)
@@ -59,7 +59,7 @@ def test_x02_accuracy_and_depth(benchmark):
 
 @pytest.mark.benchmark(group="X2-windowed-histogram")
 def test_x02_quantiles_track_distribution_shift(benchmark):
-    rng = np.random.default_rng(2)
+    rng = bench_rng(2)
     edges = np.linspace(0, 1_000, 101)
     hist = WindowedHistogram(WINDOW, 0.05, edges)
     low_phase = rng.uniform(0, 200, size=2 * WINDOW)

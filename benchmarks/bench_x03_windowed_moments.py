@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from benchmarks._harness import emit_table, reset_results
+from benchmarks._harness import bench_rng, bench_seed, emit_table, reset_results
 from repro.core.windowed_moments import WindowedLpNorm, WindowedVariance
 from repro.pram.cost import tracking
 from repro.stream.generators import minibatches, packet_trace
@@ -23,7 +23,7 @@ WINDOW = 1 << 12
 def test_x03_lp_norm_accuracy_and_cost(benchmark):
     reset_results(EXPERIMENT)
     eps = 0.05
-    _flows, sizes = packet_trace(1 << 14, rng=1)
+    _flows, sizes = packet_trace(1 << 14, rng=bench_seed(1))
     rows = []
     for p in (1, 2, 3):
         norm = WindowedLpNorm(WINDOW, eps, max_value=1_500, p=p)
@@ -54,7 +54,7 @@ def test_x03_lp_norm_accuracy_and_cost(benchmark):
 def test_x03_variance_through_shift(benchmark):
     eps = 0.01
     var = WindowedVariance(WINDOW, eps, max_value=100)
-    rng = np.random.default_rng(2)
+    rng = bench_rng(2)
     calm = rng.normal(50, 2, size=2 * WINDOW).clip(0, 100).astype(np.int64)
     noisy = rng.choice([5, 95], size=2 * WINDOW).astype(np.int64)
     rows = []

@@ -198,6 +198,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the report as JSON"
     )
 
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzer: every registered synopsis vs its "
+        "exact oracle and metamorphic variants (docs/testing.md)",
+    )
+    fuzz.add_argument(
+        "--cases", type=int, default=200,
+        help="number of cases to run (default 200)",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=0, help="root seed (default 0)"
+    )
+    fuzz.add_argument(
+        "--ops", nargs="+", default=None, metavar="NAME",
+        help="fuzz only these registered operators (default: all)",
+    )
+    fuzz.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="stop starting new cases after this many seconds",
+    )
+    fuzz.add_argument(
+        "--soak", action="store_true",
+        help="ignore --cases and cycle the registry until the time "
+        "budget (default 300 s) runs out",
+    )
+    fuzz.add_argument(
+        "--replay", default=None, metavar="SEED_SPEC",
+        help="replay one case bit-identically from its fuzz/v1 seed-spec",
+    )
+    fuzz.add_argument(
+        "--replay-file", default=None, metavar="ARTIFACT",
+        help="replay the case stored in a repro-fuzzcase/v1 artifact",
+    )
+    fuzz.add_argument(
+        "--artifact-dir", default="fuzzcases", metavar="DIR",
+        help="directory for failing-case artifacts (default fuzzcases)",
+    )
+
     return parser
 
 
@@ -213,6 +251,43 @@ def _profile(args: argparse.Namespace, out) -> None:
         print(json.dumps(report.to_dict(), indent=2), file=out)
     else:
         print(report.render(), file=out)
+
+
+def _fuzz(args: argparse.Namespace, out) -> int:
+    from repro.fuzz import replay_case, run_fuzz
+    from repro.fuzz.runner import load_artifact_spec
+
+    seed_spec = args.replay
+    if args.replay_file is not None:
+        if seed_spec is not None:
+            raise ValueError("--replay and --replay-file are mutually exclusive")
+        seed_spec = load_artifact_spec(args.replay_file)
+    if seed_spec is not None:
+        plan, stream, violations = replay_case(seed_spec)
+        print(f"replaying {seed_spec}", file=out)
+        print(
+            f"operator {plan.op}: {len(stream)} items, "
+            f"batch {plan.batch_size}, shrink={list(plan.shrink)}",
+            file=out,
+        )
+        if violations:
+            for violation in violations:
+                print(f"  [{violation.relation}] {violation.detail}", file=out)
+            print("result: reproduced", file=out)
+            return 1
+        print("result: no violation reproduced (already fixed?)", file=out)
+        return 0
+
+    report = run_fuzz(
+        args.seed,
+        cases=args.cases,
+        ops=args.ops,
+        time_budget=args.time_budget,
+        soak=args.soak,
+        artifact_dir=args.artifact_dir,
+    )
+    print(report.render(), file=out)
+    return 0 if report.ok else 1
 
 
 def _dump_metrics(fmt: str, out) -> None:
@@ -324,13 +399,18 @@ def _list_ops(out) -> None:
     print(f"{len(rows)} synopses registered", file=out)
 
 
-def _run(args: argparse.Namespace, out) -> None:
+def _run(args: argparse.Namespace, out) -> int | None:
+    """Execute one subcommand; a non-None return becomes the exit code
+    (the fuzzer signals violations with exit 1, distinct from usage
+    errors at 2 and invariant violations at 3)."""
+    if args.command == "fuzz":
+        return _fuzz(args, out)
     if args.command == "profile":
         _profile(args, out)
-        return
+        return None
     if args.command == "ops":
         _list_ops(out)
-        return
+        return None
     command = _COMMANDS.get(args.command)
     if command is None:  # pragma: no cover - argparse enforces choices
         raise SystemExit(f"unknown command {args.command}")
@@ -396,10 +476,10 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     try:
         if args.costs:
             with tracking() as ledger:
-                _run(args, out)
+                code = _run(args, out)
             print(f"charged work: {ledger.work}  depth: {ledger.depth}", file=out)
         else:
-            _run(args, out)
+            code = _run(args, out)
         if args.metrics:
             _dump_metrics(args.metrics, out)
     except (ValueError, OSError) as exc:
@@ -408,7 +488,7 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     except InvariantViolation as exc:
         print(f"invariant violation: {exc}", file=sys.stderr)
         return 3
-    return 0
+    return int(code) if code else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -107,12 +107,23 @@ def merge_partials(
     if arity < 2:
         raise ValueError(f"arity must be >= 2, got {arity}")
     parts = list(partials)
+    # Degenerate folds, spelled out so the charged depth is obvious:
+    # S=0 (an empty batch sharded to nothing) folds nothing; S=1 needs
+    # no tree rounds, only the final adoption merge.  Both paths charge
+    # exactly what the general loop would — they exist for clarity and
+    # as anchors for the regression tests in tests/test_mergetree.py.
+    if not parts:
+        return op
+    if len(parts) == 1:
+        op.merge(parts[0])
+        return op
+    # arity >= S collapses the tree to a single round: one group, one
+    # strand, arity no longer matters beyond that round.
     while len(parts) > 1:
         groups = [parts[i : i + arity] for i in range(0, len(parts), arity)]
         tasks = [partial(_merge_group, group) for group in groups]
         parts = fork_join(tasks, backend)
-    if parts:
-        op.merge(parts[0])
+    op.merge(parts[0])
     return op
 
 

@@ -1,0 +1,82 @@
+"""Registry-driven differential fuzzer + deterministic simulation harness.
+
+The paper's claims are theorems: ε-accuracy envelopes, mergeability,
+and batching-independence must hold on *every* input, not just the
+fixed streams the benchmarks replay.  This package generates seeded
+adversarial scenarios (:mod:`~repro.fuzz.plan`,
+:mod:`~repro.fuzz.scenarios`), runs every registered operator through
+a differential executor comparing it against its exact oracle and
+against itself under metamorphic transforms
+(:mod:`~repro.fuzz.differential`, :mod:`~repro.fuzz.oracles`), shrinks
+failures to minimal reproducing cases (:mod:`~repro.fuzz.shrink`), and
+reports/replays them through the ``repro fuzz`` CLI
+(:mod:`~repro.fuzz.runner`).  See docs/testing.md for where this sits
+in the test pyramid and how replay works.
+"""
+
+from .differential import (
+    REBATCH_ENVELOPE,
+    REBATCH_STATE_EXACT,
+    SHARD_PROBE_EXACT,
+    SHARD_STATE_EXACT,
+    Violation,
+    classify_like,
+    declassify,
+    run_case,
+)
+from .oracles import check_oracle
+from .plan import (
+    BIT_KINDS,
+    ITEM_KINDS,
+    SEED_SPEC_PREFIX,
+    SHRINK_STEPS,
+    FaultPlan,
+    ScenarioPlan,
+    apply_shrink_step,
+    format_seed_spec,
+    generate_plan,
+    parse_seed_spec,
+)
+from .runner import (
+    ARTIFACT_FORMAT,
+    CaseFailure,
+    FuzzReport,
+    load_artifact_spec,
+    replay_case,
+    run_fuzz,
+    write_artifact,
+)
+from .scenarios import synthesize_stream
+from .shrink import replay_shrink, shrink_case
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "BIT_KINDS",
+    "ITEM_KINDS",
+    "SEED_SPEC_PREFIX",
+    "SHRINK_STEPS",
+    "CaseFailure",
+    "FaultPlan",
+    "FuzzReport",
+    "ScenarioPlan",
+    "Violation",
+    "REBATCH_ENVELOPE",
+    "REBATCH_STATE_EXACT",
+    "SHARD_PROBE_EXACT",
+    "SHARD_STATE_EXACT",
+    "apply_shrink_step",
+    "check_oracle",
+    "classify_like",
+    "declassify",
+    "format_seed_spec",
+    "generate_plan",
+    "load_artifact_spec",
+    "parse_seed_spec",
+    "replay_case",
+    "replay_shrink",
+    "run_case",
+    "run_fuzz",
+    "shrink_case",
+    "synthesize_stream",
+    "write_artifact",
+]

@@ -1,0 +1,323 @@
+"""Exact-oracle envelope checks for every registered operator.
+
+``check_oracle(spec, op, stream)`` compares a fully-ingested operator
+against brute-force ground truth computed from the raw stream and
+returns human-readable violation strings (empty = within envelope).
+
+Only *deterministic* guarantee sides are asserted: Count-Min never
+undercounts, Misra-Gries never overcounts, windowed reductions carry
+one-sided ε-slack, DGIM/SBBC/Lee-Ting carry their published two-sided
+or additive bounds.  Probabilistic sides (the CMS/Count-Sketch upper
+tails, which hold only with probability 1−δ per query) get sanity
+bounds, not envelopes — a fuzzer that asserts a probabilistic bound on
+every case manufactures its own flaky failures.
+
+Operators without a registered checker fall back to a finiteness
+sanity check, so a newly registered synopsis is never silently
+un-fuzzed — it is envelope-checked as soon as a checker is added here,
+and metamorphically checked (differential.py) from day one.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = ["check_oracle", "ORACLES"]
+
+_TOL = 1e-9
+
+
+def _counts(stream: np.ndarray) -> Counter:
+    return Counter(int(x) for x in stream.tolist())
+
+
+def _items_of_interest(stream: np.ndarray, universe: int) -> list[int]:
+    """Every item that occurs, plus a few absent ones (estimates for
+    never-seen items must respect the envelope too)."""
+    present = sorted({int(x) for x in stream.tolist()})
+    absent = [i for i in range(min(universe, 8)) if i not in set(present)]
+    return present + absent
+
+
+def _tail(stream: np.ndarray, window: int) -> np.ndarray:
+    return stream[-int(window):] if window else stream
+
+
+def _within(lo: float, est: float, hi: float, label: str) -> list[str]:
+    if lo - _TOL <= est <= hi + _TOL:
+        return []
+    return [f"{label}: estimate {est} outside [{lo}, {hi}]"]
+
+
+# ----------------------------------------------------------------------
+# Bit counters
+# ----------------------------------------------------------------------
+def _ck_basic_counter(spec, op, stream, plan):
+    m = int(_tail(stream, op.window).sum())
+    return _within(m, op.query(), m + op.eps * max(m, 1), f"{spec.name} window count")
+
+
+def _ck_sbbc(spec, op, stream, plan):
+    v = op.value()
+    if v is None:  # overflowed: the ladder above takes over, no claim
+        return []
+    m = int(_tail(stream, op.window).sum())
+    return _within(m, v, m + op.lam, f"{spec.name} window count")
+
+
+def _ck_dgim(spec, op, stream, plan):
+    m = int(_tail(stream, op.window).sum())
+    slack = op.eps * max(m, 1) + 1
+    return _within(m - slack, op.query(), m + slack, f"{spec.name} window count")
+
+
+def _ck_lee_ting(spec, op, stream, plan):
+    m = int(_tail(stream, op.window).sum())
+    return _within(m, op.query(), m + op.lam, f"{spec.name} window count")
+
+
+# ----------------------------------------------------------------------
+# Windowed value reductions
+# ----------------------------------------------------------------------
+def _ck_windowed_sum(spec, op, stream, plan):
+    s = int(_tail(stream, op.window).sum())
+    return _within(s, op.query(), s + op.eps * max(s, 1), f"{spec.name} window sum")
+
+
+def _ck_windowed_mean(spec, op, stream, plan):
+    occupied = min(len(stream), op.window)
+    if occupied == 0:
+        return []
+    s = int(_tail(stream, op.window).sum())
+    return _within(
+        s / occupied,
+        op.query(),
+        (s + op.eps * max(s, 1)) / occupied,
+        f"{spec.name} window mean",
+    )
+
+
+def _ck_lp_norm(spec, op, stream, plan):
+    sp = float(np.sum(_tail(stream, op.window).astype(np.float64) ** op.p))
+    est_p = float(op.query()) ** op.p
+    slack = op.eps * max(sp, 1.0) + 1e-6 * max(sp, 1.0)
+    return _within(sp - 1e-6 * max(sp, 1.0), est_p, sp + slack, f"{spec.name} p-sum")
+
+
+def _ck_variance(spec, op, stream, plan):
+    # Variance composes two ε-approximate sums non-linearly; no simple
+    # deterministic envelope exists, so assert only non-negativity here
+    # (the metamorphic relations still cover it in full).
+    v = op.query()
+    return [] if v >= -_TOL else [f"{spec.name}: negative variance {v}"]
+
+
+def _ck_histogram(spec, op, stream, plan):
+    tail = _tail(stream, op.window)
+    out: list[str] = []
+    edges = np.asarray(op.edges, dtype=np.float64)
+    est = op.histogram()
+    for i in range(op.num_buckets):
+        true = int(((tail >= edges[i]) & (tail < edges[i + 1])).sum())
+        out += _within(
+            true, float(est[i]), true + op.eps * max(true, 1),
+            f"{spec.name} bucket {i}",
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Whole-stream frequency estimators
+# ----------------------------------------------------------------------
+def _ck_exact_counters(spec, op, stream, plan):
+    truth = _counts(stream)
+    out = []
+    for item in _items_of_interest(stream, plan.universe):
+        f = truth.get(item, 0)
+        if op.estimate(item) != f:
+            out.append(f"{spec.name}: item {item} estimate {op.estimate(item)} != {f}")
+    return out
+
+
+def _ck_mg_family(spec, op, stream, plan):
+    truth = _counts(stream)
+    tol = len(stream) / op.capacity
+    out = []
+    for item in _items_of_interest(stream, plan.universe):
+        f = truth.get(item, 0)
+        out += _within(f - tol, op.estimate(item), f, f"{spec.name} item {item}")
+    return out
+
+
+def _ck_lossy_counting(spec, op, stream, plan):
+    truth = _counts(stream)
+    tol = op.eps * len(stream) + 1
+    out = []
+    for item in _items_of_interest(stream, plan.universe):
+        f = truth.get(item, 0)
+        out += _within(f - tol, op.estimate(item), f, f"{spec.name} item {item}")
+    return out
+
+
+def _ck_space_saving(spec, op, stream, plan):
+    truth = _counts(stream)
+    tol = len(stream) / op.capacity
+    out = []
+    for item in _items_of_interest(stream, plan.universe):
+        f, est = truth.get(item, 0), op.estimate(item)
+        if est == 0:
+            # Untracked is only legal below the guarantee threshold.
+            if f > tol + _TOL:
+                out.append(
+                    f"{spec.name}: item {item} untracked but true count "
+                    f"{f} > n/S = {tol}"
+                )
+        else:
+            out += _within(f, est, f + tol, f"{spec.name} item {item}")
+    return out
+
+
+def _ck_cms_lower(spec, op, stream, plan):
+    # Deterministic side only: Count-Min never undercounts.
+    truth = _counts(stream)
+    out = []
+    for item in _items_of_interest(stream, plan.universe):
+        f, est = truth.get(item, 0), op.point_query(item)
+        if est < f - _TOL:
+            out.append(f"{spec.name}: item {item} point query {est} undercounts {f}")
+    return out
+
+
+def _ck_dyadic(spec, op, stream, plan):
+    out = _ck_cms_lower(spec, op, stream, plan)
+    full = op.range_query(0, plan.universe - 1)
+    if full < len(stream) - _TOL:
+        out.append(
+            f"{spec.name}: full-universe range query {full} undercounts n={len(stream)}"
+        )
+    return out
+
+
+def _ck_countsketch(spec, op, stream, plan):
+    # Unbiased, two-sided probabilistic bound: sanity only.
+    truth = _counts(stream)
+    out = []
+    for item in _items_of_interest(stream, plan.universe):
+        f, est = truth.get(item, 0), op.point_query(item)
+        if not np.isfinite(est) or abs(est - f) > len(stream) + _TOL:
+            out.append(f"{spec.name}: item {item} estimate {est} vs true {f}")
+    return out
+
+
+# ----------------------------------------------------------------------
+# Sliding-window frequency / heavy hitters
+# ----------------------------------------------------------------------
+def _ck_sliding_freq(spec, op, stream, plan):
+    window = op.window
+    tail_counts = _counts(_tail(stream, window))
+    out = []
+    for item in _items_of_interest(stream, plan.universe):
+        f = tail_counts.get(item, 0)
+        out += _within(
+            f - op.eps * window, op.estimate(item), f, f"{spec.name} item {item}"
+        )
+    return out
+
+
+def _ck_windowed_cms(spec, op, stream, plan):
+    tail_counts = _counts(_tail(stream, op.window))
+    out = []
+    for item in _items_of_interest(stream, plan.universe):
+        f, est = tail_counts.get(item, 0), op.point_query(item)
+        if est < f - _TOL:
+            out.append(f"{spec.name}: item {item} point query {est} undercounts {f}")
+    return out
+
+
+def _ck_infinite_hh(spec, op, stream, plan):
+    t = len(stream)
+    truth = _counts(stream)
+    reported = {int(k): v for k, v in op.query().items()}
+    out = []
+    for item, f in truth.items():
+        if f >= op.phi * t and item not in reported:
+            out.append(
+                f"{spec.name}: heavy hitter {item} (count {f} >= "
+                f"phi*t = {op.phi * t}) not reported"
+            )
+    floor = (op.phi - op.eps) * t - 1
+    for item in reported:
+        if truth.get(item, 0) <= floor - _TOL:
+            out.append(
+                f"{spec.name}: reported {item} has count {truth.get(item, 0)} "
+                f"<= (phi-eps)*t - 1 = {floor}"
+            )
+    return out
+
+
+def _ck_sliding_hh(spec, op, stream, plan):
+    window = op.estimator.window
+    wl = min(len(stream), window)
+    tail_counts = _counts(_tail(stream, window))
+    reported = {int(k) for k in op.query()}
+    out = []
+    for item, f in tail_counts.items():
+        if f >= op.phi * wl and item not in reported:
+            out.append(
+                f"{spec.name}: window heavy hitter {item} (count {f} >= "
+                f"phi*|W| = {op.phi * wl}) not reported"
+            )
+    return out
+
+
+def _ck_default(spec, op, stream, plan):
+    """Fallback for operators without a dedicated checker: the probe
+    must at least produce finite values."""
+    if spec.probe is None:
+        return []
+    flat = np.asarray(spec.probe(op), dtype=object).ravel()
+    numeric = [float(v) for v in flat if isinstance(v, (int, float, np.number))]
+    if all(np.isfinite(numeric)):
+        return []
+    return [f"{spec.name}: probe produced non-finite values"]
+
+
+#: Per-operator envelope checkers, keyed by registry name.
+ORACLES: dict[str, Callable[[Any, Any, np.ndarray, Any], list[str]]] = {
+    "ParallelBasicCounter": _ck_basic_counter,
+    "SBBC": _ck_sbbc,
+    "DGIMCounter": _ck_dgim,
+    "LeeTingCounter": _ck_lee_ting,
+    "ParallelWindowedSum": _ck_windowed_sum,
+    "ParallelWindowedMean": _ck_windowed_mean,
+    "WindowedLpNorm": _ck_lp_norm,
+    "WindowedVariance": _ck_variance,
+    "WindowedHistogram": _ck_histogram,
+    "ExactCounters": _ck_exact_counters,
+    "MisraGriesSummary": _ck_mg_family,
+    "SequentialMisraGries": _ck_mg_family,
+    "ParallelFrequencyEstimator": _ck_mg_family,
+    "IndependentMGEnsemble": _ck_mg_family,
+    "LossyCounting": _ck_lossy_counting,
+    "SpaceSaving": _ck_space_saving,
+    "ParallelCountMin": _ck_cms_lower,
+    "SequentialCountMin": _ck_cms_lower,
+    "DyadicCountMin": _ck_dyadic,
+    "ParallelCountSketch": _ck_countsketch,
+    "WindowedCountMin": _ck_windowed_cms,
+    "BasicSlidingFrequency": _ck_sliding_freq,
+    "SpaceEfficientSlidingFrequency": _ck_sliding_freq,
+    "WorkEfficientSlidingFrequency": _ck_sliding_freq,
+    "InfiniteHeavyHitters": _ck_infinite_hh,
+    "SlidingHeavyHitters": _ck_sliding_hh,
+}
+
+
+def check_oracle(spec, op, stream: np.ndarray, plan) -> list[str]:
+    """All envelope violations of ``op`` (fully ingested with
+    ``stream``) against brute-force ground truth; empty when clean."""
+    checker = ORACLES.get(spec.name, _ck_default)
+    return checker(spec, op, stream, plan)

@@ -1,0 +1,288 @@
+"""Reproducible fuzz scenario plans and the seed-spec codec.
+
+A :class:`ScenarioPlan` is the *entire* description of one fuzz case:
+which operator, what stream shape (skew kind, length, universe,
+batching), which fault schedule the resilient-driver relation injects
+(first-class plan fields, drawn from the same root seed), where the
+mid-stream checkpoint probe fires, and the merge-tree geometry.  Every
+field is drawn from ``default_rng([root_seed, case])``, so the pair
+``(root_seed, case)`` regenerates the case bit-identically on any
+machine — which is what makes the one-line replay command possible:
+
+    repro fuzz --replay 'fuzz/v1:op=MisraGriesSummary:seed=5:case=17'
+
+Shrinking (:mod:`repro.fuzz.shrink`) never invents data: it only
+applies named deterministic *steps* to the generated (plan, stream)
+pair, and the accepted step names ride along in the seed-spec
+(``:shrink=front.nofaults``), so a shrunk case replays bit-identically
+too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "FaultPlan",
+    "ScenarioPlan",
+    "SEED_SPEC_PREFIX",
+    "ITEM_KINDS",
+    "BIT_KINDS",
+    "SHRINK_STEPS",
+    "generate_plan",
+    "format_seed_spec",
+    "parse_seed_spec",
+    "apply_shrink_step",
+]
+
+#: Version tag every seed-spec (and fuzzcase artifact) leads with.
+SEED_SPEC_PREFIX = "fuzz/v1"
+
+#: Stream shapes for item-input operators.  ``churn`` cycles fresh ids
+#: through the universe (maximal eviction pressure — the insert-only
+#: analogue of a deletion-heavy workload), ``adversarial`` spreads the
+#: lone heavy hitter evenly (the Lemma 5.10 pattern), ``burst`` aligns
+#: its solid bursts with the operator's window boundary when it has one.
+ITEM_KINDS = ("zipf", "uniform", "sawtooth", "burst", "adversarial", "churn")
+
+#: Stream shapes for bit-input operators.
+BIT_KINDS = ("dense", "sparse", "bursty", "runs")
+
+#: Shrink steps, in the order the shrinker tries them.  Each is a pure
+#: function of the current (plan, stream) — see :func:`apply_shrink_step`.
+SHRINK_STEPS = (
+    "front",     # keep the first half of the stream
+    "back",      # keep the second half
+    "head",      # drop the first quarter
+    "tail",      # drop the last quarter
+    "nofaults",  # zero the fault schedule
+    "nockpt",    # move the checkpoint probe to batch 0
+    "batch",     # halve the minibatch size
+    "shards",    # collapse merge-tree geometry to 2 shards / arity 2
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Per-batch fault probabilities for the resilient-driver relation.
+
+    Crash is deliberately absent: a fuzz case must run to completion so
+    its relations can be checked (crash/recovery has its own benchmark,
+    R1).  Rates are first-class plan fields so a failing fault schedule
+    shrinks and replays like any other scenario dimension.
+    """
+
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    truncate: float = 0.0
+    poison: float = 0.0
+    transient: float = 0.0
+
+    def any(self) -> bool:
+        return any(
+            r > 0 for r in (
+                self.duplicate, self.reorder, self.truncate,
+                self.poison, self.transient,
+            )
+        )
+
+    def to_dict(self) -> dict[str, float]:
+        return {
+            "duplicate": self.duplicate,
+            "reorder": self.reorder,
+            "truncate": self.truncate,
+            "poison": self.poison,
+            "transient": self.transient,
+        }
+
+
+@dataclass(frozen=True)
+class ScenarioPlan:
+    """One fully-determined fuzz case (see module docstring)."""
+
+    op: str
+    root_seed: int
+    case: int
+    kind: str
+    n: int
+    universe: int
+    alpha: float
+    batch_size: int
+    faults: FaultPlan = field(default_factory=FaultPlan)
+    fault_seed: int = 0
+    checkpoint_at: int = 0
+    shards: int = 2
+    arity: int = 2
+    shrink: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "op": self.op,
+            "root_seed": self.root_seed,
+            "case": self.case,
+            "kind": self.kind,
+            "n": self.n,
+            "universe": self.universe,
+            "alpha": self.alpha,
+            "batch_size": self.batch_size,
+            "faults": self.faults.to_dict(),
+            "fault_seed": self.fault_seed,
+            "checkpoint_at": self.checkpoint_at,
+            "shards": self.shards,
+            "arity": self.arity,
+            "shrink": list(self.shrink),
+        }
+
+
+#: Item universes are capped so every generated value is legal for the
+#: registry build: the dyadic stack is built with universe_bits=8, and
+#: the value-bounded windowed reductions accept values < 512
+#: (max_value=511 / histogram edges ending at 512).
+_UNIVERSE_CAP = {"DyadicCountMin": 256}
+_DEFAULT_UNIVERSE_CAP = 512
+
+
+def generate_plan(spec, root_seed: int, case: int) -> ScenarioPlan:
+    """Draw one scenario plan from ``default_rng([root_seed, case])``.
+
+    Depends only on the seed pair and the spec's name/input kind, never
+    on encounter order — the determinism the replay command rests on.
+    """
+    rng = np.random.default_rng([int(root_seed), int(case)])
+    kinds = BIT_KINDS if spec.input == "bits" else ITEM_KINDS
+    kind = str(kinds[int(rng.integers(0, len(kinds)))])
+    n = int(2 ** rng.uniform(5.0, 10.5))  # 32 .. ~1448 items
+    cap = _UNIVERSE_CAP.get(spec.name, _DEFAULT_UNIVERSE_CAP)
+    universe = int(rng.integers(8, cap + 1))
+    alpha = float(rng.uniform(0.8, 2.0))
+    batch_size = int(2 ** rng.integers(2, 8))  # 4 .. 128
+    if rng.random() < 0.5:
+        faults = FaultPlan()
+    else:
+        # Low per-kind rates keep the effective stream non-degenerate
+        # (heavy truncation would mostly fuzz the empty stream).
+        faults = FaultPlan(
+            duplicate=float(rng.choice([0.0, 0.1])),
+            reorder=float(rng.choice([0.0, 0.1])),
+            truncate=float(rng.choice([0.0, 0.05])),
+            poison=float(rng.choice([0.0, 0.05])),
+            transient=float(rng.choice([0.0, 0.1])),
+        )
+    fault_seed = int(rng.integers(0, 2**31))
+    nbatches = max(1, -(-n // batch_size))
+    checkpoint_at = int(rng.integers(0, nbatches))
+    shards = int(rng.integers(2, 7))
+    arity = int(rng.integers(2, 5))
+    return ScenarioPlan(
+        op=spec.name,
+        root_seed=int(root_seed),
+        case=int(case),
+        kind=kind,
+        n=n,
+        universe=universe,
+        alpha=alpha,
+        batch_size=batch_size,
+        faults=faults,
+        fault_seed=fault_seed,
+        checkpoint_at=checkpoint_at,
+        shards=shards,
+        arity=arity,
+    )
+
+
+# ----------------------------------------------------------------------
+# Seed-spec codec: fuzz/v1:op=NAME:seed=S:case=C[:shrink=a.b.c]
+# ----------------------------------------------------------------------
+def format_seed_spec(plan: ScenarioPlan) -> str:
+    spec = f"{SEED_SPEC_PREFIX}:op={plan.op}:seed={plan.root_seed}:case={plan.case}"
+    if plan.shrink:
+        spec += f":shrink={'.'.join(plan.shrink)}"
+    return spec
+
+
+def parse_seed_spec(text: str) -> tuple[str, int, int, tuple[str, ...]]:
+    """Decode a seed-spec into ``(op, root_seed, case, shrink_steps)``.
+
+    Raises :class:`ValueError` with the expected grammar on any
+    malformed input, so the CLI surfaces an actionable message.
+    """
+    grammar = (
+        f"expected '{SEED_SPEC_PREFIX}:op=NAME:seed=S:case=C[:shrink=a.b.c]'"
+    )
+    parts = str(text).strip().split(":")
+    if not parts or parts[0] != SEED_SPEC_PREFIX:
+        raise ValueError(f"bad seed-spec {text!r}: {grammar}")
+    fields: dict[str, str] = {}
+    for part in parts[1:]:
+        key, sep, value = part.partition("=")
+        if not sep or key in fields:
+            raise ValueError(f"bad seed-spec {text!r}: {grammar}")
+        fields[key] = value
+    missing = {"op", "seed", "case"} - fields.keys()
+    unknown = fields.keys() - {"op", "seed", "case", "shrink"}
+    if missing or unknown:
+        raise ValueError(f"bad seed-spec {text!r}: {grammar}")
+    try:
+        seed, case = int(fields["seed"]), int(fields["case"])
+    except ValueError:
+        raise ValueError(
+            f"bad seed-spec {text!r}: seed and case must be integers"
+        ) from None
+    shrink = tuple(s for s in fields.get("shrink", "").split(".") if s)
+    for step in shrink:
+        if step not in SHRINK_STEPS:
+            raise ValueError(
+                f"bad seed-spec {text!r}: unknown shrink step {step!r}; "
+                f"known: {', '.join(SHRINK_STEPS)}"
+            )
+    return fields["op"], seed, case, shrink
+
+
+# ----------------------------------------------------------------------
+# Shrink steps
+# ----------------------------------------------------------------------
+_MIN_STREAM = 4
+
+
+def apply_shrink_step(
+    plan: ScenarioPlan, stream: np.ndarray, step: str
+) -> tuple[ScenarioPlan, np.ndarray] | None:
+    """Apply one named shrink step; ``None`` when it is inapplicable
+    (would shrink below the floor, or would change nothing)."""
+    n = len(stream)
+    if step == "front":
+        if n // 2 < _MIN_STREAM:
+            return None
+        return plan, stream[: n // 2]
+    if step == "back":
+        if n - n // 2 < _MIN_STREAM or n // 2 == 0:
+            return None
+        return plan, stream[n // 2 :]
+    if step == "head":
+        if n - n // 4 < _MIN_STREAM or n // 4 == 0:
+            return None
+        return plan, stream[n // 4 :]
+    if step == "tail":
+        if n - n // 4 < _MIN_STREAM or n // 4 == 0:
+            return None
+        return plan, stream[: n - n // 4]
+    if step == "nofaults":
+        if not plan.faults.any():
+            return None
+        return replace(plan, faults=FaultPlan()), stream
+    if step == "nockpt":
+        if plan.checkpoint_at == 0:
+            return None
+        return replace(plan, checkpoint_at=0), stream
+    if step == "batch":
+        if plan.batch_size < 2:
+            return None
+        return replace(plan, batch_size=plan.batch_size // 2), stream
+    if step == "shards":
+        if plan.shards == 2 and plan.arity == 2:
+            return None
+        return replace(plan, shards=2, arity=2), stream
+    raise ValueError(f"unknown shrink step {step!r}; known: {', '.join(SHRINK_STEPS)}")

@@ -1,0 +1,256 @@
+"""Fuzz session orchestration: case loop, metrics, artifacts, replay.
+
+A session sweeps the registry round-robin: case ``c`` fuzzes operator
+``specs[c % len(specs)]`` under the plan drawn from
+``default_rng([root_seed, c])``.  Every case runs inside a
+``fuzz.case`` span and bumps the per-operator pass/violation counters
+in the process :class:`~repro.observability.metrics.MetricsRegistry`
+(catalog: docs/observability.md).
+
+A failing case is shrunk (:mod:`repro.fuzz.shrink`), written out as a
+``repro-fuzzcase/v1`` JSON artifact, and reported with its one-line
+replay command.  Replay resolves the operator by *name*, so a case
+stays replayable under any ``--ops`` filter.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.engine import registry
+from repro.observability.metrics import REGISTRY
+from repro.observability.spans import span
+
+from .differential import Violation, run_case
+from .plan import ScenarioPlan, format_seed_spec, generate_plan, parse_seed_spec
+from .scenarios import synthesize_stream
+from .shrink import replay_shrink, shrink_case
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "CaseFailure",
+    "FuzzReport",
+    "run_fuzz",
+    "replay_case",
+    "write_artifact",
+    "load_artifact_spec",
+]
+
+ARTIFACT_FORMAT = "repro-fuzzcase/v1"
+
+# Fuzz metrics (catalog: docs/observability.md).
+_M_CASES = REGISTRY.counter(
+    "repro_fuzz_cases_total", "Differential fuzz cases executed",
+    labels=("operator",),
+)
+_M_VIOLATIONS = REGISTRY.counter(
+    "repro_fuzz_violations_total", "Fuzz relation violations detected",
+    labels=("operator", "relation"),
+)
+_M_CASE_SECONDS = REGISTRY.histogram(
+    "repro_fuzz_case_seconds", "Wall-clock seconds per fuzz case"
+)
+_M_SHRINK_STEPS = REGISTRY.counter(
+    "repro_fuzz_shrink_steps_total", "Accepted shrink steps across failing cases"
+)
+
+
+@dataclass(frozen=True)
+class CaseFailure:
+    """One failing case, post-shrink, with its replay handle."""
+
+    seed_spec: str
+    plan: ScenarioPlan
+    violations: tuple[Violation, ...]
+    artifact: str | None = None
+
+    @property
+    def replay_command(self) -> str:
+        return f"repro fuzz --replay '{self.seed_spec}'"
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz session."""
+
+    root_seed: int
+    cases_run: int = 0
+    seconds: float = 0.0
+    #: operator name -> (cases, violating cases)
+    per_operator: dict[str, tuple[int, int]] = field(default_factory=dict)
+    failures: list[CaseFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def tally(self, operator: str, violated: bool) -> None:
+        cases, bad = self.per_operator.get(operator, (0, 0))
+        self.per_operator[operator] = (cases + 1, bad + int(violated))
+
+    def render(self) -> str:
+        lines = [
+            f"fuzz seed={self.root_seed}: {self.cases_run} cases over "
+            f"{len(self.per_operator)} operators in {self.seconds:.1f}s"
+        ]
+        width = max((len(name) for name in self.per_operator), default=8)
+        for name in sorted(self.per_operator):
+            cases, bad = self.per_operator[name]
+            status = "FAIL" if bad else "ok"
+            lines.append(f"  {name.ljust(width)}  cases={cases:<4d} violations={bad:<3d} {status}")
+        for failure in self.failures:
+            lines.append(f"FAIL {failure.seed_spec}")
+            for violation in failure.violations:
+                lines.append(f"  [{violation.relation}] {violation.detail}")
+            if failure.artifact:
+                lines.append(f"  artifact: {failure.artifact}")
+            lines.append(f"  replay:   {failure.replay_command}")
+        verdict = "OK" if self.ok else f"{len(self.failures)} failing case(s)"
+        lines.append(f"result: {verdict}")
+        return "\n".join(lines)
+
+
+def resolve_specs(ops: Sequence[str] | None):
+    """Registry specs for an operator filter; actionable ValueError on
+    unknown names (the CLI maps ValueError to exit code 2)."""
+    if not ops:
+        return registry.specs()
+    out = []
+    for name in ops:
+        try:
+            out.append(registry.get(name))
+        except KeyError as exc:
+            raise ValueError(exc.args[0]) from None
+    return out
+
+
+def write_artifact(
+    directory: str | Path,
+    plan: ScenarioPlan,
+    stream: np.ndarray,
+    violations: Sequence[Violation],
+) -> Path:
+    """Persist one failing case as a ``repro-fuzzcase/v1`` JSON file."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    seed_spec = format_seed_spec(plan)
+    doc = {
+        "format": ARTIFACT_FORMAT,
+        "seed_spec": seed_spec,
+        "operator": plan.op,
+        "plan": plan.to_dict(),
+        "stream": np.asarray(stream).tolist(),
+        "stream_sha256": hashlib.sha256(
+            np.ascontiguousarray(stream, dtype=np.int64).tobytes()
+        ).hexdigest(),
+        "violations": [
+            {"relation": v.relation, "detail": v.detail} for v in violations
+        ],
+        "replay": f"repro fuzz --replay '{seed_spec}'",
+    }
+    path = directory / f"fuzzcase-{plan.op}-s{plan.root_seed}-c{plan.case}.json"
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    return path
+
+
+def load_artifact_spec(path: str | Path) -> str:
+    """The seed-spec stored in a fuzzcase artifact (for ``--replay-file``)."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"artifact {path} is not valid JSON: {exc}") from None
+    if not isinstance(doc, dict) or doc.get("format") != ARTIFACT_FORMAT:
+        raise ValueError(
+            f"artifact {path} is not a {ARTIFACT_FORMAT} document "
+            f"(format={doc.get('format')!r} if it parsed at all)"
+        )
+    return str(doc["seed_spec"])
+
+
+def replay_case(seed_spec: str) -> tuple[ScenarioPlan, np.ndarray, list[Violation]]:
+    """Regenerate a case bit-identically from its seed-spec and rerun
+    every relation.  Returns the (shrunk) plan, stream, and whatever
+    violations reproduce."""
+    op, root_seed, case, shrink = parse_seed_spec(seed_spec)
+    try:
+        spec = registry.get(op)
+    except KeyError as exc:
+        raise ValueError(exc.args[0]) from None
+    plan = generate_plan(spec, root_seed, case)
+    stream = synthesize_stream(spec, plan)
+    plan, stream = replay_shrink(replace(plan, shrink=shrink), stream)
+    return plan, stream, run_case(spec, plan, stream)
+
+
+def run_fuzz(
+    root_seed: int,
+    *,
+    cases: int = 200,
+    ops: Sequence[str] | None = None,
+    time_budget: float | None = None,
+    soak: bool = False,
+    artifact_dir: str | Path | None = "fuzzcases",
+    on_failure: Callable[[CaseFailure], None] | None = None,
+) -> FuzzReport:
+    """Run one fuzz session.
+
+    ``soak`` ignores ``cases`` and keeps cycling the registry until the
+    time budget (default 300 s) runs out; otherwise exactly ``cases``
+    cases run, clipped by ``time_budget`` when one is given.
+    """
+    if cases < 1:
+        raise ValueError(f"cases must be >= 1, got {cases}")
+    if time_budget is not None and time_budget <= 0:
+        raise ValueError(f"time budget must be > 0 seconds, got {time_budget}")
+    specs = resolve_specs(ops)
+    if soak and time_budget is None:
+        time_budget = 300.0
+
+    report = FuzzReport(root_seed=int(root_seed))
+    t0 = time.monotonic()
+    case = 0
+    while True:
+        if not soak and case >= cases:
+            break
+        if time_budget is not None and time.monotonic() - t0 >= time_budget:
+            break
+        spec = specs[case % len(specs)]
+        plan = generate_plan(spec, root_seed, case)
+        stream = synthesize_stream(spec, plan)
+        t_case = time.perf_counter()
+        with span("fuzz.case", "fuzz"):
+            violations = run_case(spec, plan, stream)
+            if violations:
+                plan, stream, violations = shrink_case(spec, plan, stream)
+        _M_CASE_SECONDS.observe(time.perf_counter() - t_case)
+        _M_CASES.inc(operator=spec.name)
+        report.tally(spec.name, bool(violations))
+        if violations:
+            _M_SHRINK_STEPS.inc(len(plan.shrink))
+            for violation in violations:
+                _M_VIOLATIONS.inc(operator=spec.name, relation=violation.relation)
+            artifact = (
+                str(write_artifact(artifact_dir, plan, stream, violations))
+                if artifact_dir is not None
+                else None
+            )
+            failure = CaseFailure(
+                seed_spec=format_seed_spec(plan),
+                plan=plan,
+                violations=tuple(violations),
+                artifact=artifact,
+            )
+            report.failures.append(failure)
+            if on_failure is not None:
+                on_failure(failure)
+        report.cases_run += 1
+        case += 1
+    report.seconds = time.monotonic() - t0
+    return report

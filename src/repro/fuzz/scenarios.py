@@ -1,0 +1,107 @@
+"""Deterministic stream synthesis for fuzz scenario plans.
+
+Every stream is a pure function of the plan's ``(root_seed, case)``
+pair (through ``default_rng([root_seed, case, _STREAM_KEY])``) and the
+plan's shape fields — re-synthesizing from the seed-spec reproduces the
+exact array the failing run saw.
+
+The generators themselves come from :mod:`repro.stream.generators`;
+this module only *parameterizes* them adversarially: window-aligned
+burst periods, dense-universe churn, the spread-out heavy hitter of
+Lemma 5.10 (folded into the plan's bounded universe so value-bounded
+operators stay in domain), and bit streams that sweep the geometric
+SBBC ladder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stream.generators import (
+    bit_stream,
+    bursty_bit_stream,
+    bursty_stream,
+    uniform_stream,
+    zipf_stream,
+)
+
+from .plan import ScenarioPlan
+
+__all__ = ["synthesize_stream"]
+
+#: Extra word appended to the rng seed so stream draws are independent
+#: of the plan-field draws made from the same (root_seed, case) pair.
+_STREAM_KEY = 7
+
+
+def _window_of(spec) -> int | None:
+    """The operator's window length, when it has one (drives the
+    window-boundary-aligned burst scenarios)."""
+    if not spec.caps.windowed:
+        return None
+    return int(getattr(spec.build(), "window", 0)) or None
+
+
+def synthesize_stream(spec, plan: ScenarioPlan) -> np.ndarray:
+    """Materialize the plan's stream: int64 items in ``[0, universe)``
+    or 0/1 bits, per the spec's declared input kind."""
+    rng = np.random.default_rng([plan.root_seed, plan.case, _STREAM_KEY])
+    n, universe = plan.n, plan.universe
+    window = _window_of(spec)
+
+    if spec.input == "bits":
+        if plan.kind == "dense":
+            return bit_stream(n, density=float(rng.uniform(0.5, 1.0)), rng=rng)
+        if plan.kind == "sparse":
+            return bit_stream(n, density=float(rng.uniform(0.0, 0.2)), rng=rng)
+        if plan.kind == "bursty":
+            period = window or int(rng.integers(8, 129))
+            return bursty_bit_stream(
+                n,
+                low=float(rng.uniform(0.0, 0.1)),
+                high=float(rng.uniform(0.7, 1.0)),
+                period=period,
+                duty=float(rng.uniform(0.1, 0.6)),
+                rng=rng,
+            )
+        if plan.kind == "runs":
+            # Long alternating all-0/all-1 runs: worst case for block
+            # boundaries (every run flip lands mid-block somewhere).
+            run = int(rng.integers(1, max(2, (window or 64))))
+            phase = int(rng.integers(0, 2))
+            bits = (np.arange(n) // run + phase) % 2
+            return bits.astype(np.int64)
+        raise ValueError(f"unknown bit scenario kind {plan.kind!r}")
+
+    if plan.kind == "zipf":
+        return zipf_stream(n, universe, plan.alpha, rng=rng)
+    if plan.kind == "uniform":
+        return uniform_stream(n, universe, rng=rng)
+    if plan.kind == "sawtooth":
+        # Deterministic cyclic sweep through the universe with a drawn
+        # stride — every item equally frequent, maximal order churn.
+        stride = int(rng.integers(1, universe)) if universe > 1 else 1
+        return ((np.arange(n, dtype=np.int64) * stride) % universe).astype(np.int64)
+    if plan.kind == "burst":
+        # Solid bursts of one hot item, aligned to the operator's window
+        # boundary when it has one — the swing that stresses expiry.
+        period = window or int(rng.integers(16, 257))
+        period = min(period, max(2, n))
+        burst_len = int(rng.integers(1, period + 1))
+        return bursty_stream(
+            n, universe, burst_item=0, burst_len=burst_len, period=period, rng=rng
+        )
+    if plan.kind == "adversarial":
+        # Lemma 5.10's spread-out heavy hitter over near-unique filler;
+        # folded into the bounded universe so value-capped operators
+        # stay in domain (the hidden item keeps its even spacing).
+        occurrences = max(1, int(np.ceil(0.06 * n)))
+        filler = rng.permutation(n).astype(np.int64) % universe
+        positions = np.linspace(0, n - 1, occurrences).astype(np.int64)
+        filler[positions] = int(rng.integers(0, universe))
+        return filler
+    if plan.kind == "churn":
+        # Every id roughly once per universe-cycle, randomly ordered:
+        # nonstop insert/evict pressure on capacity-bounded summaries.
+        return (rng.permutation(n).astype(np.int64)) % universe
+    raise ValueError(f"unknown item scenario kind {plan.kind!r}")

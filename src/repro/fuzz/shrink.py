@@ -1,0 +1,86 @@
+"""Greedy deterministic shrinking of failing fuzz cases.
+
+A failing (plan, stream) pair is reduced by repeatedly trying the
+named steps in :data:`repro.fuzz.plan.SHRINK_STEPS` order and keeping
+the first one that still fails — classic greedy delta debugging, but
+over *named deterministic steps* instead of arbitrary subsets.  That
+restriction is what makes replay exact: the accepted step names are
+appended to the plan's ``shrink`` tuple and travel inside the
+seed-spec, so ``repro fuzz --replay`` regenerates the original stream
+from the seed pair and re-applies the same steps bit-for-bit — no
+stream payload needs to be trusted (the artifact embeds one anyway,
+for eyeballing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+import numpy as np
+
+from .differential import Violation, run_case
+from .plan import SHRINK_STEPS, ScenarioPlan, apply_shrink_step
+
+__all__ = ["shrink_case", "replay_shrink"]
+
+
+def shrink_case(
+    spec,
+    plan: ScenarioPlan,
+    stream: np.ndarray,
+    *,
+    max_evals: int = 64,
+    run: Callable[..., list[Violation]] = run_case,
+) -> tuple[ScenarioPlan, np.ndarray, list[Violation]]:
+    """Shrink a failing case to a locally-minimal one.
+
+    Returns ``(plan, stream, violations)`` where the plan's ``shrink``
+    field records the accepted steps and ``violations`` is the failure
+    the minimal case still exhibits.  ``max_evals`` bounds the number
+    of candidate re-executions, so shrinking cannot dominate a fuzz
+    session's time budget.
+    """
+    violations = run(spec, plan, stream)
+    if not violations:
+        return plan, stream, violations
+    accepted: list[str] = []
+    evals = 0
+    progress = True
+    while progress and evals < max_evals:
+        progress = False
+        for step in SHRINK_STEPS:
+            candidate = apply_shrink_step(plan, stream, step)
+            if candidate is None:
+                continue
+            cand_plan, cand_stream = candidate
+            evals += 1
+            cand_violations = run(spec, cand_plan, cand_stream)
+            if cand_violations:
+                plan, stream = cand_plan, cand_stream
+                violations = cand_violations
+                accepted.append(step)
+                progress = True
+                break
+            if evals >= max_evals:
+                break
+    return replace(plan, shrink=tuple(plan.shrink) + tuple(accepted)), stream, violations
+
+
+def replay_shrink(
+    plan: ScenarioPlan, stream: np.ndarray
+) -> tuple[ScenarioPlan, np.ndarray]:
+    """Re-apply a plan's recorded shrink steps to the freshly
+    regenerated stream — the replay side of :func:`shrink_case`."""
+    steps = tuple(plan.shrink)
+    current = replace(plan, shrink=())
+    for step in steps:
+        applied = apply_shrink_step(current, stream, step)
+        if applied is None:
+            raise ValueError(
+                f"shrink step {step!r} no longer applies while replaying "
+                f"{plan.op} case {plan.case} — seed-spec and generator "
+                "disagree (stale seed-spec?)"
+            )
+        current, stream = applied
+    return replace(current, shrink=steps), stream

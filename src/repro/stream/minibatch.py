@@ -243,11 +243,28 @@ class MinibatchDriver:
         self._graph: DataflowGraph | None = None
 
         self._processed_ids: set[int] = set()
+        #: After-batch observers (see :meth:`add_hook`) — runtime-only
+        #: probes, deliberately excluded from :meth:`state_dict`.
+        self._hooks: list[Callable[["MinibatchDriver", BatchReport], None]] = []
         self._since_checkpoint: list[tuple[int, np.ndarray]] = []
         self.duplicates_skipped = 0
         self.retries = 0
         self.quarantines: list[QuarantineEvent] = []
         self.recoveries = 0
+
+    def add_hook(
+        self, hook: Callable[["MinibatchDriver", BatchReport], None]
+    ) -> None:
+        """Register an after-batch observer.
+
+        Hooks run synchronously after each fully processed minibatch,
+        as ``hook(driver, report)`` — the point where operator state is
+        consistent, so a hook may snapshot ``state_dict()`` mid-stream
+        (the fuzzer's checkpoint/restore probes, docs/testing.md).
+        Hooks are runtime wiring, not state: they are not captured by
+        :meth:`state_dict` and survive :meth:`load_state` untouched.
+        """
+        self._hooks.append(hook)
 
     @property
     def _resilient(self) -> bool:
@@ -385,6 +402,8 @@ class MinibatchDriver:
         if self.query_every and (self._batch_index + 1) % self.query_every == 0:
             report.query_results = {name: q() for name, q in self.queries.items()}
         self._batch_index += 1
+        for hook in self._hooks:
+            hook(self, report)
         return report
 
     def _engine_graph(self) -> DataflowGraph:

@@ -221,3 +221,87 @@ class TestOpsCommand:
             if line.startswith("ParallelCountMin ")
         )
         assert "MPI" in cms_line and "core" in cms_line
+
+
+class TestFuzzCommand:
+    """``repro fuzz``: the differential fuzzer's CLI surface, including
+    every documented error path (exit 2 + an actionable message)."""
+
+    def test_clean_run_renders_table(self, tmp_path):
+        code, output = run_cli(
+            ["fuzz", "--cases", "4", "--seed", "5",
+             "--ops", "ExactCounters", "ParallelCountMin",
+             "--artifact-dir", str(tmp_path)]
+        )
+        assert code == 0
+        assert "ExactCounters" in output and "ParallelCountMin" in output
+        assert "result: OK" in output
+
+    def test_replay_clean_case(self, tmp_path):
+        code, output = run_cli(
+            ["fuzz", "--replay", "fuzz/v1:op=SBBC:seed=5:case=2",
+             "--artifact-dir", str(tmp_path)]
+        )
+        assert code == 0
+        assert "no violation reproduced" in output
+
+    def test_caught_bug_exits_one_with_replay_line(self, tmp_path):
+        from repro.engine import registry
+        from repro.engine.registry import Capabilities
+        from repro.fuzz import classify_like, declassify
+        from tests.test_fuzz import _DropsLastItem
+
+        name = "BuggyExactCountersCLI"
+        registry.register(
+            _DropsLastItem,
+            summary="mutation smoke test (CLI)",
+            input="items",
+            caps=Capabilities(mergeable=True),
+            build=lambda: _DropsLastItem(),
+            probe=registry.get("ExactCounters").probe,
+            name=name,
+        )
+        classify_like(name, "ExactCounters")
+        try:
+            code, output = run_cli(
+                ["fuzz", "--cases", "12", "--seed", "5", "--ops", name,
+                 "--artifact-dir", str(tmp_path)]
+            )
+        finally:
+            registry._REGISTRY.pop(name, None)
+            declassify(name)
+        assert code == 1
+        assert "FAIL" in output
+        assert "repro fuzz --replay 'fuzz/v1:op=" in output
+        assert "artifact:" in output
+
+    @pytest.mark.parametrize(
+        "argv, message",
+        [
+            (["fuzz", "--ops", "NoSuchOp"], "no synopsis named"),
+            (["fuzz", "--cases", "0"], "cases must be >= 1"),
+            (["fuzz", "--time-budget", "-1"], "time budget must be > 0"),
+            (["fuzz", "--replay", "garbage"], "bad seed-spec"),
+            (["fuzz", "--replay-file", "/nonexistent/case.json"],
+             "No such file"),
+            (["fuzz", "--replay", "fuzz/v1:op=SBBC:seed=1:case=0",
+              "--replay-file", "x.json"], "mutually exclusive"),
+            (["fuzz", "--replay", "fuzz/v1:op=NoSuchOp:seed=1:case=0"],
+             "no synopsis named"),
+        ],
+    )
+    def test_error_paths_exit_two(self, argv, message, capsys):
+        code, _ = run_cli(argv)
+        assert code == 2
+        assert message in capsys.readouterr().err
+
+    def test_replay_file_must_be_fuzzcase_document(self, tmp_path, capsys):
+        rogue = tmp_path / "baseline.json"
+        rogue.write_text('{"format": "benchmark-baseline/v1"}')
+        code, _ = run_cli(["fuzz", "--replay-file", str(rogue)])
+        assert code == 2
+        assert "repro-fuzzcase/v1" in capsys.readouterr().err
+
+    def test_argparse_rejects_non_integer_cases(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fuzz", "--cases", "many"])

@@ -1,0 +1,261 @@
+"""Tests for the differential fuzzer (repro.fuzz).
+
+Three layers:
+
+* the deterministic substrate — plans, streams, and seed-specs must
+  regenerate bit-identically from ``(root_seed, case)``;
+* a clean mini-sweep — one fuzz case per registered operator finds no
+  violations and bumps the fuzz metrics;
+* the mutation smoke test — a deliberately broken operator registered
+  under a throwaway name IS caught, shrunk, and replays bit-identically
+  from its seed-spec alone.  This is the test of the fuzzer itself: a
+  fuzzer that never fails anything proves nothing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import ExactCounters
+from repro.engine import registry
+from repro.engine.registry import Capabilities
+from repro.fuzz import (
+    BIT_KINDS,
+    ITEM_KINDS,
+    classify_like,
+    declassify,
+    format_seed_spec,
+    generate_plan,
+    parse_seed_spec,
+    replay_case,
+    run_case,
+    run_fuzz,
+    shrink_case,
+    synthesize_stream,
+    write_artifact,
+)
+from repro.fuzz.runner import _M_CASES, load_artifact_spec, resolve_specs
+from repro.observability.metrics import REGISTRY
+
+SPECS = registry.specs()
+IDS = [spec.name for spec in SPECS]
+
+
+def _sha(stream: np.ndarray) -> str:
+    return hashlib.sha256(
+        np.ascontiguousarray(stream, dtype=np.int64).tobytes()
+    ).hexdigest()
+
+
+class TestPlan:
+    def test_deterministic(self):
+        spec = registry.get("ParallelCountMin")
+        assert generate_plan(spec, 5, 3) == generate_plan(spec, 5, 3)
+
+    def test_cases_differ(self):
+        spec = registry.get("ParallelCountMin")
+        plans = {generate_plan(spec, 5, case) for case in range(16)}
+        assert len(plans) == 16
+
+    @pytest.mark.parametrize("spec", SPECS, ids=IDS)
+    def test_fields_in_range(self, spec):
+        for case in range(8):
+            plan = generate_plan(spec, 9, case)
+            assert plan.op == spec.name
+            assert plan.n >= 32
+            assert plan.batch_size >= 4
+            assert plan.shards >= 2 and plan.arity >= 2
+            expected = BIT_KINDS if spec.input == "bits" else ITEM_KINDS
+            assert plan.kind in expected
+
+
+class TestSeedSpec:
+    def test_round_trip(self):
+        spec = registry.get("SBBC")
+        plan = generate_plan(spec, 5, 7)
+        assert parse_seed_spec(format_seed_spec(plan)) == ("SBBC", 5, 7, ())
+
+    def test_round_trip_with_shrink(self):
+        from dataclasses import replace
+
+        plan = replace(
+            generate_plan(registry.get("SBBC"), 5, 7),
+            shrink=("front", "nofaults"),
+        )
+        text = format_seed_spec(plan)
+        assert parse_seed_spec(text) == ("SBBC", 5, 7, ("front", "nofaults"))
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "garbage",
+            "fuzz/v2:op=SBBC:seed=1:case=0",
+            "fuzz/v1:op=SBBC:seed=x:case=0",
+            "fuzz/v1:op=SBBC:seed=1",
+            "fuzz/v1:op=SBBC:seed=1:case=0:shrink=warp",
+        ],
+    )
+    def test_bad_specs_are_actionable(self, bad):
+        with pytest.raises(ValueError, match="seed-spec|shrink"):
+            parse_seed_spec(bad)
+
+    def test_unknown_operator_in_replay(self):
+        with pytest.raises(ValueError, match="no synopsis named"):
+            replay_case("fuzz/v1:op=NoSuchOp:seed=1:case=0")
+
+
+class TestScenarios:
+    @pytest.mark.parametrize("spec", SPECS, ids=IDS)
+    def test_streams_deterministic_and_bounded(self, spec):
+        for case in range(4):
+            plan = generate_plan(spec, 11, case)
+            stream = synthesize_stream(spec, plan)
+            assert _sha(stream) == _sha(synthesize_stream(spec, plan))
+            assert len(stream) == plan.n
+            if spec.input == "bits":
+                assert set(np.unique(stream)) <= {0, 1}
+            else:
+                assert stream.min() >= 0
+                assert stream.max() < plan.universe
+
+
+class TestRunner:
+    def test_clean_sweep_covers_registry(self):
+        before = sum(v for _, v in _M_CASES.samples())
+        report = run_fuzz(5, cases=len(SPECS), artifact_dir=None)
+        assert report.ok, report.render()
+        assert report.cases_run == len(SPECS)
+        assert set(report.per_operator) == set(IDS)
+        assert sum(v for _, v in _M_CASES.samples()) == before + len(SPECS)
+        assert "result: OK" in report.render()
+
+    def test_ops_filter_and_unknown_op(self):
+        report = run_fuzz(3, cases=4, ops=["ExactCounters"], artifact_dir=None)
+        assert list(report.per_operator) == ["ExactCounters"]
+        assert report.per_operator["ExactCounters"] == (4, 0)
+        with pytest.raises(ValueError, match="no synopsis named"):
+            resolve_specs(["NoSuchOp"])
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError, match="cases"):
+            run_fuzz(1, cases=0)
+        with pytest.raises(ValueError, match="time budget"):
+            run_fuzz(1, time_budget=-2.0)
+
+    def test_time_budget_stops_early(self):
+        report = run_fuzz(1, cases=10_000, time_budget=1.0, artifact_dir=None)
+        assert report.cases_run < 10_000
+
+    def test_artifact_round_trip(self, tmp_path):
+        spec = registry.get("ExactCounters")
+        plan = generate_plan(spec, 5, 0)
+        stream = synthesize_stream(spec, plan)
+        path = write_artifact(tmp_path, plan, stream, [])
+        doc = json.loads(path.read_text())
+        assert doc["format"] == "repro-fuzzcase/v1"
+        assert doc["stream_sha256"] == _sha(stream)
+        assert load_artifact_spec(path) == format_seed_spec(plan)
+
+    def test_artifact_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "not-a-case.json"
+        path.write_text(json.dumps({"format": "something/else"}))
+        with pytest.raises(ValueError, match="repro-fuzzcase/v1"):
+            load_artifact_spec(path)
+        path.write_text("{broken")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_artifact_spec(path)
+
+
+class _DropsLastItem(ExactCounters):
+    """Deliberately broken: silently loses the last element of every
+    multi-element batch — the classic off-by-one ingest bug."""
+
+    def extend(self, batch):
+        batch = np.asarray(batch)
+        super().extend(batch[:-1] if len(batch) > 1 else batch)
+
+    ingest = extend
+
+
+@pytest.fixture
+def buggy_operator():
+    """Register the broken operator under a throwaway name, classified
+    exactly like its parent so it faces the same assertions."""
+    name = "BuggyExactCounters"
+    parent = registry.get("ExactCounters")
+    registry.register(
+        _DropsLastItem,
+        summary="mutation smoke test: drops the last item of each batch",
+        input="items",
+        caps=Capabilities(mergeable=True),
+        build=lambda: _DropsLastItem(),
+        probe=parent.probe,
+        name=name,
+    )
+    classify_like(name, "ExactCounters")
+    try:
+        yield name
+    finally:
+        registry._REGISTRY.pop(name, None)
+        declassify(name)
+
+
+class TestMutationSmoke:
+    """An injected bug must be caught, shrunk, and replayable."""
+
+    def test_bug_is_caught_shrunk_and_replayable(self, buggy_operator, tmp_path):
+        report = run_fuzz(
+            5, cases=12, ops=[buggy_operator], artifact_dir=tmp_path
+        )
+        assert not report.ok, "fuzzer failed to catch a deliberate bug"
+        failure = report.failures[0]
+        # The one-line replay handle the runner advertises.
+        assert failure.replay_command.startswith("repro fuzz --replay ")
+        relations = {v.relation for f in report.failures for v in f.violations}
+        assert relations & {"rebatch", "mergetree", "prepared", "checkpoint"}
+
+        # Shrinking made progress: the minimal case is smaller than the
+        # original plan's stream (or at least recorded accepted steps).
+        original = generate_plan(
+            registry.get(buggy_operator), 5, failure.plan.case
+        )
+        assert failure.plan.shrink, "no shrink step accepted"
+        assert failure.plan.n <= original.n
+
+        # Replay from the seed-spec alone reproduces the identical
+        # stream (sha over int64 bytes) and the violation.
+        with open(failure.artifact) as fh:
+            doc = json.load(fh)
+        plan, stream, violations = replay_case(failure.seed_spec)
+        assert violations, "replay did not reproduce the violation"
+        assert _sha(stream) == doc["stream_sha256"]
+        assert format_seed_spec(plan) == failure.seed_spec
+
+    def test_shrink_reduces_and_still_fails(self, buggy_operator):
+        spec = registry.get(buggy_operator)
+        # Pick the first failing case deterministically.
+        for case in range(12):
+            plan = generate_plan(spec, 5, case)
+            stream = synthesize_stream(spec, plan)
+            if run_case(spec, plan, stream):
+                break
+        else:
+            pytest.fail("no failing case found for the buggy operator")
+        shrunk_plan, shrunk_stream, violations = shrink_case(spec, plan, stream)
+        assert violations
+        assert len(shrunk_stream) <= len(stream)
+        assert shrunk_plan.shrink
+
+
+class TestCleanOperatorsStayClean:
+    def test_healthy_registry_unaffected_by_classification_helpers(self):
+        # classify_like/declassify on a throwaway name must not disturb
+        # the real operators' classification.
+        classify_like("Ephemeral", "ParallelCountMin")
+        declassify("Ephemeral")
+        report = run_fuzz(7, cases=8, artifact_dir=None)
+        assert report.ok, report.render()

@@ -184,3 +184,31 @@ def test_merge_tree_equals_flat_fold_estimates(spec):
     else:
         _assert_within_envelope(spec, flat, streams)
         _assert_within_envelope(spec, tree, streams)
+
+
+@pytest.mark.parametrize("spec", MERGEABLE, ids=IDS)
+def test_random_partitions_interleave_equivalently(spec):
+    """K random (cut-set, merge-order) partitions of one concatenated
+    stream fold back to the single-pass answer: state-identical for the
+    linear sketches, error-envelope-bounded for the capacity-bounded
+    family.  This is the property that licenses *any* scheduler
+    interleaving, not just the fold shapes the engine happens to use
+    today."""
+    rng = np.random.default_rng(42)
+    streams = _streams()
+    concat = np.concatenate(streams)
+    baseline = _ingested(spec, concat)
+    for _ in range(5):
+        n_parts = int(rng.integers(2, 7))
+        cuts = np.sort(
+            rng.choice(np.arange(1, len(concat)), size=n_parts - 1, replace=False)
+        )
+        partials = [_ingested(spec, chunk) for chunk in np.split(concat, cuts)]
+        folded = spec.build()
+        for index in rng.permutation(n_parts):
+            folded.merge(partials[index])
+        if spec.name in STATE_EXACT:
+            assert _state(folded) == _state(baseline)
+            assert spec.probe(folded) == spec.probe(baseline)
+        else:
+            _assert_within_envelope(spec, folded, streams)

@@ -86,3 +86,41 @@ class TestRun:
         driver.run(np.zeros(100, dtype=np.int64), 50)
         assert len(driver.reports) == 4
         assert driver.reports[-1].index == 3
+
+
+class TestHooks:
+    """add_hook: runtime-only probes that fire after every processed
+    minibatch (the fuzzer's mid-stream checkpoint relation rides on
+    this)."""
+
+    def test_hook_sees_every_batch_in_order(self):
+        driver = MinibatchDriver({"freq": ParallelFrequencyEstimator(0.1)})
+        seen = []
+        driver.add_hook(lambda drv, report: seen.append(report.index))
+        driver.run(np.arange(1_000) % 7, 300)
+        assert seen == [0, 1, 2, 3]
+
+    def test_hook_fires_after_operator_ingest(self):
+        freq = ParallelFrequencyEstimator(0.1)
+        driver = MinibatchDriver({"freq": freq})
+        lengths = []
+        driver.add_hook(lambda drv, report: lengths.append(freq.stream_length))
+        driver.run(np.arange(600) % 5, 200)
+        assert lengths == [200, 400, 600]
+
+    def test_multiple_hooks_run_in_registration_order(self):
+        driver = MinibatchDriver({"freq": ParallelFrequencyEstimator(0.1)})
+        order = []
+        driver.add_hook(lambda drv, report: order.append("a"))
+        driver.add_hook(lambda drv, report: order.append("b"))
+        driver.run(np.arange(100), 100)
+        assert order == ["a", "b"]
+
+    def test_hooks_survive_state_round_trip(self):
+        driver = MinibatchDriver({"freq": ParallelFrequencyEstimator(0.1)})
+        fired = []
+        driver.add_hook(lambda drv, report: fired.append(report.index))
+        state = driver.state_dict()
+        driver.load_state(state)  # hooks are runtime-only, not state
+        driver.run(np.arange(100), 50)
+        assert fired == [0, 1]
