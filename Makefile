@@ -3,7 +3,7 @@ PY ?= python
 # Fixed seeds for the fault-injection suite (reproducible fault plans).
 FAULT_SEEDS ?= 101 202 303
 
-.PHONY: install test faults docs-check fuzz-smoke fuzz bench bench-quick bench-gate experiments examples clean
+.PHONY: install test faults docs-check fuzz-smoke fuzz fuzz-soak bench bench-quick bench-gate experiments examples clean
 
 # Experiments with committed perf baselines, gated by bench_compare.
 GATED_EXPERIMENTS = e1 e13 e14 e16 e17
@@ -26,20 +26,26 @@ fuzz-smoke:
 	$(PY) -m repro fuzz --cases $(FUZZ_SMOKE_CASES) --seed $(FUZZ_SEED)
 
 # Fuzz soak: keep cycling the registry under a wall-clock budget.
+# `fuzz-soak` is the name the nightly workflow invokes.
 fuzz:
 	$(PY) -m repro fuzz --soak --seed $(FUZZ_SEED) --time-budget $(FUZZ_BUDGET)
+
+fuzz-soak: fuzz
 
 # Documentation lint: dead links + stale benchmark references.
 docs-check:
 	$(PY) scripts/docs_check.py
 
-# Fault suite: deterministic fault plans + crash-recovery benchmark at
-# the three fixed seeds (REPRO_FAULT_SEEDS picked up by bench_r01).
+# Fault suite: deterministic fault plans + crash-recovery and reshard
+# benchmarks at the three fixed seeds (REPRO_FAULT_SEEDS picked up by
+# bench_r01/bench_r02).
 faults:
 	REPRO_FAULT_SEEDS="$(FAULT_SEEDS)" $(PY) -m pytest \
 		tests/test_fault_injection.py tests/test_checkpoint_manager.py \
 		tests/test_invariants.py tests/test_resilience_state.py \
-		benchmarks/bench_r01_recovery.py --benchmark-disable
+		tests/test_reshard.py \
+		benchmarks/bench_r01_recovery.py benchmarks/bench_r02_reshard.py \
+		--benchmark-disable
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

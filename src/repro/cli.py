@@ -116,6 +116,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="K",
         help="run the operator's invariant audit every K minibatches",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="S",
+        help="elastic sharded ingest with S initial shards (mergeable "
+        "operators only — the M flag in `repro ops`)",
+    )
+    parser.add_argument(
+        "--rescale-at",
+        default=None,
+        metavar="B:S[,B:S...]",
+        help="rescale the shard count to S at the start of minibatch B "
+        "(0-based), e.g. 100:64,500:4; requires --shards",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     hh = sub.add_parser("heavy-hitters", help="continuous φ-heavy hitters")
@@ -378,6 +393,25 @@ _COMMANDS: dict[str, _Command] = {
 }
 
 
+def _parse_rescale_at(spec: str) -> dict[int, int]:
+    """Parse ``BATCH:SHARDS[,BATCH:SHARDS...]`` into a schedule dict."""
+    schedule: dict[int, int] = {}
+    for part in spec.split(","):
+        try:
+            batch_text, shards_text = part.split(":")
+            batch, shards = int(batch_text), int(shards_text)
+        except ValueError:
+            raise ValueError(
+                f"--rescale-at entry {part!r} is not BATCH:SHARDS"
+            ) from None
+        if batch < 0 or shards < 1:
+            raise ValueError(
+                f"--rescale-at entry {part!r} needs BATCH >= 0 and SHARDS >= 1"
+            )
+        schedule[batch] = shards
+    return schedule
+
+
 def _list_ops(out) -> None:
     """``repro ops``: every registered synopsis with capability flags."""
     specs = sorted(registry.specs(), key=lambda s: (s.kind != "core", s.name))
@@ -416,7 +450,30 @@ def _run(args: argparse.Namespace, out) -> int | None:
         raise SystemExit(f"unknown command {args.command}")
     name, kwargs = command.resolve(args)
     op = registry.create(name, **kwargs)
-    final = lambda: command.answer(op, args)  # noqa: E731
+
+    ingestor = None
+    schedule: dict[int, int] = {}
+    if args.shards is not None:
+        if not (hasattr(op, "fresh_clone") and hasattr(op, "merge")):
+            raise ValueError(
+                f"--shards needs a mergeable operator (the M flag in "
+                f"`repro ops`); {name} is not mergeable"
+            )
+        from repro.resilience.reshard import ElasticShardedIngestor
+
+        schedule = _parse_rescale_at(args.rescale_at) if args.rescale_at else {}
+        ingestor = ElasticShardedIngestor(op, shards=args.shards, label=name)
+    elif args.rescale_at:
+        raise ValueError("--rescale-at requires --shards")
+
+    def synced() -> Any:
+        # Queries, audits, and snapshots must see total state; folding
+        # is a no-op when nothing is outstanding.
+        if ingestor is not None:
+            ingestor.sync()
+        return op
+
+    final = lambda: command.answer(synced(), args)  # noqa: E731
     interim = final
 
     manager = None
@@ -445,10 +502,16 @@ def _run(args: argparse.Namespace, out) -> int | None:
         raise ValueError("--resume requires --checkpoint-dir")
 
     def snapshot() -> dict:
-        return {"op": op.state_dict(), "items": items}
+        return {"op": synced().state_dict(), "items": items}
 
     for i, batch in enumerate(_read_batches(args.file, args.batch)):
-        op.ingest(batch)
+        if ingestor is not None:
+            target = schedule.get(i)
+            if target is not None:
+                ingestor.rescale(target, reason="scheduled", batch_index=i)
+            ingestor.ingest(batch, batch_id=i)
+        else:
+            op.ingest(batch)
         items += len(batch)
         batches_done += 1
         _M_CLI_BATCHES.inc()
@@ -458,12 +521,24 @@ def _run(args: argparse.Namespace, out) -> int | None:
             print(f"[{items} items] {interim()}", file=out)
         if args.audit_every and (i + 1) % args.audit_every == 0:
             if hasattr(op, "check_invariants"):
-                op.check_invariants()
+                synced().check_invariants()
         if manager is not None:
             manager.maybe_save(snapshot(), batches_done)
 
     if manager is not None and batches_done % manager.every != 0:
         manager.save(snapshot(), batch_index=batches_done)
+
+    if ingestor is not None:
+        synced()
+        for event in ingestor.events:
+            at = "?" if event.batch_index is None else event.batch_index
+            print(
+                f"reshard @ batch {at}: {event.old_shards} -> "
+                f"{event.new_shards} shards ({event.reason}, "
+                f"{event.seconds * 1e3:.2f} ms)",
+                file=out,
+            )
+        print(f"final shards: {ingestor.shards}", file=out)
 
     print(f"items processed: {items}", file=out)
     print(f"answer: {final()}", file=out)

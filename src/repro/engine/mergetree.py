@@ -35,7 +35,12 @@ import numpy as np
 
 from repro.pram.backend import Backend, fork_join
 
-__all__ = ["shard_partials", "merge_partials", "merge_tree_ingest"]
+__all__ = [
+    "shard_partials",
+    "refold_partials",
+    "merge_partials",
+    "merge_tree_ingest",
+]
 
 
 def _leaf_task(clone_blob: bytes, shard: np.ndarray) -> Any:
@@ -88,6 +93,43 @@ def shard_partials(
     return fork_join(tasks, backend)
 
 
+def refold_partials(
+    partials: Sequence[Any],
+    *,
+    arity: int = 2,
+    backend: Backend | None = None,
+) -> Any:
+    """Fold ``partials`` into one synopsis through k-ary tree rounds and
+    return the folded head (``None`` for an empty list).
+
+    The partials may be *heterogeneous in history* — fresh leaves from
+    one minibatch, or long-lived per-shard accumulators holding many
+    batches of state, or a mix: merge-order freedom makes the fold valid
+    regardless.  Unlike :func:`merge_partials` there is no adopting
+    ``op`` — the caller owns the result.  This is the re-fold step of
+    the elastic reshard protocol
+    (:class:`repro.resilience.reshard.ElasticShardedIngestor`), which
+    collapses the old shard set's partials before repartitioning to the
+    new shard count."""
+    if arity < 2:
+        raise ValueError(f"arity must be >= 2, got {arity}")
+    parts = list(partials)
+    # Degenerate folds, spelled out so the charged depth is obvious:
+    # S=0 (an empty batch sharded to nothing) folds nothing; S=1 needs
+    # no tree rounds at all.  Both paths charge exactly what the general
+    # loop would — they exist for clarity and as anchors for the
+    # regression tests in tests/test_mergetree.py.
+    if not parts:
+        return None
+    # arity >= S collapses the tree to a single round: one group, one
+    # strand, arity no longer matters beyond that round.
+    while len(parts) > 1:
+        groups = [parts[i : i + arity] for i in range(0, len(parts), arity)]
+        tasks = [partial(_merge_group, group) for group in groups]
+        parts = fork_join(tasks, backend)
+    return parts[0]
+
+
 def merge_partials(
     op: Any,
     partials: Sequence[Any],
@@ -104,26 +146,9 @@ def merge_partials(
     O(log_arity S) rounds × (arity−1) merges, vs Θ(S) for the flat
     fold.  Returns ``op``."""
     _require_mergeable(op, "merge_partials")
-    if arity < 2:
-        raise ValueError(f"arity must be >= 2, got {arity}")
-    parts = list(partials)
-    # Degenerate folds, spelled out so the charged depth is obvious:
-    # S=0 (an empty batch sharded to nothing) folds nothing; S=1 needs
-    # no tree rounds, only the final adoption merge.  Both paths charge
-    # exactly what the general loop would — they exist for clarity and
-    # as anchors for the regression tests in tests/test_mergetree.py.
-    if not parts:
-        return op
-    if len(parts) == 1:
-        op.merge(parts[0])
-        return op
-    # arity >= S collapses the tree to a single round: one group, one
-    # strand, arity no longer matters beyond that round.
-    while len(parts) > 1:
-        groups = [parts[i : i + arity] for i in range(0, len(parts), arity)]
-        tasks = [partial(_merge_group, group) for group in groups]
-        parts = fork_join(tasks, backend)
-    op.merge(parts[0])
+    head = refold_partials(partials, arity=arity, backend=backend)
+    if head is not None:
+        op.merge(head)
     return op
 
 

@@ -73,8 +73,11 @@ class Capabilities:
 
     ``mergeable``
         ``merge(other)`` + ``fresh_clone()`` — the mergeable-summaries
-        property that makes :func:`repro.engine.mergetree.merge_partials`
-        and ``shard_ingest`` valid.
+        property that makes :func:`repro.engine.mergetree.merge_partials`,
+        ``shard_ingest``, and elastic resharding
+        (:class:`repro.resilience.ElasticShardedIngestor`) valid; it also
+        selects the fuzzer's ``mergetree`` *and* ``reshard`` differential
+        relations for the operator.
     ``preparable``
         ``ingest_prepared(plan)`` — consumes a shared
         :class:`~repro.pram.plan.PreparedBatch` instead of re-encoding.

@@ -19,6 +19,14 @@ its synthesized stream, :func:`run_case` runs the operator through
     linear sketches, probe-exact for exact counters, envelope-bounded
     for the capacity-bounded (MG/Space-Saving) family, per the
     merge-algebra rules (tests/test_merge_algebra.py);
+``reshard``
+    elastic sharded ingest through
+    :class:`~repro.resilience.ElasticShardedIngestor` under a seeded
+    2→64→4 rescale schedule (checkpoint → k-ary re-fold → repartition
+    at two batch boundaries) vs the fixed reference run — and, on
+    fault-bearing plans, with seeded ``shard_crash``/``shard_stall``
+    supervision (replay + degrade) active; exactness follows the same
+    mergeable classification as ``mergetree``;
 ``checkpoint``
     a mid-stream driver hook snapshots ``state_dict`` after the plan's
     checkpoint batch, round-trips it through the canonical state codec,
@@ -52,6 +60,7 @@ from repro.resilience.faults import (
     RetryPolicy,
     validate_batch,
 )
+from repro.resilience.reshard import ElasticShardedIngestor
 from repro.resilience.state import dumps, loads
 from repro.stream.minibatch import MinibatchDriver
 
@@ -260,6 +269,63 @@ def _relation_mergetree(spec, plan, stream, reference: _Run) -> list[Violation]:
     return _envelope(spec, "mergetree", tree, stream, plan)
 
 
+#: The elastic schedule every reshard case runs: scale far out, then
+#: back in, exercising both the fold-heavy shrink and the fan-out grow.
+_RESHARD_SCHEDULE = (2, 64, 4)
+
+
+def _relation_reshard(spec, plan, stream, reference: _Run) -> list[Violation]:
+    batches = _batches(stream, plan.batch_size)
+    start, wide, narrow = _RESHARD_SCHEDULE
+    # Supervision (blob-checkpointed shard tasks, replay, degrade) costs
+    # a pickle per active shard per batch, so it rides only on plans
+    # that already pay for fault handling; rescale equivalence itself is
+    # checked on every mergeable case.  stall_seconds > timeout so an
+    # injected stall is always caught; a *false* stall (healthy task on
+    # a slow machine) only triggers replay/degrade, which preserves the
+    # same exactness class.
+    injector = timeout = None
+    if plan.faults.any():
+        injector = FaultInjector(
+            plan.fault_seed,
+            shard_crash=0.06,
+            shard_stall=0.03,
+            stall_seconds=0.004,
+        )
+        timeout = 0.002
+    elastic = spec.build()
+    ingestor = ElasticShardedIngestor(
+        elastic,
+        shards=start,
+        arity=plan.arity,
+        retry=RetryPolicy(max_attempts=3),
+        timeout=timeout,
+        injector=injector,
+        label=spec.name,
+    )
+    n = len(batches)
+    up_at, down_at = n // 3, max(n // 3 + 1, (2 * n) // 3)
+    for i, batch in enumerate(batches):
+        if i == up_at:
+            ingestor.rescale(wide, batch_index=i)
+        if i == down_at:
+            ingestor.rescale(narrow, batch_index=i)
+        ingestor.ingest(batch, batch_id=i)
+    # Short streams still execute the whole schedule (the transitions
+    # themselves must be harmless on empty/absent suffixes).
+    if n <= up_at:
+        ingestor.rescale(wide)
+    if n <= down_at:
+        ingestor.rescale(narrow)
+    ingestor.sync()
+    if spec.name in SHARD_PROBE_EXACT:
+        return _compare(
+            spec, "reshard", reference, _Run.of(elastic),
+            state_exact=spec.name in SHARD_STATE_EXACT,
+        )
+    return _envelope(spec, "reshard", elastic, stream, plan)
+
+
 def _relation_checkpoint(spec, plan, stream) -> list[Violation]:
     batches = _batches(stream, plan.batch_size)
     ck = min(plan.checkpoint_at, len(batches) - 1)
@@ -347,6 +413,7 @@ def run_case(spec, plan: ScenarioPlan, stream: np.ndarray) -> list[Violation]:
         violations += _relation_prepared(spec, plan, stream, reference)
     if spec.caps.mergeable:
         violations += _relation_mergetree(spec, plan, stream, reference)
+        violations += _relation_reshard(spec, plan, stream, reference)
     if hasattr(reference_op, "state_dict"):
         violations += _relation_checkpoint(spec, plan, stream)
     if plan.faults.any():

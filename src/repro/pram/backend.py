@@ -31,11 +31,13 @@ from __future__ import annotations
 
 import pickle
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from functools import partial
 from typing import Any, Callable, Protocol, Sequence
 
 import numpy as np
 
+from repro.observability.metrics import REGISTRY
 from repro.pram.cost import Cost, CostLedger, _LEDGER, current_ledger
 
 __all__ = [
@@ -43,11 +45,47 @@ __all__ = [
     "SerialBackend",
     "ThreadBackend",
     "ProcessPoolBackend",
+    "WorkerCrashError",
     "fork_join",
     "shard_ingest",
 ]
 
 Task = Callable[[], Any]
+
+# Shard/worker failure accounting (catalog: docs/observability.md).
+# Shared with repro.resilience.reshard, which records the supervised
+# shard-level kinds ("shard_crash"/"shard_stall") into the same family.
+_M_SHARD_FAILURES = REGISTRY.counter(
+    "repro_shard_failures_total",
+    "Shard/worker task failures seen by backends and shard supervision",
+    labels=("kind",),
+)
+
+
+class WorkerCrashError(RuntimeError):
+    """A process-pool worker died mid-task (``BrokenProcessPool``).
+
+    The bare ``concurrent.futures`` traceback says nothing about *which*
+    strand was lost; this wrapper carries the failing tasks' labels (set
+    by callers via ``task.label``) and positional indices so supervisors
+    like :class:`repro.resilience.reshard.ElasticShardedIngestor` can
+    replay exactly the lost work.
+    """
+
+    def __init__(self, labels: Sequence[str], cause: BaseException) -> None:
+        self.labels = tuple(labels)
+        self.cause = cause
+        lost = ", ".join(self.labels)
+        super().__init__(
+            f"process worker died; {len(self.labels)} task(s) lost: {lost} "
+            f"({type(cause).__name__}: {cause})"
+        )
+
+
+def task_label(task: Task, index: int) -> str:
+    """The human-readable label of a strand: ``task.label`` when the
+    caller attached one, positional otherwise."""
+    return str(getattr(task, "label", None) or f"task {index}")
 
 
 def _run_with_child_ledger(task: Task) -> tuple[Any, Cost]:
@@ -120,7 +158,24 @@ class ProcessPoolBackend:
             return [_run_with_child_ledger(tasks[0])]
         workers = self.max_workers or len(tasks)
         with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
-            return list(pool.map(_run_with_child_ledger, tasks))
+            futures = [pool.submit(_run_with_child_ledger, t) for t in tasks]
+            results: list[tuple[Any, Cost]] = []
+            lost: list[str] = []
+            cause: BaseException | None = None
+            for i, future in enumerate(futures):
+                try:
+                    results.append(future.result())
+                except BrokenProcessPool as exc:
+                    # A dead worker breaks the whole pool: every not-yet
+                    # -finished future raises the same bare error.  Keep
+                    # walking so the wrapper names *all* lost strands.
+                    lost.append(task_label(tasks[i], i))
+                    cause = exc
+            if lost:
+                for _ in lost:
+                    _M_SHARD_FAILURES.inc(kind="worker_lost")
+                raise WorkerCrashError(lost, cause)  # type: ignore[arg-type]
+            return results
 
 
 def _shard_ingest_task(clone_blob: bytes, shard: np.ndarray) -> dict:
@@ -178,6 +233,14 @@ def shard_ingest(
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
     batch = np.asarray(batch)
+    # Degenerate inputs, spelled out (mirroring the S=0/S=1 folds in
+    # repro.engine.mergetree): an empty batch shards to nothing — no
+    # partials, no merges, `op` returned untouched; and S > len(batch)
+    # clamps to one shard per item, since the extra shards could only
+    # ever produce empty partials whose ingest + merge is pure overhead.
+    if batch.size == 0:
+        return op
+    shards = min(shards, int(batch.size))
     clone_blob = pickle.dumps(op.fresh_clone())
     parts = [part for part in np.array_split(batch, shards) if part.size]
     tasks = [partial(_shard_ingest_task, clone_blob, part) for part in parts]

@@ -12,6 +12,7 @@ change any work/depth or accuracy guarantee, only availability).
 ``repro.resilience.checkpoint``  atomic write-then-rename snapshots
 ``repro.resilience.faults``      seeded fault injector, retries, DLQ
 ``repro.resilience.invariants``  per-sketch structural audits
+``repro.resilience.reshard``     elastic sharded ingest + supervision
 
 Checkpoint saves are traced as ``checkpoint.save`` spans, and the save
 / corruption / fault / dead-letter paths feed the process metrics
@@ -26,6 +27,7 @@ from repro.resilience.checkpoint import (
 )
 from repro.resilience.faults import (
     FAULT_KINDS,
+    SHARD_FAULT_KINDS,
     DeadLetter,
     DeadLetterQueue,
     Delivery,
@@ -37,6 +39,13 @@ from repro.resilience.faults import (
     validate_batch,
 )
 from repro.resilience.invariants import InvariantViolation, audit_operators, require
+from repro.resilience.reshard import (
+    ElasticShardedIngestor,
+    ReshardEvent,
+    ShardCrashError,
+    ShardFailure,
+    ShardStallError,
+)
 from repro.resilience.state import (
     STATE_VERSION,
     StateError,
@@ -56,6 +65,7 @@ __all__ = [
     "CheckpointCorruption",
     "CheckpointManager",
     "FAULT_KINDS",
+    "SHARD_FAULT_KINDS",
     "DeadLetter",
     "DeadLetterQueue",
     "Delivery",
@@ -68,6 +78,11 @@ __all__ = [
     "InvariantViolation",
     "audit_operators",
     "require",
+    "ElasticShardedIngestor",
+    "ReshardEvent",
+    "ShardCrashError",
+    "ShardFailure",
+    "ShardStallError",
     "STATE_VERSION",
     "StateError",
     "checksum",

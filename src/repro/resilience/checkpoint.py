@@ -118,7 +118,13 @@ class CheckpointManager:
 
     # ------------------------------------------------------------------
     def load(self, path: str | os.PathLike) -> dict[str, Any]:
-        """Load and verify one checkpoint file."""
+        """Load and verify one checkpoint file.
+
+        Every failure mode — unreadable bytes, a foreign or truncated
+        envelope, a bit-flipped payload, a manifest missing its version
+        header — surfaces as :class:`CheckpointCorruption`, never as a
+        raw codec/KeyError, so recovery's skip-and-degrade logic catches
+        exactly one exception type."""
         raw = Path(path).read_bytes()
         try:
             envelope = state_codec.loads(raw)
@@ -126,13 +132,35 @@ class CheckpointManager:
             raise CheckpointCorruption(f"{path}: unreadable envelope ({exc})") from exc
         if not isinstance(envelope, dict) or envelope.get("format") != CHECKPOINT_FORMAT:
             raise CheckpointCorruption(f"{path}: not a {CHECKPOINT_FORMAT} file")
-        payload = str(envelope.get("payload", "")).encode("utf-8")
-        if state_codec.checksum(payload) != envelope.get("checksum"):
+        missing = [
+            key
+            for key in ("batch_index", "checksum", "payload")
+            if key not in envelope
+        ]
+        if missing:
+            raise CheckpointCorruption(
+                f"{path}: envelope missing field(s) {missing}"
+            )
+        payload = str(envelope["payload"]).encode("utf-8")
+        if state_codec.checksum(payload) != envelope["checksum"]:
             raise CheckpointCorruption(f"{path}: checksum mismatch")
-        return {
-            "batch_index": int(envelope["batch_index"]),
-            "state": state_codec.loads(payload),
-        }
+        try:
+            batch_index = int(envelope["batch_index"])
+        except (TypeError, ValueError) as exc:
+            raise CheckpointCorruption(
+                f"{path}: non-integer batch_index {envelope['batch_index']!r}"
+            ) from exc
+        try:
+            state = state_codec.loads(payload)
+        except state_codec.StateError as exc:
+            raise CheckpointCorruption(f"{path}: undecodable payload ({exc})") from exc
+        if isinstance(state, dict) and "kind" in state and "version" not in state:
+            # A versionless manifest checksums fine but cannot be safely
+            # interpreted — the codec's compatibility gate needs it.
+            raise CheckpointCorruption(
+                f"{path}: state manifest for kind {state['kind']!r} has no version"
+            )
+        return {"batch_index": batch_index, "state": state}
 
     def load_latest(self, *, strict: bool = False) -> dict[str, Any] | None:
         """The newest intact checkpoint, or ``None`` if there is none.

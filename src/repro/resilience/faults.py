@@ -30,6 +30,7 @@ from repro.resilience.state import STATE_VERSION, expect, header
 
 __all__ = [
     "FAULT_KINDS",
+    "SHARD_FAULT_KINDS",
     "Delivery",
     "DeadLetter",
     "DeadLetterQueue",
@@ -43,6 +44,14 @@ __all__ = [
 
 #: Every fault kind the injector can produce, in threshold order.
 FAULT_KINDS = ("crash", "duplicate", "reorder", "truncate", "poison", "transient")
+
+#: Shard-level fault kinds (target one shard task, not the delivery),
+#: consumed by :class:`repro.resilience.reshard.ElasticShardedIngestor`.
+SHARD_FAULT_KINDS = ("shard_crash", "shard_stall")
+
+# Distinct key mixed into the RNG seed vector so the per-shard fault
+# stream never collides with the per-batch stream for any batch id.
+_SHARD_KEY = 0x5AD
 
 # Fault-path metrics (catalog: docs/observability.md).
 _M_FAULTS = REGISTRY.counter(
@@ -235,6 +244,18 @@ class FaultInjector:
     crash_at:
         Additionally force a crash right before this batch id — the
         deterministic kill switch the recovery benchmark uses.
+    shard_crash, shard_stall:
+        Per-(batch, shard) probabilities of shard-task faults, drawn
+        from an independent RNG stream keyed by ``(seed, batch, shard)``
+        and consumed by the elastic sharded ingest supervisor — a
+        ``shard_crash`` kills the shard task mid-ingest, a
+        ``shard_stall`` makes it hang past its timeout.
+    shard_fault_attempts:
+        How many consecutive attempts of a faulted shard task fail
+        before its replay succeeds (a retry policy with more attempts
+        recovers; fewer degrades the shard).
+    stall_seconds:
+        How long a stalled shard task sleeps before returning.
     """
 
     def __init__(
@@ -249,6 +270,10 @@ class FaultInjector:
         transient: float = 0.0,
         transient_failures: int = 2,
         crash_at: int | None = None,
+        shard_crash: float = 0.0,
+        shard_stall: float = 0.0,
+        shard_fault_attempts: int = 1,
+        stall_seconds: float = 0.02,
     ) -> None:
         rates = {
             "crash": crash,
@@ -265,14 +290,30 @@ class FaultInjector:
             raise ValueError("fault rates must sum to <= 1")
         if transient_failures < 1:
             raise ValueError("transient_failures must be >= 1")
+        shard_rates = {"shard_crash": shard_crash, "shard_stall": shard_stall}
+        for kind, rate in shard_rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{kind} rate must be in [0, 1], got {rate}")
+        if sum(shard_rates.values()) > 1.0 + 1e-12:
+            raise ValueError("shard fault rates must sum to <= 1")
+        if shard_fault_attempts < 1:
+            raise ValueError("shard_fault_attempts must be >= 1")
+        if stall_seconds < 0:
+            raise ValueError("stall_seconds must be >= 0")
         self.seed = int(seed)
         self.rates = rates
+        self.shard_rates = shard_rates
         self.transient_failures = int(transient_failures)
+        self.shard_fault_attempts = int(shard_fault_attempts)
+        self.stall_seconds = float(stall_seconds)
         self.crash_at = crash_at if crash_at is None else int(crash_at)
         self._plan: dict[int, str | None] = {}
+        self._shard_plan: dict[tuple[int, int], str | None] = {}
         self._crashed: set[int] = set()
         #: Count of faults actually emitted, by kind.
-        self.injected: dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+        self.injected: dict[str, int] = {
+            kind: 0 for kind in FAULT_KINDS + SHARD_FAULT_KINDS
+        }
 
     # ------------------------------------------------------------------
     def _batch_rng(self, batch_id: int) -> np.random.Generator:
@@ -300,6 +341,41 @@ class FaultInjector:
         """True when ingest attempt ``attempt`` (0-based) of this batch
         is planned to raise :class:`TransientIngestError`."""
         return self.fault_for(batch_id) == "transient" and attempt < self.transient_failures
+
+    # ------------------------------------------------------------------
+    def shard_fault_for(self, batch_id: int, shard: int) -> str | None:
+        """The (memoized) shard-task fault assigned to ``(batch, shard)``.
+
+        Drawn from ``default_rng([seed, _SHARD_KEY, batch, shard])`` so
+        the decision depends only on the coordinates — replays and
+        rescaled runs see the same plan for the same shard index."""
+        key = (int(batch_id), int(shard))
+        if key in self._shard_plan:
+            return self._shard_plan[key]
+        rng = np.random.default_rng([self.seed, _SHARD_KEY, key[0], key[1]])
+        u = float(rng.random())
+        fault: str | None = None
+        threshold = 0.0
+        for kind in SHARD_FAULT_KINDS:
+            threshold += self.shard_rates[kind]
+            if u < threshold:
+                fault = kind
+                break
+        self._shard_plan[key] = fault
+        return fault
+
+    def shard_fault(self, batch_id: int, shard: int, attempt: int) -> str | None:
+        """The fault attempt ``attempt`` (0-based) of this shard task
+        should suffer, or ``None`` once replays are past the planned
+        failure count.  Counts the fault on its first firing only, so
+        ``injected`` tallies faulted *tasks*, not replays."""
+        fault = self.shard_fault_for(batch_id, shard)
+        if fault is None or attempt >= self.shard_fault_attempts:
+            return None
+        if attempt == 0:
+            self.injected[fault] += 1
+            _M_FAULTS.inc(kind=fault)
+        return fault
 
     # ------------------------------------------------------------------
     def deliveries(

@@ -29,6 +29,16 @@ queue, crashes surface as :class:`~repro.resilience.InjectedCrash`), a
 driver/operator/ledger state every K processed batches, and per-sketch
 invariant audits gate every recovery (and, with ``audit_every``, every
 few batches), rolling back to the last checkpoint when they fail.
+
+Elastic sharding (docs/resilience.md): constructed with ``shards=S``,
+the driver routes every *mergeable* operator's ingest through an
+:class:`~repro.resilience.ElasticShardedIngestor` — S parallel shard
+strands per batch, folded on demand — and the shard count becomes a
+runtime quantity: :meth:`rescale` (or a ``rescale_at`` schedule)
+transitions it between batches via the checkpoint → k-ary re-fold →
+repartition → resume protocol, and shard faults are replayed or
+degraded per the ingestor's supervision rules.  Reshard hooks observe
+every transition.
 """
 
 from __future__ import annotations
@@ -57,6 +67,7 @@ from repro.resilience.faults import (
     validate_batch,
 )
 from repro.resilience.invariants import InvariantViolation, audit_operators
+from repro.resilience.reshard import ElasticShardedIngestor, ReshardEvent
 from repro.resilience.state import expect, header
 
 __all__ = [
@@ -192,6 +203,23 @@ class MinibatchDriver:
         require every operator to round-trip ``pickle`` (the worker's
         mutated copy is re-adopted via ``state_dict``/``load_state``
         when available, by replacement otherwise).
+    shards:
+        If set, route every mergeable operator (``fresh_clone`` +
+        ``merge``) through an
+        :class:`~repro.resilience.ElasticShardedIngestor` with this
+        initial shard count; non-mergeable operators keep the plain
+        ingest path.  At least one operator must be mergeable.  The
+        sharded path replaces the engine DAG for those operators.
+    shard_backend / shard_arity / shard_timeout / shard_retry:
+        Forwarded to each ingestor (execution backend, fold arity,
+        post-hoc stall threshold, replay policy).  A ``fault_injector``
+        with ``shard_crash``/``shard_stall`` rates is shared with the
+        ingestors automatically.
+    rescale_at:
+        ``{batch_index: new_shards}`` schedule applied at the start of
+        the matching batch — the declarative form of :meth:`rescale`.
+    min_shards:
+        Degradation floor forwarded to each ingestor.
     """
 
     def __init__(
@@ -208,6 +236,13 @@ class MinibatchDriver:
         share_prework: bool = True,
         use_engine: bool = True,
         engine_backend: Backend | None = None,
+        shards: int | None = None,
+        shard_backend: Backend | None = None,
+        shard_arity: int = 2,
+        shard_timeout: float | None = None,
+        shard_retry: RetryPolicy | None = None,
+        rescale_at: Mapping[int, int] | None = None,
+        min_shards: int = 1,
     ) -> None:
         if not operators:
             raise ValueError("need at least one operator")
@@ -252,6 +287,52 @@ class MinibatchDriver:
         self.quarantines: list[QuarantineEvent] = []
         self.recoveries = 0
 
+        # ---- elastic sharding --------------------------------------
+        self.rescale_at = {int(k): int(v) for k, v in (rescale_at or {}).items()}
+        if any(v < 1 for v in self.rescale_at.values()):
+            raise ValueError("rescale_at shard counts must be >= 1")
+        self._pending_shards: int | None = None
+        self._shard_ingestors: dict[str, ElasticShardedIngestor] = {}
+        self._reshard_hooks: list[
+            Callable[["MinibatchDriver", str, ReshardEvent], None]
+        ] = []
+        #: Every (operator name, transition) observed, in batch order.
+        self.reshard_events: list[tuple[str, ReshardEvent]] = []
+        self._event_cursors: dict[str, int] = {}
+        if shards is None:
+            if self.rescale_at:
+                raise ValueError("rescale_at requires shards=")
+        else:
+            if shards < 1:
+                raise ValueError(f"shards must be >= 1, got {shards}")
+            mergeable = {
+                name: op
+                for name, op in self.operators.items()
+                if hasattr(op, "fresh_clone") and hasattr(op, "merge")
+            }
+            if not mergeable:
+                raise ValueError(
+                    "shards= needs at least one mergeable operator "
+                    "(fresh_clone + merge); got none"
+                )
+            supervised = fault_injector is not None or shard_timeout is not None
+            if self.dead_letter is None and supervised:
+                self.dead_letter = DeadLetterQueue()
+            for name, op in mergeable.items():
+                self._shard_ingestors[name] = ElasticShardedIngestor(
+                    op,
+                    shards=shards,
+                    backend=shard_backend,
+                    arity=shard_arity,
+                    retry=shard_retry,
+                    timeout=shard_timeout,
+                    injector=fault_injector,
+                    dead_letter=self.dead_letter,
+                    min_shards=min_shards,
+                    label=name,
+                )
+                self._event_cursors[name] = 0
+
     def add_hook(
         self, hook: Callable[["MinibatchDriver", BatchReport], None]
     ) -> None:
@@ -265,6 +346,66 @@ class MinibatchDriver:
         :meth:`state_dict` and survive :meth:`load_state` untouched.
         """
         self._hooks.append(hook)
+
+    def add_reshard_hook(
+        self, hook: Callable[["MinibatchDriver", str, ReshardEvent], None]
+    ) -> None:
+        """Register a reshard observer, called as ``hook(driver, name,
+        event)`` once per operator transition (requested rescales and
+        degradations alike), after the batch that triggered it.  Like
+        batch hooks, reshard hooks are runtime wiring, not state."""
+        self._reshard_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    # Elastic sharding
+    # ------------------------------------------------------------------
+    @property
+    def sharded(self) -> bool:
+        return bool(self._shard_ingestors)
+
+    def shard_counts(self) -> dict[str, int]:
+        """Current shard count per sharded operator."""
+        return {name: ing.shards for name, ing in self._shard_ingestors.items()}
+
+    def rescale(self, new_shards: int) -> None:
+        """Request a transition to ``new_shards``, applied at the start
+        of the *next* processed batch (shard count only ever changes on
+        a batch boundary, so every batch runs under one topology)."""
+        if not self._shard_ingestors:
+            raise ValueError("driver is not sharded; construct with shards=")
+        if new_shards < 1:
+            raise ValueError(f"new_shards must be >= 1, got {new_shards}")
+        self._pending_shards = int(new_shards)
+
+    def _apply_pending_rescale(self) -> None:
+        target, reason = self._pending_shards, "requested"
+        if target is None:
+            target = self.rescale_at.get(self._batch_index)
+            reason = "scheduled"
+        if target is None:
+            return
+        self._pending_shards = None
+        for ing in self._shard_ingestors.values():
+            ing.rescale(target, reason=reason, batch_index=self._batch_index)
+
+    def _sync_shards(self) -> None:
+        """Fold outstanding per-shard state into every base operator so
+        queries / audits / snapshots see totals.  Fold costs charge the
+        cumulative ledger."""
+        if not self._shard_ingestors:
+            return
+        with tracking(self.ledger):
+            for ing in self._shard_ingestors.values():
+                ing.sync()
+
+    def _drain_reshard_events(self) -> None:
+        for name, ing in self._shard_ingestors.items():
+            cursor = self._event_cursors[name]
+            for event in ing.events[cursor:]:
+                self.reshard_events.append((name, event))
+                for hook in self._reshard_hooks:
+                    hook(self, name, event)
+            self._event_cursors[name] = len(ing.events)
 
     @property
     def _resilient(self) -> bool:
@@ -307,6 +448,7 @@ class MinibatchDriver:
                     break
                 new_reports.append(self._process(batch))
             self.reports.extend(new_reports)
+            self._sync_shards()
             return new_reports
         return self._run_resilient(chunks, max_batches)
 
@@ -352,6 +494,7 @@ class MinibatchDriver:
                 )
                 if saved is not None:
                     self._since_checkpoint = []
+        self._sync_shards()
         return new_reports
 
     # ------------------------------------------------------------------
@@ -365,7 +508,39 @@ class MinibatchDriver:
         work0, depth0 = ledger.work, ledger.depth
         t0 = time.perf_counter()
         with tracking(ledger), span("driver.batch", "driver"):
-            if self.use_engine:
+            if self._shard_ingestors:
+                # Elastic path: pending rescales apply on the boundary,
+                # then mergeable operators ingest through their shard
+                # ingestors (supervised when configured) while the rest
+                # keep the plain loop.  Shared prework still covers the
+                # non-sharded operators.
+                self._apply_pending_rescale()
+                plan = (
+                    PreparedBatch(batch)
+                    if self.share_prework
+                    and any(
+                        name not in self._shard_ingestors
+                        and hasattr(op, "ingest_prepared")
+                        for name, op in self.operators.items()
+                    )
+                    else None
+                )
+                for name, op in self.operators.items():
+                    ing = self._shard_ingestors.get(name)
+                    if ing is not None:
+                        ing.ingest(batch, batch_id=self._batch_index)
+                    elif plan is not None and hasattr(op, "ingest_prepared"):
+                        op.ingest_prepared(plan)
+                    else:
+                        op.ingest(batch)
+                if self.query_every and (
+                    (self._batch_index + 1) % self.query_every == 0
+                ):
+                    # Queries run right after this block; fold now so
+                    # they see total state (and charge this batch).
+                    for ing in self._shard_ingestors.values():
+                        ing.sync()
+            elif self.use_engine:
                 # The DAG's serial schedule replays the legacy loop
                 # below call-for-call (bit-identical charges); with an
                 # engine_backend, operator nodes run as fork-join
@@ -402,6 +577,7 @@ class MinibatchDriver:
         if self.query_every and (self._batch_index + 1) % self.query_every == 0:
             report.query_results = {name: q() for name, q in self.queries.items()}
         self._batch_index += 1
+        self._drain_reshard_events()
         for hook in self._hooks:
             hook(self, report)
         return report
@@ -482,7 +658,9 @@ class MinibatchDriver:
     # ------------------------------------------------------------------
     def audit(self) -> list[str]:
         """Run every operator's invariant check; raises
-        :class:`~repro.resilience.InvariantViolation` on failure."""
+        :class:`~repro.resilience.InvariantViolation` on failure.
+        Sharded operators fold first so the audit sees total state."""
+        self._sync_shards()
         return audit_operators(self.operators)
 
     def _audit_or_quarantine(self, delivery: Delivery) -> None:
@@ -549,6 +727,9 @@ class MinibatchDriver:
     # Checkpoint/restore
     # ------------------------------------------------------------------
     def _operator_states(self) -> dict[str, dict] | None:
+        # Partials fold first so a base operator's state *is* its total
+        # state — snapshots and rollback baselines stay self-contained.
+        self._sync_shards()
         states: dict[str, dict] = {}
         for name, op in self.operators.items():
             save = getattr(op, "state_dict", None)
@@ -560,6 +741,12 @@ class MinibatchDriver:
     def _restore_operator_states(self, states: dict[str, dict]) -> None:
         for name, state in states.items():
             self.operators[name].load_state(state)
+            ing = self._shard_ingestors.get(name)
+            if ing is not None:
+                # The snapshot holds the synced total; any partials
+                # accumulated since (e.g. by a half-applied attempt)
+                # must not fold back in on top of it.
+                ing.discard_partials()
 
     def state_dict(self) -> dict:
         """Full driver snapshot: progress, reports, cumulative ledger,
@@ -598,6 +785,11 @@ class MinibatchDriver:
             ],
             "operators": operators,
             "dead_letter": self.dead_letter.state_dict() if self.dead_letter else None,
+            "shards": (
+                {name: ing.shards for name, ing in self._shard_ingestors.items()}
+                if self._shard_ingestors
+                else None
+            ),
         }
 
     def load_state(self, state: dict) -> None:
@@ -633,6 +825,14 @@ class MinibatchDriver:
             if self.dead_letter is None:
                 self.dead_letter = DeadLetterQueue()
             self.dead_letter.load_state(state["dead_letter"])
+        # Pre-elastic snapshots have no "shards" key; current drivers
+        # restore each ingestor's topology (the bases were restored with
+        # total state above, so repartitioning is fresh-clone only).
+        shard_counts = state.get("shards") or {}
+        for name, ing in self._shard_ingestors.items():
+            ing.discard_partials()
+            if name in shard_counts:
+                ing.set_shards(int(shard_counts[name]))
         self._since_checkpoint = []
 
     # ------------------------------------------------------------------

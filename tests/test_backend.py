@@ -2,11 +2,22 @@
 
 from __future__ import annotations
 
+import os
 import threading
+from functools import partial
 
+import numpy as np
 import pytest
 
-from repro.pram.backend import SerialBackend, ThreadBackend, fork_join
+from repro.pram.backend import (
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadBackend,
+    WorkerCrashError,
+    fork_join,
+    shard_ingest,
+    task_label,
+)
 from repro.pram.cost import Cost, charge, tracking
 
 
@@ -76,3 +87,95 @@ class TestForkJoin:
 
     def test_works_without_ambient_ledger(self):
         assert fork_join([lambda: 42]) == [42]
+
+
+def _ok_task() -> str:
+    return "fine"
+
+
+def _kill_worker() -> None:
+    os._exit(13)  # hard worker death, not an exception
+
+
+class _Counter:
+    """Minimal mergeable synopsis for the degenerate-input tests."""
+
+    def __init__(self) -> None:
+        self.counts: dict[int, int] = {}
+        self.ingests = 0
+        self.merges = 0
+
+    def ingest(self, batch) -> None:
+        self.ingests += 1
+        for item in np.asarray(batch).tolist():
+            self.counts[item] = self.counts.get(item, 0) + 1
+
+    def fresh_clone(self) -> "_Counter":
+        return _Counter()
+
+    def merge(self, other: "_Counter") -> None:
+        self.merges += 1
+        for item, count in other.counts.items():
+            self.counts[item] = self.counts.get(item, 0) + count
+
+    def state_dict(self) -> dict:
+        return {"counts": self.counts}
+
+    def load_state(self, state: dict) -> None:
+        self.counts = dict(state["counts"])
+
+
+class TestShardIngestDegenerates:
+    def test_empty_batch_is_noop(self):
+        op = _Counter()
+        out = shard_ingest(op, np.empty(0, dtype=np.int64), shards=4)
+        assert out is op
+        assert op.counts == {}
+        # Explicit early-out: no partials were built, so no merges.
+        assert op.merges == 0 and op.ingests == 0
+
+    def test_shards_clamped_to_batch_size(self):
+        op = _Counter()
+        shard_ingest(op, np.arange(3), shards=16)
+        assert op.counts == {0: 1, 1: 1, 2: 1}
+        # One shard per item, not one per requested shard.
+        assert op.merges == 3
+
+    def test_single_item_single_shard(self):
+        op = _Counter()
+        shard_ingest(op, np.asarray([7]), shards=8)
+        assert op.counts == {7: 1}
+        assert op.merges == 1
+
+    def test_invalid_shards_still_rejected(self):
+        with pytest.raises(ValueError):
+            shard_ingest(_Counter(), np.arange(4), shards=0)
+
+
+class TestWorkerCrashSurface:
+    def test_task_label_helper(self):
+        plain = lambda: None  # noqa: E731
+        assert task_label(plain, 3) == "task 3"
+        labelled = partial(_ok_task)
+        labelled.label = "cms:b2:s1"
+        assert task_label(labelled, 0) == "cms:b2:s1"
+
+    def test_worker_death_names_lost_tasks(self):
+        backend = ProcessPoolBackend(max_workers=2)
+        tasks = [partial(_kill_worker) for _ in range(2)]
+        tasks[0].label = "shard 0"
+        tasks[1].label = "shard 1"
+        with pytest.raises(WorkerCrashError) as excinfo:
+            backend.run_all(tasks)
+        err = excinfo.value
+        assert err.labels  # at least one lost task is named
+        assert all(label.startswith("shard ") for label in err.labels)
+        assert "shard" in str(err)
+        assert "BrokenProcessPool" in str(err) or "process" in str(err)
+
+    def test_worker_crash_error_message(self):
+        cause = RuntimeError("boom")
+        err = WorkerCrashError(["cms:b0:s1", "cms:b0:s2"], cause)
+        assert "2 task(s) lost" in str(err)
+        assert "cms:b0:s1" in str(err)
+        assert err.cause is cause

@@ -125,6 +125,73 @@ class TestCms:
         assert code == 0
 
 
+class TestElasticSharding:
+    def test_sharded_run_matches_unsharded(self, zipf_file):
+        path, _ = zipf_file
+        args = ["--batch", "1000", "cms", str(path), "--query", "0", "3", "7"]
+        code_plain, out_plain = run_cli(args)
+        code_sharded, out_sharded = run_cli(
+            ["--shards", "4", *args]
+        )
+        assert code_plain == code_sharded == 0
+        # Count-Min is state-exact under sharding: identical answers.
+        assert out_plain.split("answer:")[1] == out_sharded.split("answer:")[1]
+        assert "final shards: 4" in out_sharded
+
+    def test_rescale_schedule_reported(self, zipf_file):
+        path, _ = zipf_file
+        code, output = run_cli(
+            [
+                "--batch", "1000", "--shards", "2",
+                "--rescale-at", "3:8,12:3",
+                "cms", str(path), "--query", "0",
+            ]
+        )
+        assert code == 0
+        assert "reshard @ batch 3: 2 -> 8 shards (scheduled" in output
+        assert "reshard @ batch 12: 8 -> 3 shards (scheduled" in output
+        assert "final shards: 3" in output
+
+    def test_rescale_at_requires_shards(self, zipf_file):
+        path, _ = zipf_file
+        code, _ = run_cli(
+            ["--rescale-at", "3:8", "cms", str(path), "--query", "0"]
+        )
+        assert code == 2
+
+    def test_shards_rejects_non_mergeable(self, tmp_path):
+        path = tmp_path / "bits.txt"
+        path.write_text("1 0 1 1 0")
+        code, _ = run_cli(
+            ["--shards", "2", "count", "--window", "4", str(path)]
+        )
+        assert code == 2
+
+    def test_malformed_rescale_at(self, zipf_file):
+        path, _ = zipf_file
+        for bad in ("nonsense", "3", "3:0", "-1:4"):
+            code, _ = run_cli(
+                [
+                    "--shards", "2", f"--rescale-at={bad}",
+                    "cms", str(path), "--query", "0",
+                ]
+            )
+            assert code == 2, bad
+
+    def test_sharded_checkpointing(self, zipf_file, tmp_path):
+        path, _ = zipf_file
+        code, output = run_cli(
+            [
+                "--batch", "1000", "--shards", "3",
+                "--checkpoint-dir", str(tmp_path / "ckpt"),
+                "--checkpoint-every", "5",
+                "cms", str(path), "--query", "0",
+            ]
+        )
+        assert code == 0
+        assert list((tmp_path / "ckpt").glob("ckpt-*.json"))
+
+
 class TestCostsAndErrors:
     def test_costs_flag(self, zipf_file):
         path, _ = zipf_file

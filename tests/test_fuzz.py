@@ -216,7 +216,9 @@ class TestMutationSmoke:
         # The one-line replay handle the runner advertises.
         assert failure.replay_command.startswith("repro fuzz --replay ")
         relations = {v.relation for f in report.failures for v in f.violations}
-        assert relations & {"rebatch", "mergetree", "prepared", "checkpoint"}
+        assert relations & {
+            "rebatch", "mergetree", "reshard", "prepared", "checkpoint"
+        }
 
         # Shrinking made progress: the minimal case is smaller than the
         # original plan's stream (or at least recorded accepted steps).
