@@ -3,7 +3,7 @@ PY ?= python
 # Fixed seeds for the fault-injection suite (reproducible fault plans).
 FAULT_SEEDS ?= 101 202 303
 
-.PHONY: install test faults docs-check fuzz-smoke fuzz fuzz-soak bench bench-quick bench-gate experiments examples clean
+.PHONY: install test faults docs-check fuzz-smoke fuzz fuzz-soak serve-smoke bench bench-quick bench-gate experiments examples clean
 
 # Experiments with committed perf baselines, gated by bench_compare.
 GATED_EXPERIMENTS = e1 e13 e14 e16 e17
@@ -18,7 +18,7 @@ FUZZ_BUDGET ?= 300
 install:
 	pip install -e . --no-build-isolation
 
-test: faults docs-check fuzz-smoke
+test: faults docs-check fuzz-smoke serve-smoke
 	$(PY) -m pytest tests/
 
 # Fuzz smoke: every registered operator, deterministic, < 2 minutes.
@@ -31,6 +31,12 @@ fuzz:
 	$(PY) -m repro fuzz --soak --seed $(FUZZ_SEED) --time-budget $(FUZZ_BUDGET)
 
 fuzz-soak: fuzz
+
+# Streaming-server smoke: real `repro serve` subprocess, 3 tenants over
+# the serve/v1 line protocol, SIGINT drain must come back clean
+# (docs/serving.md).
+serve-smoke:
+	$(PY) scripts/serve_smoke.py
 
 # Documentation lint: dead links + stale benchmark references.
 docs-check:

@@ -183,10 +183,75 @@ def build_parser() -> argparse.ArgumentParser:
     var.add_argument("--max-value", type=int, required=True)
     var.add_argument("file", nargs="?", default=None)
 
-    sub.add_parser(
+    ops = sub.add_parser(
         "ops",
         help="list every registered synopsis with its capability flags "
         "(M=mergeable P=preparable W=windowed I=invariant-checked)",
+    )
+    ops.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also show each operator's canonical query probe — the "
+        "expression `repro serve` answers QUERY with (docs/api.md)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="multi-tenant asyncio ingest/query server speaking the "
+        "serve/v1 line protocol (docs/serving.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0 = ephemeral; the bound port is printed)",
+    )
+    serve.add_argument(
+        "--max-tenants", type=int, default=64,
+        help="admission-control cap on live tenant sessions (default 64)",
+    )
+    serve.add_argument(
+        "--quota-rate", type=float, default=None, metavar="ITEMS_PER_SEC",
+        help="per-tenant ingest quota (token bucket; default unlimited)",
+    )
+    serve.add_argument(
+        "--quota-burst", type=float, default=None, metavar="ITEMS",
+        help="token-bucket burst capacity (default: one second of quota)",
+    )
+    serve.add_argument(
+        "--queue-max", type=int, default=64,
+        help="per-tenant bounded-queue capacity in submissions (default 64)",
+    )
+    serve.add_argument(
+        "--high-watermark", type=int, default=None, metavar="DEPTH",
+        help="queue depth that parks submitters (default 3/4 of --queue-max)",
+    )
+    serve.add_argument(
+        "--max-seconds", type=float, default=None, metavar="SECONDS",
+        help="drain and exit after this long (default: run until SIGINT)",
+    )
+
+    client = sub.add_parser(
+        "client",
+        help="line-protocol client: ingest a file/stdin into a tenant "
+        "session and query its operators (docs/serving.md)",
+    )
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, required=True)
+    client.add_argument("--tenant", required=True)
+    client.add_argument(
+        "--ops", required=True, metavar="NAME[,NAME...]",
+        help="comma-separated servable operator names (see `repro ops`)",
+    )
+    client.add_argument(
+        "--query", nargs="+", default=None, metavar="NAME",
+        help="operators to query after ingest (default: all of --ops)",
+    )
+    client.add_argument(
+        "--stats", action="store_true", help="print session stats at the end"
+    )
+    client.add_argument(
+        "file", nargs="?", default=None,
+        help="integers to ingest (default stdin; skipped on a TTY)",
     )
 
     prof = sub.add_parser(
@@ -412,11 +477,18 @@ def _parse_rescale_at(spec: str) -> dict[int, int]:
     return schedule
 
 
-def _list_ops(out) -> None:
-    """``repro ops``: every registered synopsis with capability flags."""
+def _list_ops(out, verbose: bool = False) -> None:
+    """``repro ops``: every registered synopsis with capability flags;
+    ``--verbose`` adds the canonical query probe each operator answers
+    ``repro serve`` QUERY requests with."""
     specs = sorted(registry.specs(), key=lambda s: (s.kind != "core", s.name))
+    tail = (
+        (lambda spec: f"{spec.summary}  |  probe: {spec.probe_source()}")
+        if verbose
+        else (lambda spec: spec.summary)
+    )
     rows = [
-        (spec.name, spec.kind, spec.input, spec.caps.flags(), spec.summary)
+        (spec.name, spec.kind, spec.input, spec.caps.flags(), tail(spec))
         for spec in specs
     ]
     widths = [max(len(row[i]) for row in rows) for i in range(4)]
@@ -430,7 +502,115 @@ def _list_ops(out) -> None:
     for row in (header, *rows):
         columns = "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
         print(f"{columns}  {row[4]}", file=out)
-    print(f"{len(rows)} synopses registered", file=out)
+    servable = sum(1 for spec in specs if spec.servable)
+    print(
+        f"{len(rows)} synopses registered, {servable} servable", file=out
+    )
+
+
+def _serve(args: argparse.Namespace, out) -> int:
+    """``repro serve``: run the streaming server until SIGINT/SIGTERM
+    (or ``--max-seconds``), then drain every tenant gracefully."""
+    import asyncio
+    import signal
+
+    from repro.serve import PROTOCOL_VERSION, ServeConfig, StreamServer
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_tenants=args.max_tenants,
+        quota_rate=args.quota_rate,
+        quota_burst=args.quota_burst,
+        queue_max=args.queue_max,
+        high_watermark=args.high_watermark,
+        batch_size=args.batch,
+        shards=args.shards,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+
+    async def run() -> int:
+        server = await StreamServer(config).start()
+        host, port = server.address
+        print(f"serving {PROTOCOL_VERSION} on {host}:{port}", file=out, flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        waiters = [asyncio.ensure_future(stop.wait())]
+        if args.max_seconds is not None:
+            waiters.append(asyncio.ensure_future(asyncio.sleep(args.max_seconds)))
+        try:
+            await asyncio.wait(waiters, return_when=asyncio.FIRST_COMPLETED)
+        finally:
+            for waiter in waiters:
+                waiter.cancel()
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                loop.remove_signal_handler(sig)
+        print("draining...", file=out, flush=True)
+        reports = await server.drain()
+        clean = True
+        for report in reports:
+            status = (
+                "clean" if report.clean
+                else f"{report.dead_letters} dead-lettered"
+            )
+            suffix = f", checkpoint {report.checkpoint}" if report.checkpoint else ""
+            print(
+                f"drained {report.tenant}: {report.items} items / "
+                f"{report.batches} batches, epoch {report.epoch}, "
+                f"{status}{suffix}",
+                file=out,
+            )
+            clean = clean and report.clean
+        print(f"drained {len(reports)} tenant(s)", file=out, flush=True)
+        return 0 if clean else 1
+
+    return asyncio.run(run())
+
+
+def _client(args: argparse.Namespace, out) -> int:
+    """``repro client``: attach a tenant, stream a file of integers in,
+    then query and report."""
+    import asyncio
+
+    from repro.serve import LineClient
+
+    ops = [name for name in args.ops.split(",") if name]
+    if not ops:
+        raise ValueError("--ops needs at least one operator name")
+    skip_ingest = args.file is None and sys.stdin.isatty()
+
+    async def run() -> int:
+        client = await LineClient.connect(args.host, args.port)
+        try:
+            hello = await client.hello(args.tenant, ops)
+            print(
+                f"tenant {args.tenant} attached "
+                f"(epoch {hello['epoch']}, ops {','.join(hello['ops'])})",
+                file=out,
+            )
+            if not skip_ingest:
+                total = 0
+                for batch in _read_batches(args.file, args.batch):
+                    reply = await client.ingest(batch)
+                    total += reply["accepted"]
+                print(f"ingested {total} items", file=out)
+            for op_name in args.query or ops:
+                answer = await client.query(op_name)
+                print(
+                    f"{op_name} @ epoch {answer['epoch']}: {answer['result']}",
+                    file=out,
+                )
+            if args.stats:
+                stats = await client.stats()
+                print(f"stats: {stats}", file=out)
+            await client.quit()
+        finally:
+            await client.close()
+        return 0
+
+    return asyncio.run(run())
 
 
 def _run(args: argparse.Namespace, out) -> int | None:
@@ -443,8 +623,12 @@ def _run(args: argparse.Namespace, out) -> int | None:
         _profile(args, out)
         return None
     if args.command == "ops":
-        _list_ops(out)
+        _list_ops(out, verbose=args.verbose)
         return None
+    if args.command == "serve":
+        return _serve(args, out)
+    if args.command == "client":
+        return _client(args, out)
     command = _COMMANDS.get(args.command)
     if command is None:  # pragma: no cover - argparse enforces choices
         raise SystemExit(f"unknown command {args.command}")

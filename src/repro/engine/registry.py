@@ -27,6 +27,8 @@ merge-algebra tests.
 from __future__ import annotations
 
 import inspect
+import re
+import textwrap
 from dataclasses import dataclass
 from typing import Any, Callable, Protocol, runtime_checkable
 
@@ -39,6 +41,7 @@ __all__ = [
     "names",
     "specs",
     "registered",
+    "servable",
     "create",
     "load_all",
     "sample_feed",
@@ -134,6 +137,57 @@ class SynopsisSpec:
         """``core`` for the paper's algorithms, ``baseline`` otherwise."""
         return "core" if self.cls.__module__.startswith("repro.core") else "baseline"
 
+    @property
+    def servable(self) -> bool:
+        """Whether the spec exposes a canonical query probe — the
+        contract the streaming service (:mod:`repro.serve`) requires to
+        answer ``QUERY <op>`` against a published snapshot.  Servable
+        specs are exactly the ones :func:`servable` enumerates."""
+        return self.probe is not None
+
+    def probe_source(self) -> str:
+        """Human-readable signature of the canonical query probe.
+
+        For ``lambda op: ...`` probes this is the lambda body (e.g.
+        ``op.query()``); for named probe functions, the function name
+        with its body's return expression when recoverable.  ``repro
+        ops --verbose`` and the docs/api.md operator table surface this
+        so the query surface each operator serves is discoverable
+        without reading its module.  Returns ``"-"`` when the spec has
+        no probe.
+        """
+        if self.probe is None:
+            return "-"
+        try:
+            src = inspect.getsource(self.probe)
+        except (OSError, TypeError):
+            return getattr(self.probe, "__qualname__", repr(self.probe))
+        src = " ".join(textwrap.dedent(src).split())
+        lam = re.search(r"lambda op:\s*(.*)", src)
+        if lam is not None:
+            return _trim_expression(lam.group(1))
+        # A named probe function: show `name(op)`, preferring its
+        # single return expression when the body is that simple.
+        name = getattr(self.probe, "__name__", "probe")
+        ret = re.search(r"return\s+(.+?)\s*$", src)
+        if ret is not None and src.count("return") == 1:
+            return ret.group(1)
+        return f"{name}(op)"
+
+
+def _trim_expression(text: str) -> str:
+    """Trim register-call syntax trailing a probe lambda's body: the
+    keyword-argument comma and any close-delimiters that belong to the
+    enclosing ``register(...)`` call rather than the expression."""
+    text = text.strip().rstrip(",").strip()
+    while text and text[-1] in ")]}":
+        opens = text.count("(") + text.count("[") + text.count("{")
+        closes = text.count(")") + text.count("]") + text.count("}")
+        if closes <= opens:
+            break
+        text = text[:-1].rstrip().rstrip(",").rstrip()
+    return text
+
 
 _REGISTRY: dict[str, SynopsisSpec] = {}
 
@@ -195,6 +249,18 @@ def registered(module_prefix: str | None = None) -> list[SynopsisSpec]:
     ``repro.core.__init__`` runs mid-import and must not re-enter the
     package machinery).  Optionally filtered by class-module prefix."""
     out = [_REGISTRY[name] for name in sorted(_REGISTRY)]
+    if module_prefix is not None:
+        out = [s for s in out if s.cls.__module__.startswith(module_prefix)]
+    return out
+
+
+def servable(module_prefix: str | None = None) -> list[SynopsisSpec]:
+    """Specs that declare a canonical query probe, in name order — the
+    operator set :mod:`repro.serve` offers tenants (each ``HELLO`` names
+    a subset of these; ``QUERY <op>`` runs the probe against the
+    tenant's latest published snapshot).  Optionally filtered by
+    class-module prefix, like :func:`registered`."""
+    out = [s for s in specs() if s.servable]
     if module_prefix is not None:
         out = [s for s in out if s.cls.__module__.startswith(module_prefix)]
     return out

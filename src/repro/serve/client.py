@@ -1,0 +1,105 @@
+"""Asyncio line-protocol client for :class:`~repro.serve.server.StreamServer`.
+
+:class:`LineClient` is the reference ``serve/v1`` speaker: one method
+per verb, each returning the decoded ``OK`` payload dict or raising
+:class:`~repro.serve.protocol.ProtocolError` with the server's error
+code in ``.args[0]``.  Tests, the CI smoke script, and ``repro client``
+all drive the server through it.
+
+    async with await LineClient.connect(host, port) as c:
+        await c.hello("acme", ["count_min_sketch"])
+        await c.ingest([3, 1, 4, 1, 5])
+        answer = await c.query("count_min_sketch")
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Sequence
+
+from repro.serve.protocol import (
+    LINE_LIMIT,
+    ProtocolError,
+    encode_request,
+    parse_response,
+)
+
+__all__ = ["LineClient"]
+
+
+class LineClient:
+    """One connection to a streaming server; not task-safe — use one
+    client per concurrent tenant coroutine."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self.tenant: str | None = None
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "LineClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=LINE_LIMIT
+        )
+        return cls(reader, writer)
+
+    async def __aenter__(self) -> "LineClient":
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    async def _round_trip(self, verb: str, *args: str) -> dict[str, Any]:
+        self._writer.write(encode_request(verb, *args))
+        await self._writer.drain()
+        return await self._read_response()
+
+    async def _read_response(self) -> dict[str, Any]:
+        raw = await self._reader.readline()
+        if not raw:
+            raise ConnectionError("server closed the connection")
+        return parse_response(raw.decode())
+
+    # ------------------------------------------------------------------
+    async def hello(self, tenant: str, ops: Sequence[str]) -> dict[str, Any]:
+        """Open (or attach to) ``tenant``'s session serving ``ops``."""
+        payload = await self._round_trip("HELLO", tenant, ",".join(ops))
+        self.tenant = tenant
+        return payload
+
+    async def ingest(self, items: Sequence[int]) -> dict[str, Any]:
+        """Submit one batch of integer stream items.  The response only
+        arrives once the server has accepted the batch — so a throttled
+        or backpressured tenant blocks right here, which is the
+        protocol's flow control working as intended."""
+        body = " ".join(str(int(x)) for x in items)
+        self._writer.write(encode_request("INGEST", str(len(items))))
+        self._writer.write((body + "\n").encode())
+        await self._writer.drain()
+        return await self._read_response()
+
+    async def query(self, op: str) -> dict[str, Any]:
+        """Probe ``op`` against the latest snapshot: ``{op, epoch, result}``."""
+        return await self._round_trip("QUERY", op)
+
+    async def ops(self) -> dict[str, Any]:
+        return await self._round_trip("OPS")
+
+    async def stats(self) -> dict[str, Any]:
+        return await self._round_trip("STATS")
+
+    async def ping(self) -> dict[str, Any]:
+        return await self._round_trip("PING")
+
+    async def quit(self) -> dict[str, Any]:
+        return await self._round_trip("QUIT")
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass

@@ -1,0 +1,146 @@
+"""The ``serve/v1`` line protocol: framing shared by server and client.
+
+Everything is UTF-8 lines (docs/serving.md has the full spec).  A
+session opens with ``HELLO``; ``INGEST`` is the only two-line request
+(the command line announces the item count, the next line carries the
+whitespace-separated items):
+
+========================  =============================================
+request                   meaning
+========================  =============================================
+``HELLO <tenant> <ops>``  open/attach a tenant session; ``ops`` is a
+                          comma-separated list of servable registry
+                          operator names
+``INGEST <n>``            next line: n whitespace-separated int items
+``QUERY <op>``            run op's canonical probe on the latest
+                          published snapshot
+``OPS``                   the servable operator catalog
+``STATS``                 tenant counters (epoch, queue depth, ...)
+``PING``                  liveness probe
+``QUIT``                  close this connection (session stays live)
+========================  =============================================
+
+Every response is exactly one line: ``OK <json>`` or
+``ERR <code> <message>``.  Error codes are machine-checkable tokens
+(``admission``, ``unknown-op``, ``no-session``, ``protocol``,
+``draining``), the tail is human-readable.
+
+:data:`LINE_LIMIT` bounds both directions; an ``INGEST`` line larger
+than the limit is a protocol error, which bounds per-connection memory
+no matter what a client sends.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "LINE_LIMIT",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "Request",
+    "encode_err",
+    "encode_ok",
+    "encode_request",
+    "jsonable",
+    "parse_request",
+    "parse_response",
+]
+
+PROTOCOL_VERSION = "serve/v1"
+
+#: Max bytes per line, either direction (asyncio StreamReader limit).
+LINE_LIMIT = 1 << 20
+
+#: Commands that take (exactly) the argument counts given; INGEST's
+#: payload line is read separately by the server loop.
+_ARITY = {
+    "HELLO": 2,
+    "INGEST": 1,
+    "QUERY": 1,
+    "OPS": 0,
+    "STATS": 0,
+    "PING": 0,
+    "QUIT": 0,
+}
+
+
+class ProtocolError(ValueError):
+    """A malformed request or response line."""
+
+
+@dataclass(frozen=True)
+class Request:
+    """One parsed request line."""
+
+    verb: str
+    args: tuple[str, ...]
+
+
+def parse_request(line: str) -> Request:
+    """Parse one request line; raises :class:`ProtocolError` on junk."""
+    parts = line.strip().split()
+    if not parts:
+        raise ProtocolError("empty request line")
+    verb = parts[0].upper()
+    arity = _ARITY.get(verb)
+    if arity is None:
+        raise ProtocolError(f"unknown verb {parts[0]!r}")
+    args = tuple(parts[1:])
+    if len(args) != arity:
+        raise ProtocolError(
+            f"{verb} takes {arity} argument(s), got {len(args)}"
+        )
+    return Request(verb=verb, args=args)
+
+
+def encode_request(verb: str, *args: str) -> bytes:
+    return (" ".join((verb, *args)) + "\n").encode()
+
+
+# ----------------------------------------------------------------------
+# Responses
+# ----------------------------------------------------------------------
+def jsonable(value: Any) -> Any:
+    """Recursively coerce probe results (NumPy scalars/arrays, tuples,
+    dict keys of any scalar type) into plain JSON-serializable data."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return [jsonable(v) for v in value.tolist()]
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    return value
+
+
+def encode_ok(payload: dict[str, Any]) -> bytes:
+    text = json.dumps(jsonable(payload), separators=(",", ":"))
+    return f"OK {text}\n".encode()
+
+
+def encode_err(code: str, message: str) -> bytes:
+    return f"ERR {code} {message}\n".encode()
+
+
+def parse_response(line: str) -> dict[str, Any]:
+    """Decode one response line into its payload dict.
+
+    ``ERR`` lines raise :class:`ProtocolError` with the code preserved
+    in ``.args[0]`` (clients branch on it)."""
+    line = line.strip()
+    if line.startswith("OK "):
+        try:
+            return json.loads(line[3:])
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"bad OK payload: {exc}") from None
+    if line.startswith("ERR "):
+        code, _, message = line[4:].partition(" ")
+        exc = ProtocolError(code, message)
+        raise exc
+    raise ProtocolError(f"unrecognizable response line {line[:80]!r}")

@@ -1,0 +1,140 @@
+"""Admission control and per-tenant rate limiting for the streaming
+service.
+
+Two small, clock-injectable mechanisms (docs/serving.md):
+
+* :class:`TokenBucket` — the per-tenant items/sec quota.  A bucket
+  holds up to ``burst`` tokens and refills at ``rate`` tokens/sec; one
+  stream element costs one token.  The bucket uses the *deficit* model:
+  a request always succeeds immediately in bookkeeping terms (tokens
+  may go negative) and returns the number of seconds the caller must
+  sleep before the debt is repaid — so an oversized batch throttles the
+  submitting coroutine exactly once instead of being rejected or
+  sliced.
+* :class:`AdmissionController` — the max-tenants gate.  ``admit`` is a
+  pure capacity check; the server calls it on the first ``HELLO`` of a
+  new tenant and refuses the session with a protocol-level error when
+  the fleet is full.
+
+Both are deliberately synchronous and loop-free: the *caller* owns the
+``await asyncio.sleep(delay)``, which keeps the quota layer trivially
+testable with a fake clock.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["TokenBucket", "AdmissionController", "AdmissionError"]
+
+
+class AdmissionError(RuntimeError):
+    """A tenant was refused at admission (fleet at ``max_tenants``)."""
+
+
+class TokenBucket:
+    """Deficit token bucket: ``request(n)`` returns the throttle delay.
+
+    Parameters
+    ----------
+    rate:
+        Refill rate in tokens (stream items) per second.  ``math.inf``
+        disables throttling entirely.
+    burst:
+        Bucket capacity — the largest debt-free request.  Defaults to
+        one second's worth of tokens.
+    clock:
+        Monotonic time source; injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0 (use math.inf to disable), got {rate}")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else float(rate)
+        if self.burst <= 0:
+            raise ValueError(f"burst must be > 0, got {self.burst}")
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+        #: Total seconds of throttle delay handed out (metrics feed).
+        self.throttled_seconds = 0.0
+
+    def _refill(self) -> None:
+        now = self._clock()
+        if math.isinf(self.rate):
+            self._tokens = self.burst
+        else:
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._stamp) * self.rate
+            )
+        self._stamp = now
+
+    @property
+    def available(self) -> float:
+        """Tokens on hand right now (negative while in debt)."""
+        self._refill()
+        return self._tokens
+
+    def request(self, n: int) -> float:
+        """Charge ``n`` tokens; return the seconds to sleep before the
+        bucket is out of debt (0.0 when the request fits the balance).
+
+        The charge always lands — the caller's contract is to *sleep
+        the returned delay before reading more input*, which is what
+        makes the bucket enforce ``rate`` items/sec on average while
+        letting bursts up to ``burst`` through untouched.
+        """
+        if n < 0:
+            raise ValueError(f"cannot request {n} tokens")
+        self._refill()
+        self._tokens -= n
+        if self._tokens >= 0 or math.isinf(self.rate):
+            return 0.0
+        delay = -self._tokens / self.rate
+        self.throttled_seconds += delay
+        return delay
+
+
+@dataclass
+class AdmissionController:
+    """The max-tenants gate: a counting semaphore with a reason string.
+
+    ``admit(tenant)`` reserves a slot or raises :class:`AdmissionError`;
+    ``release(tenant)`` frees it when the session is torn down.  Re-
+    admitting a live tenant is a no-op (reconnects attach, they don't
+    consume a second slot).
+    """
+
+    max_tenants: int
+    _live: set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.max_tenants < 1:
+            raise ValueError(f"max_tenants must be >= 1, got {self.max_tenants}")
+
+    @property
+    def tenants(self) -> int:
+        return len(self._live)
+
+    def admit(self, tenant: str) -> None:
+        if tenant in self._live:
+            return
+        if len(self._live) >= self.max_tenants:
+            raise AdmissionError(
+                f"tenant {tenant!r} refused: {len(self._live)}/"
+                f"{self.max_tenants} tenant slots in use"
+            )
+        self._live.add(tenant)
+
+    def release(self, tenant: str) -> None:
+        self._live.discard(tenant)
