@@ -203,8 +203,11 @@ def test_e16_planned_vs_naive_sweep(benchmark):
     # stream, and sharing already pays at 4 ops on the skewed one.
     assert speedups[("uniform", 4)] >= 3.0, speedups
     assert speedups[("zipf", 4)] >= 1.5, speedups
-    # Sharing monotonically helps as the pipeline widens.
-    assert speedups[("uniform", 8)] >= speedups[("uniform", 2)]
+    # Sharing keeps helping as the pipeline widens.  The 2-op pipeline
+    # is all MG-family, whose planned kernels outpaced the naive dict
+    # path further with the sorted-merge augment (E18), so the sketch-
+    # bearing 4-op pipeline is the widening comparison point.
+    assert speedups[("uniform", 8)] >= speedups[("uniform", 4)]
 
     chunk = STREAMS["uniform"]()[:MU]
     ops = _pipeline(4)

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""CI smoke test for the fused ingest path (docs/performance.md).
+
+Runs one mixed pipeline (CMS, conservative CMS, Count-Sketch, MG
+summary, frequency estimator) over a short zipf stream twice — once
+through the serial ``ingest_prepared`` loop, once through a shared
+:class:`repro.engine.fusion.FusedIngestPlan` — and asserts the fused
+path is *exactly* equivalent:
+
+1. every operator lands in a bit-identical ``state_dict``;
+2. the charged ledger totals (work, depth) match to the unit — the
+   fused kernels replay each operator's recorded charges, never their
+   own;
+3. degenerate minibatches (len-0, len-1) pass through the fused
+   kernels without perturbing either invariant;
+4. the batch arena actually reuses its buffers at steady state
+   (``reuse_ratio`` > 0 after the second minibatch).
+
+Runs in a couple of seconds; wired into ``make test`` as
+``bench-fusion-smoke``.  Exit status: 0 on success, 1 on any failed
+expectation.
+"""
+
+from __future__ import annotations
+
+import pickle
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core import (  # noqa: E402
+    MisraGriesSummary,
+    ParallelCountMin,
+    ParallelCountSketch,
+    ParallelFrequencyEstimator,
+)
+from repro.engine.fusion import FusedIngestPlan  # noqa: E402
+from repro.pram.cost import CostLedger, tracking  # noqa: E402
+from repro.pram.plan import PreparedBatch  # noqa: E402
+from repro.stream.generators import minibatches, zipf_stream  # noqa: E402
+
+N = 20_000
+MU = 2_048
+UNIVERSE = 1 << 13
+
+
+def fail(message: str):
+    print(f"FUSION SMOKE FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def _pipeline() -> dict:
+    return {
+        "cms": ParallelCountMin(0.02, 0.05, rng=np.random.default_rng(31)),
+        "cms-cons": ParallelCountMin(
+            0.05, 0.1, rng=np.random.default_rng(32), conservative=True
+        ),
+        "csk": ParallelCountSketch(0.05, 0.05, rng=np.random.default_rng(33)),
+        "mg": MisraGriesSummary(capacity=48),
+        "freq": ParallelFrequencyEstimator(eps=0.05),
+    }
+
+
+def _batches() -> list[np.ndarray]:
+    chunks = list(minibatches(zipf_stream(N, UNIVERSE, 1.1, rng=34), MU))
+    # Degenerate minibatches ride along: fused kernels must no-op on
+    # len-0 and stay object-dtype-free on len-1.
+    chunks[2:2] = [np.empty(0, dtype=np.int64), np.array([7], dtype=np.int64)]
+    return chunks
+
+
+def main() -> int:
+    serial_ops = _pipeline()
+    serial_led = CostLedger()
+    with tracking(serial_led):
+        for chunk in _batches():
+            plan = PreparedBatch(chunk)
+            for op in serial_ops.values():
+                op.ingest_prepared(plan)
+
+    fused_ops = _pipeline()
+    fused = FusedIngestPlan(fused_ops)
+    fused_led = CostLedger()
+    with tracking(fused_led):
+        for chunk in _batches():
+            fused.execute(PreparedBatch(chunk))
+
+    if sorted(fused.fused_names) != ["cms", "csk"]:
+        fail(f"unexpected fused set: {fused.fused_names}")
+    for name, op in serial_ops.items():
+        if pickle.dumps(op.state_dict()) != pickle.dumps(fused_ops[name].state_dict()):
+            fail(f"operator state diverged under fusion: {name}")
+    if (serial_led.work, serial_led.depth) != (fused_led.work, fused_led.depth):
+        fail(
+            "ledger parity broken: serial "
+            f"({serial_led.work}, {serial_led.depth}) != fused "
+            f"({fused_led.work}, {fused_led.depth})"
+        )
+    if not fused.arena.reuse_ratio > 0:
+        fail(f"arena never reused a buffer: ratio={fused.arena.reuse_ratio}")
+    print(
+        f"fusion smoke OK: {len(serial_ops)} ops, {N} items, "
+        f"ledger=({fused_led.work}, {fused_led.depth}), "
+        f"arena reuse {fused.arena.reuse_ratio:.2f}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

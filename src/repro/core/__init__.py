@@ -66,6 +66,7 @@ from repro.observability.spans import instrument_methods as _instrument_methods
 _SYNOPSIS_OPS = (
     "ingest",
     "ingest_prepared",
+    "ingest_fused",
     "extend",
     "query",
     "estimate",

@@ -94,6 +94,51 @@ class ParallelCountMin:
         self._add_counts(keys, freqs, plan)
         self.stream_length += plan.size
 
+    def fused_gathers(self) -> list[tuple[KWiseHash, int, None]] | None:
+        """Per-row ``(bucket_hash, width, sign_hash)`` gather descriptors
+        for the fused multi-operator kernel (:mod:`repro.engine.fusion`),
+        or ``None`` when this instance cannot be fused — conservative
+        update needs per-item min/max, not a linear per-row gather."""
+        if self.conservative:
+            return None
+        return [(h, self.width, None) for h in self.hashes]
+
+    def ingest_fused(
+        self, plan: PreparedBatch, batched: tuple[np.ndarray, np.ndarray] | None
+    ) -> None:
+        """Apply the fused kernel's precomputed ``(cols, weights)``.
+
+        ``cols`` is a ``(depth, |keys|)`` arena view of the *flat*
+        column each distinct key hashes to (row-relative bucket plus
+        ``row·width``, identical mod width to this row's serial
+        ``hash_columns``); ``weights`` is a ``(depth, |keys|)`` arena
+        view of the int64 frequency vector tiled per row.  One sparse
+        scatter into the table's flat view applies every row at once —
+        the same per-bucket integer sums the serial dense ``bincount``
+        + ``+=`` computes, without the width-proportional passes —
+        while the strands replay the identical charges
+        :meth:`ingest_prepared` makes, so ledger totals and states
+        stay bit-identical to the serial path."""
+        if plan.size == 0:
+            return
+        plan.sketch_hist()  # replay the shared-prework charge, as serial does
+        cols, weights = batched  # type: ignore[misc]
+        p = cols.shape[1]
+        # Replay the serial strand costs arithmetically: each row's
+        # strand is hash eval then gather, composed sequentially — the
+        # same totals ingest_prepared's closures charge, without a
+        # child ledger per row.
+        gather_w = max(1, p + self.width)
+        gather_d = 1 + log2ceil(max(2, p + self.width))
+        with parallel() as par:
+            for h in self.hashes:
+                hw, hd = h.eval_cost(p)
+                par.charge_strand(hw + gather_w, hd + gather_d)
+        # Flat 1-D intp index + contiguous values hit ufunc.at's
+        # unbuffered fast path (~5x over 2-D indexing).
+        np.add.at(self.table.reshape(-1), cols.ravel(), weights.ravel())
+        self.stream_length += plan.size
+
     def update(self, item: Hashable, count: int = 1) -> None:
         """Single-item update (the sequential special case)."""
         if count < 0:
@@ -431,7 +476,9 @@ register(
     ParallelCountMin,
     summary="minibatch-parallel Count-Min sketch (Theorem 6.1)",
     input="items",
-    caps=Capabilities(mergeable=True, preparable=True, invariant_checked=True),
+    caps=Capabilities(
+        mergeable=True, preparable=True, invariant_checked=True, fused=True
+    ),
     build=lambda: ParallelCountMin(eps=0.05, delta=0.1, rng=np.random.default_rng(1)),
     probe=lambda op: [op.point_query(i) for i in range(64)],
 )

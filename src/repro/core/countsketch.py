@@ -107,6 +107,51 @@ class ParallelCountSketch:
                 par.run(strand)
         self.stream_length += plan.size
 
+    def fused_gathers(self) -> list[tuple[KWiseHash, int, KWiseHash]]:
+        """Per-row ``(bucket_hash, width, sign_hash)`` gather descriptors
+        for the fused multi-operator kernel (:mod:`repro.engine.fusion`).
+        Count-Sketch rows are signed gathers, so every row carries its
+        4-wise sign hash alongside the bucket hash."""
+        return [
+            (self.bucket_hashes[i], self.width, self.sign_hashes[i])
+            for i in range(self.depth)
+        ]
+
+    def ingest_fused(
+        self, plan: PreparedBatch, batched: tuple[np.ndarray, np.ndarray] | None
+    ) -> None:
+        """Apply the fused kernel's precomputed ``(cols, weights)``.
+
+        Both are ``(depth, |keys|)`` arena views: the *flat* column each
+        distinct key hashes to (row-relative bucket plus ``row·width``)
+        and its sign-weighted int64 frequency (identical mod width /
+        in value to this row's serial ``cols`` / ``signs * freqs``).
+        One sparse scatter into the table's flat view applies every row
+        at once — the same per-bucket integer sums the serial dense
+        ``bincount`` + ``+=`` computes, without the width-proportional
+        passes — while the strands replay the identical charges
+        :meth:`ingest_prepared` makes (bucket hash, sign hash, gather),
+        so ledger totals and states stay bit-identical to serial."""
+        if plan.size == 0:
+            return
+        plan.sketch_hist()  # replay the shared-prework charge, as serial does
+        cols, weights = batched  # type: ignore[misc]
+        p = cols.shape[1]
+        # Replay the serial strand costs arithmetically (bucket hash,
+        # sign hash, gather — sequential within a strand), matching
+        # ingest_prepared's closures without a child ledger per row.
+        gather_w = max(1, p + self.width)
+        gather_d = 1 + log2ceil(max(2, p + self.width))
+        with parallel() as par:
+            for i in range(self.depth):
+                bw, bd = self.bucket_hashes[i].eval_cost(p)
+                sw, sd = self.sign_hashes[i].eval_cost(p)
+                par.charge_strand(bw + sw + gather_w, bd + sd + gather_d)
+        # Flat 1-D intp index + contiguous values hit ufunc.at's
+        # unbuffered fast path (~5x over 2-D indexing).
+        np.add.at(self.table.reshape(-1), cols.ravel(), weights.ravel())
+        self.stream_length += plan.size
+
     def update(self, item: Hashable, count: int = 1) -> None:
         """Single-item update."""
         if count < 0:
@@ -225,7 +270,9 @@ register(
     ParallelCountSketch,
     summary="minibatch-parallel Count-Sketch, unbiased estimates [CCF02]",
     input="items",
-    caps=Capabilities(mergeable=True, preparable=True, invariant_checked=True),
+    caps=Capabilities(
+        mergeable=True, preparable=True, invariant_checked=True, fused=True
+    ),
     build=lambda: ParallelCountSketch(eps=0.1, delta=0.1, rng=np.random.default_rng(3)),
     probe=lambda op: [op.point_query(i) for i in range(64)],
 )

@@ -62,7 +62,7 @@ class ParallelFrequencyEstimator:
         if plan.size == 0:
             return
         if plan.is_integer:
-            keys, freqs = plan.hist_arrays()[:2]
+            keys, freqs = plan.sorted_hist_arrays()
             self.counters = mg_augment_arrays(
                 self.counters, keys, freqs, self.capacity
             )

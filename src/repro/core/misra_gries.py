@@ -228,6 +228,61 @@ def mg_augment(
     return {item: c - phi for item, c in combined.items() if c > phi}
 
 
+def _merge_count_maps(
+    summary: Mapping[int, int], keys: np.ndarray, freqs: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Combine a (small) summary dict with a histogram into sorted
+    ``(uniq, merged)`` count arrays.
+
+    When ``keys`` arrive already strictly increasing — the
+    :meth:`~repro.pram.plan.PreparedBatch.sorted_hist_arrays` product —
+    the ≤S summary entries are folded in by binary search + insertion
+    instead of re-sorting the whole histogram per operator.  Both paths
+    produce the identical arrays ``np.unique`` over the concatenation
+    would (same sorted keys, same summed counts); the cheap sortedness
+    probe keeps arbitrary callers on the general path.
+    """
+    is_sorted = keys.size == 0 or bool(np.all(keys[1:] > keys[:-1]))
+    if is_sorted:
+        if not summary:
+            return keys, freqs
+        skeys = np.fromiter(summary.keys(), dtype=np.int64, count=len(summary))
+        sfreqs = np.fromiter(summary.values(), dtype=np.int64, count=len(summary))
+        order = np.argsort(skeys)
+        skeys, sfreqs = skeys[order], sfreqs[order]
+        pos = np.searchsorted(keys, skeys)
+        hit = pos < keys.size
+        hit[hit] = keys[pos[hit]] == skeys[hit]
+        merged = freqs.copy()
+        merged[pos[hit]] += sfreqs[hit]
+        if hit.all():
+            return keys, merged
+        miss = ~hit
+        # Hand-rolled np.insert: target slots for the missing summary
+        # keys are their search positions shifted by how many misses
+        # precede them; everything else receives the histogram run.
+        slots = pos[miss] + np.arange(np.count_nonzero(miss), dtype=np.int64)
+        out_k = np.empty(keys.size + slots.size, dtype=np.int64)
+        out_f = np.empty(out_k.size, dtype=np.int64)
+        rest = np.ones(out_k.size, dtype=bool)
+        rest[slots] = False
+        out_k[slots] = skeys[miss]
+        out_f[slots] = sfreqs[miss]
+        out_k[rest] = keys
+        out_f[rest] = merged
+        return out_k, out_f
+    if summary:
+        keys = np.concatenate(
+            [np.fromiter(summary.keys(), dtype=np.int64, count=len(summary)), keys]
+        )
+        freqs = np.concatenate(
+            [np.fromiter(summary.values(), dtype=np.int64, count=len(summary)), freqs]
+        )
+    uniq, inverse = np.unique(keys, return_inverse=True)
+    merged = np.bincount(inverse, weights=freqs, minlength=uniq.size).astype(np.int64)
+    return uniq, merged
+
+
 def mg_augment_arrays(
     summary: Mapping[int, int],
     keys: np.ndarray,
@@ -251,24 +306,18 @@ def mg_augment_arrays(
     charge(work=max(1, total), depth=1 + log2ceil(max(2, total)) ** 2)
     if np.any(freqs < 0):
         raise ValueError("negative histogram frequency")
-    if summary:
-        keys = np.concatenate(
-            [np.fromiter(summary.keys(), dtype=np.int64, count=len(summary)), keys]
-        )
-        freqs = np.concatenate(
-            [np.fromiter(summary.values(), dtype=np.int64, count=len(summary)), freqs]
-        )
-    uniq, inverse = np.unique(keys, return_inverse=True)
-    merged = np.bincount(inverse, weights=freqs, minlength=uniq.size).astype(np.int64)
+    uniq, merged = _merge_count_maps(summary, keys, freqs)
 
     if uniq.size <= capacity:
-        return {int(k): int(c) for k, c in zip(uniq, merged)}
+        # tolist() materializes Python ints in one C pass — same values
+        # as per-element int(), without the numpy-scalar round-trips.
+        return dict(zip(uniq.tolist(), merged.tolist()))
 
     phi = prune_cutoff(merged, capacity)
     # Subtract ϕ everywhere; keep strictly positive counters.
     charge(work=max(1, uniq.size), depth=1)
     keep = merged > phi
-    return {int(k): int(c) for k, c in zip(uniq[keep], merged[keep] - phi)}
+    return dict(zip(uniq[keep].tolist(), (merged[keep] - phi).tolist()))
 
 
 def _mg_ingest_codes(

@@ -192,8 +192,22 @@ def _fold_node(op_names: tuple[str, ...], ctx: Mapping[str, Any]) -> dict[str, A
     return {name: ctx[f"op:{name}"] for name in op_names}
 
 
+def _fuse_node(fusion: Any, ctx: Mapping[str, Any]) -> Any:
+    fusion.execute(ctx["prepare"])
+    return fusion
+
+
+def _fused_op_node(op: Any, ctx: Mapping[str, Any]) -> Any:
+    # The fuse node already ingested the batch into every operator;
+    # this node only republishes the operator for the fold.
+    return op
+
+
 def operator_graph(
-    operators: Mapping[str, Any], *, share_prework: bool = True
+    operators: Mapping[str, Any],
+    *,
+    share_prework: bool = True,
+    fusion: Any | None = None,
 ) -> DataflowGraph:
     """source → prepare → one node per operator → fold.
 
@@ -203,6 +217,13 @@ def operator_graph(
     plan exists.  The ``fold`` output maps operator name → the operator
     that absorbed the batch (the same object in-process; the worker's
     mutated copy under a process backend — callers re-adopt its state).
+
+    With a ``fusion`` (:class:`repro.engine.fusion.FusedIngestPlan`) a
+    ``fuse`` node between prepare and the operator fan-in runs the
+    stacked multi-operator kernel over the plan — serial-exact in
+    states and charges — and the per-operator nodes become pass-through
+    republishers.  Requires ``share_prework`` (the fused kernel
+    consumes the plan) and an in-process serial execution.
     """
     graph = DataflowGraph()
     graph.add("source", None, kind="source")
@@ -211,11 +232,24 @@ def operator_graph(
         deps=("source",), kind="prepare",
     )
     op_names = tuple(operators)
-    for name in op_names:
+    if fusion is not None:
+        if not share_prework:
+            raise ValueError("a fused graph requires share_prework=True")
         graph.add(
-            f"op:{name}", partial(_op_node, operators[name]),
-            deps=("source", "prepare"), kind="operator",
+            "fuse", partial(_fuse_node, fusion),
+            deps=("source", "prepare"), kind="fuse",
         )
+        for name in op_names:
+            graph.add(
+                f"op:{name}", partial(_fused_op_node, operators[name]),
+                deps=("fuse",), kind="operator",
+            )
+    else:
+        for name in op_names:
+            graph.add(
+                f"op:{name}", partial(_op_node, operators[name]),
+                deps=("source", "prepare"), kind="operator",
+            )
     graph.add(
         "fold", partial(_fold_node, op_names),
         deps=tuple(f"op:{name}" for name in op_names), kind="fold",

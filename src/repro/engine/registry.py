@@ -13,7 +13,7 @@ operator module now *declares* itself once, at import time:
 >>> registry.load_all()                      # doctest: +ELLIPSIS
 [...]
 >>> registry.get("ParallelCountMin").caps.flags()
-'MPI'
+'MPIF'
 
 and every subsystem iterates :func:`specs` instead of hard-coding the
 operator list.  A spec carries the class, a one-line summary, the feed
@@ -90,20 +90,28 @@ class Capabilities:
     ``invariant_checked``
         ``check_invariants()`` — structural self-audit used by the
         resilience layer's checkpoint quarantine.
+    ``fused``
+        ``fused_gathers()`` + ``ingest_fused(plan, rows)`` — the
+        operator's per-row gathers can be folded into the
+        multi-operator fused ingest kernel
+        (:class:`repro.engine.fusion.FusedIngestPlan`); it also selects
+        the fuzzer's ``fused`` differential relation.
     """
 
     mergeable: bool = False
     preparable: bool = False
     windowed: bool = False
     invariant_checked: bool = False
+    fused: bool = False
 
     def flags(self) -> str:
-        """Compact ``MPWI`` capability string (``-`` padding omitted)."""
+        """Compact ``MPWIF`` capability string (``-`` padding omitted)."""
         pairs = (
             ("M", self.mergeable),
             ("P", self.preparable),
             ("W", self.windowed),
             ("I", self.invariant_checked),
+            ("F", self.fused),
         )
         return "".join(letter for letter, on in pairs if on) or "-"
 
@@ -117,6 +125,8 @@ class Capabilities:
             preparable=callable(getattr(target, "ingest_prepared", None)),
             windowed="window" in inspect.signature(target.__init__).parameters,
             invariant_checked=callable(getattr(target, "check_invariants", None)),
+            fused=callable(getattr(target, "fused_gathers", None))
+            and callable(getattr(target, "ingest_fused", None)),
         )
 
 

@@ -96,6 +96,15 @@ class ProfileReport:
     def attributed_work(self) -> int:
         return sum(r.work for r in self.rows)
 
+    def hotspots(self, top: int = 10) -> list[ProfileRow]:
+        """The per-kernel ns/work hotspot view: exercised rows ranked by
+        measured nanoseconds per unit of charged work, descending — the
+        kernels whose hardware cost per ledger unit is highest (outlier
+        flags carry over from the main attribution)."""
+        ranked = [r for r in self.rows if r.calls and r.ns_per_work > 0]
+        ranked.sort(key=lambda r: (-r.ns_per_work, r.name))
+        return ranked[:top]
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "schema": "repro-profile/v1",
@@ -106,6 +115,7 @@ class ProfileReport:
             "total_wall_ms": round(self.total_wall_ms, 3),
             "attributed_work": self.attributed_work,
             "operators": [r.to_dict() for r in self.rows],
+            "hotspots": [r.to_dict() for r in self.hotspots()],
         }
 
     def render(self) -> str:
@@ -123,6 +133,12 @@ class ProfileReport:
             ]
             for r in self.rows
         ]
+        hot = self.hotspots()
+        hot_rows = [
+            [r.name, r.category, r.calls, round(r.ns_per_work, 2),
+             round(r.self_ms, 3), r.flag]
+            for r in hot
+        ]
         attributed = self.attributed_work
         coverage = attributed / self.total_work if self.total_work else 0.0
         lines = [
@@ -137,6 +153,15 @@ class ProfileReport:
             f"{SKEW_FACTOR:g}x from the run median — a cost model out of "
             "step with measured reality",
         ]
+        if hot:
+            lines[2:2] = [
+                "-- kernel hotspots (ns per unit of charged work, "
+                "descending) --",
+                format_table(
+                    ["kernel", "category", "calls", "ns/work", "self ms", ""],
+                    hot_rows,
+                ),
+            ]
         return "\n".join(lines) + "\n"
 
 
@@ -288,6 +313,33 @@ def _scenario_e14(items: int) -> None:
     driver.run(zipf_stream(items, 1 << 12, 1.1, rng=15), 4_096)
 
 
+def _scenario_e16(items: int) -> None:
+    import numpy as np
+
+    from repro.core.countmin import ParallelCountMin
+    from repro.core.countsketch import ParallelCountSketch
+    from repro.core.freq_infinite import ParallelFrequencyEstimator
+    from repro.core.heavy_hitters import InfiniteHeavyHitters
+    from repro.stream.generators import zipf_stream
+    from repro.stream.minibatch import MinibatchDriver
+
+    # The bench E16/E18 8-operator pipeline; the driver auto-enables
+    # the fused multi-operator kernel, so the attribution shows the
+    # stacked hash/gather cost against the shared-prework pipeline.
+    ops = {
+        "freq": ParallelFrequencyEstimator(eps=0.01),
+        "hh-inf": InfiniteHeavyHitters(phi=0.05, eps=0.01),
+        "cms": ParallelCountMin(0.01, 0.01, rng=np.random.default_rng(5)),
+        "csk": ParallelCountSketch(0.01, 0.01, rng=np.random.default_rng(6)),
+        "freq2": ParallelFrequencyEstimator(eps=0.02),
+        "hh-inf2": InfiniteHeavyHitters(phi=0.1, eps=0.02),
+        "cms2": ParallelCountMin(0.02, 0.01, rng=np.random.default_rng(7)),
+        "csk2": ParallelCountSketch(0.02, 0.01, rng=np.random.default_rng(8)),
+    }
+    driver = MinibatchDriver(ops)
+    driver.run(zipf_stream(items, 1 << 14, 1.2, rng=16), 4_096)
+
+
 def _scenario_e17(items: int) -> None:
     from repro.engine.mergetree import merge_partials, shard_partials
     from repro.engine.registry import create
@@ -312,6 +364,7 @@ EXPERIMENTS: dict[str, Callable[[int], None]] = {
     "e10": _scenario_e10,
     "e13": _scenario_e13,
     "e14": _scenario_e14,
+    "e16": _scenario_e16,
     "e17": _scenario_e17,
 }
 

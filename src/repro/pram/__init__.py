@@ -10,6 +10,7 @@ the measured work/depth against the paper's theorems.
 
 Modules
 -------
+arena       high-water scratch buffers reused across minibatches
 cost        fork-join work/depth ledger and ambient-ledger plumbing
 primitives  map / reduce / scan / pack / concat data-parallel kernels
 sort        linear-work stable integer sort (Theorem 2.2 stand-in)
@@ -28,6 +29,7 @@ installs its name as the ambient charge label so the ledger's
 is a single ContextVar read.
 """
 
+from repro.pram.arena import BatchArena
 from repro.pram.backend import (
     ProcessPoolBackend,
     SerialBackend,
@@ -53,7 +55,7 @@ from repro.pram.histogram import (
     build_hist_collectbin,
     build_hist_vectorized,
 )
-from repro.pram.plan import PreparedBatch, fold_key
+from repro.pram.plan import HASH_MEMO_CAP, PreparedBatch, fold_key
 from repro.pram.primitives import (
     pack,
     par_concat,
@@ -69,6 +71,7 @@ from repro.pram.select import rank_select, prune_cutoff
 from repro.pram.sort import int_sort, int_sort_by_key
 
 __all__ = [
+    "BatchArena",
     "Cost",
     "CostLedger",
     "charge",
@@ -87,6 +90,7 @@ __all__ = [
     "build_hist_arrays",
     "build_hist_collectbin",
     "build_hist_vectorized",
+    "HASH_MEMO_CAP",
     "PreparedBatch",
     "fold_key",
     "SerialBackend",

@@ -18,14 +18,67 @@ in DESIGN.md).
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.pram.cost import charge
 
-__all__ = ["MERSENNE_P", "KWiseHash", "pairwise_hashes"]
+__all__ = [
+    "MERSENNE_P",
+    "KWiseHash",
+    "fold_schedule",
+    "mersenne_fold",
+    "pairwise_hashes",
+]
 
 #: Field prime for the polynomial family (Mersenne: 2^31 − 1).
 MERSENNE_P: int = (1 << 31) - 1
+
+_P64 = np.uint64(MERSENNE_P)
+_SHIFT31 = np.uint64(31)
+
+
+def mersenne_fold(acc: np.ndarray, scratch: np.ndarray) -> None:
+    """One lazy Mersenne reduction: ``y → (y >> 31) + (y & p)``.
+
+    ``2^31 ≡ 1 (mod p)`` for ``p = 2^31 − 1``, so the fold preserves the
+    residue mod p while replacing a hardware division with shift/mask/
+    add — all SIMD-friendly on uint64.  Any ``y`` is bounded afterwards
+    by ``(y >> 31) + p``."""
+    np.right_shift(acc, _SHIFT31, out=scratch)
+    np.bitwise_and(acc, _P64, out=acc)
+    np.add(acc, scratch, out=acc)
+
+
+@lru_cache(maxsize=None)
+def fold_schedule(k: int) -> tuple[int, ...]:
+    """Fold counts per Horner step for a degree-(k−1) polynomial over
+    Z_p, from exact worst-case bounds.
+
+    Starting from ``acc ≤ p − 1`` and ``x ≤ p − 1`` (keys reduced mod
+    p), each step computes ``acc·x + (p − 1)`` and then folds just
+    enough times that the *next* multiply cannot wrap uint64 — usually
+    once, instead of the unconditional twice a naive schedule needs.
+    The last step folds down below ``2p`` so a single conditional
+    subtract makes the residue exact."""
+    p = MERSENNE_P
+    x_bound = p - 1
+    plan: list[int] = []
+    acc = p - 1
+    for step in range(1, k):
+        acc = acc * x_bound + (p - 1)
+        folds = 0
+        if step < k - 1:
+            while acc * x_bound + (p - 1) >= 1 << 64:
+                acc = (acc >> 31) + p
+                folds += 1
+        else:
+            while acc >= 2 * p:
+                acc = (acc >> 31) + p
+                folds += 1
+        plan.append(folds)
+    return tuple(plan)
 
 
 class KWiseHash:
@@ -73,14 +126,53 @@ class KWiseHash:
         """
         scalar = np.isscalar(keys)
         x = np.atleast_1d(np.asarray(keys, dtype=np.uint64)) % np.uint64(MERSENNE_P)
-        n = x.size
-        charge(work=max(1, n), depth=1 + max(0, (self.k - 1).bit_length()))
+        self.charge_eval(x.size)
         p = np.uint64(MERSENNE_P)
         acc = np.full_like(x, self.coeffs[0])
         for a in self.coeffs[1:]:
             acc = (acc * x + a) % p
         out = (acc % np.uint64(self.range_size)).astype(np.int64)
         return int(out[0]) if scalar else out
+
+    def eval_folded(self, keys: np.ndarray) -> np.ndarray:
+        """Division-free twin of :meth:`__call__` for integer arrays:
+        identical outputs and identical charges, with every mid-chain
+        ``% p`` replaced by scheduled Mersenne folds
+        (:func:`fold_schedule`).  Residues stay congruent mod p
+        throughout, the final conditional subtract is exact, so the
+        range map sees the very value the serial chain computes.  Used
+        where the O(log µ)-degree buildHist hash makes Horner's per-step
+        division the dominant cost."""
+        x = np.asarray(keys, dtype=np.uint64) % _P64
+        self.charge_eval(x.size)
+        acc = np.full_like(x, self.coeffs[0])
+        scratch = np.empty_like(x)
+        plan = fold_schedule(self.k)
+        for j in range(1, self.k):
+            np.multiply(acc, x, out=acc)
+            np.add(acc, self.coeffs[j], out=acc)
+            for _ in range(plan[j - 1]):
+                mersenne_fold(acc, scratch)
+        np.greater_equal(acc, _P64, out=(ge := np.empty(x.shape, dtype=bool)))
+        np.subtract(acc, _P64, out=acc, where=ge)
+        return (acc % np.uint64(self.range_size)).astype(np.int64)
+
+    def eval_cost(self, n: int) -> tuple[int, int]:
+        """The exact ``(work, depth)`` evaluating ``n`` keys charges.
+        Exposed so fused replays can compose strand totals arithmetically
+        (:meth:`ParallelRegion.charge_strand`) instead of running a
+        closure per row."""
+        return max(1, int(n)), 1 + max(0, (self.k - 1).bit_length())
+
+    def charge_eval(self, n: int) -> None:
+        """Charge exactly what evaluating ``n`` keys charges, without
+        computing anything.  The fused multi-operator kernel
+        (:mod:`repro.engine.fusion`) evaluates every row's polynomial in
+        one stacked matrix pass under a scratch ledger, then has each
+        operator strand replay its per-row cost through this hook so
+        ledger totals stay bit-identical to the serial path."""
+        work, depth = self.eval_cost(n)
+        charge(work=work, depth=depth)
 
     def state_dict(self) -> dict:
         """Serializable description (kind/version handled by the caller's

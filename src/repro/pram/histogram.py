@@ -17,6 +17,7 @@ distinct-elements loop stays within O(log² µ) depth.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Hashable, Mapping, NamedTuple, Sequence
 
 import numpy as np
@@ -89,6 +90,17 @@ def _resolve(key: int, universe: list[Hashable]) -> Hashable:
     return universe[key] if universe else key
 
 
+@lru_cache(maxsize=64)
+def _default_hist_hash(k: int, hash_range: int) -> KWiseHash:
+    """The fixed-seed ``buildHist`` hash for one (degree, range) pair.
+
+    ``build_hist_arrays`` draws its hash from a fresh fixed-seed
+    generator, so equal ``(k, hash_range)`` always yields identical
+    coefficients; memoizing skips the per-batch generator spin-up.
+    """
+    return KWiseHash(k, hash_range, np.random.default_rng(0x5BBC))
+
+
 @instrument("pram.build_hist")
 def build_hist_arrays(
     items: Sequence[Hashable] | np.ndarray,
@@ -122,7 +134,6 @@ def build_hist_arrays(
     (the literal per-bucket loop lives on as
     :func:`build_hist_collectbin` and the two are tested equal).
     """
-    rng = rng if rng is not None else np.random.default_rng(0x5BBC)
     mu = len(items)
     if mu == 0:
         charge(work=1, depth=1)
@@ -132,14 +143,19 @@ def build_hist_arrays(
     codes, universe = _intern(items)
     hash_range = max(1, mu)
     k = max(2, log2ceil(max(2, mu)))
-    h = KWiseHash(k, hash_range, rng)
-    hashed = np.atleast_1d(np.asarray(h(codes)))
+    if rng is None:
+        # The default draw is deterministic (fixed seed), so the hash is
+        # a pure function of (k, range) — memoized across batches.
+        h = _default_hist_hash(k, hash_range)
+    else:
+        h = KWiseHash(k, hash_range, rng)
+    hashed = np.atleast_1d(h.eval_folded(codes))
 
     # Bucket equal hash values together (intSort on the hash keys), then
     # group equal codes within each bucket (the collectBin step) with a
     # stable secondary sort — "sequential radix sort, which is stable".
     _charge_intsort_equiv(mu, hash_range)
-    order = np.lexsort((codes, hashed))
+    order = _bucket_order(hashed, codes, hash_range)
     sorted_hash = hashed[order]
     sorted_codes = codes[order]
 
@@ -192,6 +208,26 @@ def build_hist(
             for code, count in zip(codes, counts)
         }
     return {int(code): int(count) for code, count in zip(codes, counts)}
+
+
+def _bucket_order(
+    hashed: np.ndarray, codes: np.ndarray, hash_range: int
+) -> np.ndarray:
+    """Permutation sorting by (hash bucket, code) — the intSort + stable
+    within-bucket radix pass.
+
+    When the codes fit a compact nonnegative range, the two-pass
+    ``lexsort`` collapses into a single argsort of the combined key
+    ``hash·C + code`` (monotone bijective in the pair, so the resulting
+    grouping is identical; ties share both hash and code, making their
+    internal order irrelevant).  Arbitrary int64 codes — negative or
+    huge — fall back to ``lexsort``."""
+    if codes.size:
+        cmin = int(codes.min())
+        cmax = int(codes.max())
+        if 0 <= cmin and (cmax + 1) < (1 << 62) // hash_range:
+            return np.argsort(hashed * np.int64(cmax + 1) + codes)
+    return np.lexsort((codes, hashed))
 
 
 def _charge_intsort_equiv(n: int, key_range: int) -> None:

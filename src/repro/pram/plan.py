@@ -49,9 +49,17 @@ from repro.pram.hashing import KWiseHash
 from repro.pram.histogram import HistArrays, build_hist_arrays
 from repro.pram.primitives import log2ceil
 
-__all__ = ["PreparedBatch", "fold_key"]
+__all__ = ["HASH_MEMO_CAP", "PreparedBatch", "fold_key"]
 
 _KEY_MASK = (1 << 61) - 1
+
+#: Hash-column memo capacity (LRU).  Must exceed the number of
+#: (hash row, key array) pairs one pipeline evaluates per batch, or
+#: steady-state ingest thrashes — the 8-operator E16 pipeline uses 30.
+#: A plan that outlives many operator generations (each ``state_dict``
+#: round-trip mints fresh ``KWiseHash`` objects with fresh ids) stays
+#: bounded instead of pinning every dead generation's columns.
+HASH_MEMO_CAP = 128
 
 
 def fold_key(item: Hashable) -> int:
@@ -131,6 +139,27 @@ class PreparedBatch:
             return {int(code): int(count) for code, count in zip(codes, counts)}
 
         return self._shared("hist_dict", compute)
+
+    def sorted_hist_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """``hist_arrays`` re-ordered by ascending code — the histogram
+        the MG-family augment consumes.
+
+        ``build_hist_arrays`` emits codes in hash-bucket order; the MG
+        augment (:func:`~repro.core.misra_gries.mg_augment_arrays`)
+        needs them key-sorted and used to re-sort per operator.  Sorting
+        once on the plan lets every MG-family operator in a pipeline
+        take the augment's sorted-merge fast path.  The reorder itself
+        is host bookkeeping (charges nothing, like key folding); the
+        replayed histogram charge comes from the ``hist_arrays`` access
+        inside.
+        """
+
+        def compute() -> tuple[np.ndarray, np.ndarray]:
+            codes, counts, _ = self.hist_arrays()
+            order = np.argsort(codes)
+            return codes[order], counts[order]
+
+        return self._shared("sorted_hist", compute)
 
     def sketch_hist(self) -> tuple[np.ndarray, np.ndarray]:
         """Distinct ``(keys, counts)`` with keys folded for sketching —
@@ -245,7 +274,7 @@ class PreparedBatch:
     # hash-column memo (keyed by hash identity, replayed per access)
     # ------------------------------------------------------------------
     def hash_columns(self, h: KWiseHash, keys: np.ndarray) -> np.ndarray:
-        """``h(keys)`` memoized on ``(id(h), id(keys))``.
+        """``h(keys)`` memoized on ``(id(h), id(keys))``, LRU-capped.
 
         The first evaluation runs the real (charged) polynomial hash;
         repeats — the same sketch row hashing the same key array from a
@@ -253,10 +282,19 @@ class PreparedBatch:
         the plan — return the cached columns and replay the recorded
         charge.  Both objects are pinned in the memo so the ids stay
         valid for the plan's lifetime.
+
+        The memo holds at most :data:`HASH_MEMO_CAP` entries, evicting
+        least-recently-used (dict insertion order, refreshed on hit):
+        a long-lived plan fed through many operator generations —
+        ``state_dict`` round-trips mint fresh ``KWiseHash`` objects —
+        can no longer grow the memo without bound.  A round-tripped
+        hash never hits a stale entry (new object, new id); its old
+        entry simply ages out.
         """
         memo_key = (id(h), id(keys))
-        hit = self._hash_memo.get(memo_key)
+        hit = self._hash_memo.pop(memo_key, None)
         if hit is not None:
+            self._hash_memo[memo_key] = hit  # refresh recency
             _, _, cols, cost = hit
             if cost:
                 charge(cost.work, cost.depth)
@@ -264,6 +302,8 @@ class PreparedBatch:
         with measured() as delta:
             cols = h(keys)
         self._hash_memo[memo_key] = (h, keys, cols, delta())
+        while len(self._hash_memo) > HASH_MEMO_CAP:
+            del self._hash_memo[next(iter(self._hash_memo))]
         return cols
 
     # ------------------------------------------------------------------

@@ -40,7 +40,7 @@ def rank_select(values: np.ndarray, rank: int) -> int | float:
     if not 1 <= rank <= n:
         raise ValueError(f"rank must be in [1, {n}], got {rank}")
     charge(work=max(1, n), depth=max(1, log2ceil(max(2, n)) ** 2))
-    return values[np.argpartition(values, rank - 1)[rank - 1]].item()
+    return np.partition(values, rank - 1)[rank - 1].item()
 
 
 def prune_cutoff(counts: np.ndarray, capacity: int) -> int:

@@ -128,6 +128,11 @@ class TenantSession:
     shards:
         Optional elastic shard count forwarded to the driver (mergeable
         operators only, docs/resilience.md).
+    fuse_kernels:
+        Forwarded to the driver: fused multi-operator ingest kernels
+        (docs/performance.md).  Default ``None`` lets the driver
+        auto-enable fusion whenever the tenant's operator set and
+        execution mode allow it.
     checkpoint_manager:
         Destination for the drain-time snapshot of full driver state.
     clock / sleep:
@@ -145,6 +150,7 @@ class TenantSession:
         high_watermark: int | None = None,
         batch_size: int = 4096,
         shards: int | None = None,
+        fuse_kernels: bool | None = None,
         checkpoint_manager: CheckpointManager | None = None,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], Awaitable[None]] = asyncio.sleep,
@@ -168,6 +174,8 @@ class TenantSession:
         driver_kwargs: dict[str, Any] = {}
         if shards is not None:
             driver_kwargs["shards"] = shards
+        if fuse_kernels is not None:
+            driver_kwargs["fuse_kernels"] = fuse_kernels
         self.driver = MinibatchDriver(self.operators, **driver_kwargs)
         self.snapshots = SnapshotStore(self.operators)
         self.bucket = (

@@ -49,6 +49,7 @@ from typing import Any, Callable, Mapping, Protocol, Sequence
 
 import numpy as np
 
+from repro.engine.fusion import FusedIngestPlan
 from repro.engine.graph import DataflowGraph, operator_graph
 from repro.observability.metrics import REGISTRY
 from repro.observability.spans import span
@@ -203,6 +204,19 @@ class MinibatchDriver:
         require every operator to round-trip ``pickle`` (the worker's
         mutated copy is re-adopted via ``state_dict``/``load_state``
         when available, by replacement otherwise).
+    fuse_kernels:
+        When True, the engine graph runs one
+        :class:`~repro.engine.fusion.FusedIngestPlan` kernel per batch:
+        all fusable operators' hash rows evaluate in a single stacked
+        Horner pass and their gathers collapse into one bincount, with
+        arena-reused scratch — states and charged ledger totals stay
+        bit-identical to the serial path (asserted by the ``fused``
+        fuzz relation and bench E18).  Default ``None`` auto-enables
+        fusion when it applies cleanly: serial in-process engine
+        execution (``use_engine=True``, no ``engine_backend``, no
+        ``shards``) with ``share_prework`` and every operator
+        preparable.  Explicit ``True`` with an incompatible
+        configuration raises.
     shards:
         If set, route every mergeable operator (``fresh_clone`` +
         ``merge``) through an
@@ -236,6 +250,7 @@ class MinibatchDriver:
         share_prework: bool = True,
         use_engine: bool = True,
         engine_backend: Backend | None = None,
+        fuse_kernels: bool | None = None,
         shards: int | None = None,
         shard_backend: Backend | None = None,
         shard_arity: int = 2,
@@ -275,6 +290,33 @@ class MinibatchDriver:
         self.share_prework = share_prework
         self.use_engine = use_engine
         self.engine_backend = engine_backend
+        fusable = (
+            share_prework
+            and use_engine
+            and engine_backend is None
+            and shards is None
+            and all(
+                hasattr(op, "ingest_prepared") for op in self.operators.values()
+            )
+        )
+        if fuse_kernels is None:
+            fuse_kernels = fusable
+        elif fuse_kernels:
+            if not share_prework:
+                raise ValueError("fuse_kernels=True requires share_prework=True")
+            if not use_engine:
+                raise ValueError("fuse_kernels=True requires use_engine=True")
+            if engine_backend is not None:
+                raise ValueError(
+                    "fuse_kernels=True requires serial in-process engine "
+                    "execution (engine_backend=None)"
+                )
+            if shards is not None:
+                raise ValueError("fuse_kernels=True is incompatible with shards=")
+        self.fuse_kernels = bool(fuse_kernels)
+        self._fusion = (
+            FusedIngestPlan(self.operators) if self.fuse_kernels else None
+        )
         self._graph: DataflowGraph | None = None
 
         self._processed_ids: set[int] = set()
@@ -586,7 +628,9 @@ class MinibatchDriver:
         """The per-batch dataflow DAG, built once per operator set."""
         if self._graph is None:
             self._graph = operator_graph(
-                self.operators, share_prework=self.share_prework
+                self.operators,
+                share_prework=self.share_prework,
+                fusion=self._fusion,
             )
         return self._graph
 

@@ -102,6 +102,36 @@ class TestHashMemo:
         # memo was dropped (id-keyed entries are meaningless post-pickle)
         assert not clone._hash_memo
 
+    def test_memo_survives_fused_plan_reuse(self, rng):
+        # A long-lived FusedIngestPlan re-ingesting through the same
+        # operators re-touches the same (hash, keys) pairs: the memo
+        # must keep serving them rather than recompute.
+        h = KWiseHash(4, 1_024, rng)
+        plan = PreparedBatch(np.arange(500))
+        keys = plan.item_keys()
+        first = plan.hash_columns(h, keys)
+        for _ in range(5):
+            assert plan.hash_columns(h, keys) is first
+        assert len(plan._hash_memo) == 1
+
+    def test_memo_evicts_least_recently_used_beyond_cap(self, rng):
+        from repro.pram.plan import HASH_MEMO_CAP
+
+        plan = PreparedBatch(np.arange(64))
+        keys = plan.item_keys()
+        hashes = [KWiseHash(2, 64, rng) for _ in range(HASH_MEMO_CAP + 8)]
+        first = plan.hash_columns(hashes[0], keys)
+        first_key = next(iter(plan._hash_memo))
+        for h in hashes[1:]:
+            plan.hash_columns(h, keys)
+        # Size is capped; the oldest entries (including the first) aged out.
+        assert len(plan._hash_memo) == HASH_MEMO_CAP
+        assert first_key not in plan._hash_memo
+        # Evicted entry recomputes (fresh array); a live one replays.
+        assert plan.hash_columns(hashes[0], keys) is not first
+        last = plan.hash_columns(hashes[-1], keys)
+        assert plan.hash_columns(hashes[-1], keys) is last
+
 
 class TestAccessors:
     def test_values_casts_and_caches_per_dtype(self):
