@@ -65,7 +65,9 @@ register(
     SequentialMisraGries,
     summary="item-at-a-time Misra-Gries [MG82], depth=work charging",
     input="items",
-    caps=Capabilities(mergeable=True, preparable=True, invariant_checked=True),
+    caps=Capabilities(
+        mergeable=True, preparable=True, invariant_checked=True, concurrent=True
+    ),
     build=lambda: SequentialMisraGries(eps=0.1),
     probe=lambda op: [op.estimate(i) for i in range(64)],
 )

@@ -315,6 +315,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--artifact-dir", default="fuzzcases", metavar="DIR",
         help="directory for failing-case artifacts (default fuzzcases)",
     )
+    fuzz.add_argument(
+        "--relations", nargs="+", default=None, metavar="RELATION",
+        help="run only these differential relations (e.g. staleness; "
+        "default: all that apply)",
+    )
 
     return parser
 
@@ -365,6 +370,7 @@ def _fuzz(args: argparse.Namespace, out) -> int:
         time_budget=args.time_budget,
         soak=args.soak,
         artifact_dir=args.artifact_dir,
+        relations=args.relations,
     )
     print(report.render(), file=out)
     return 0 if report.ok else 1

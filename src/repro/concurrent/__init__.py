@@ -1,0 +1,13 @@
+"""Shared concurrency layer: epoch publication, snapshot-consistent
+reads, and thread-local buffered ingest.
+
+The epoch/snapshot machinery (:class:`SnapshotStore`, :class:`Snapshot`)
+moved here from ``repro.serve.snapshot`` so the serve tier, the
+minibatch driver's concurrent-query mode, and the buffered concurrent
+ingest path (:class:`ConcurrentIngestor`) all share one implementation
+and one consistency model (docs/architecture.md)."""
+
+from repro.concurrent.buffers import ConcurrentIngestor, LocalBuffer
+from repro.concurrent.epoch import Snapshot, SnapshotStore
+
+__all__ = ["Snapshot", "SnapshotStore", "LocalBuffer", "ConcurrentIngestor"]

@@ -477,7 +477,11 @@ register(
     summary="minibatch-parallel Count-Min sketch (Theorem 6.1)",
     input="items",
     caps=Capabilities(
-        mergeable=True, preparable=True, invariant_checked=True, fused=True
+        mergeable=True,
+        preparable=True,
+        invariant_checked=True,
+        fused=True,
+        concurrent=True,
     ),
     build=lambda: ParallelCountMin(eps=0.05, delta=0.1, rng=np.random.default_rng(1)),
     probe=lambda op: [op.point_query(i) for i in range(64)],

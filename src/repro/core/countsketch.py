@@ -271,7 +271,11 @@ register(
     summary="minibatch-parallel Count-Sketch, unbiased estimates [CCF02]",
     input="items",
     caps=Capabilities(
-        mergeable=True, preparable=True, invariant_checked=True, fused=True
+        mergeable=True,
+        preparable=True,
+        invariant_checked=True,
+        fused=True,
+        concurrent=True,
     ),
     build=lambda: ParallelCountSketch(eps=0.1, delta=0.1, rng=np.random.default_rng(3)),
     probe=lambda op: [op.point_query(i) for i in range(64)],

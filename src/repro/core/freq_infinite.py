@@ -164,7 +164,9 @@ register(
     ParallelFrequencyEstimator,
     summary="minibatch-parallel MG frequency estimation (Theorem 5.2)",
     input="items",
-    caps=Capabilities(mergeable=True, preparable=True, invariant_checked=True),
+    caps=Capabilities(
+        mergeable=True, preparable=True, invariant_checked=True, concurrent=True
+    ),
     build=lambda: ParallelFrequencyEstimator(eps=0.1),
     probe=lambda op: [op.estimate(i) for i in range(64)],
 )

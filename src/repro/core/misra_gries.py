@@ -411,7 +411,9 @@ register(
     MisraGriesSummary,
     summary="sequential Misra-Gries summary, S=ceil(1/eps) counters (Alg. 1)",
     input="items",
-    caps=Capabilities(mergeable=True, preparable=True, invariant_checked=True),
+    caps=Capabilities(
+        mergeable=True, preparable=True, invariant_checked=True, concurrent=True
+    ),
     build=lambda: MisraGriesSummary(eps=0.1),
     probe=lambda op: [op.estimate(i) for i in range(64)],
 )

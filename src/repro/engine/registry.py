@@ -96,6 +96,13 @@ class Capabilities:
         multi-operator fused ingest kernel
         (:class:`repro.engine.fusion.FusedIngestPlan`); it also selects
         the fuzzer's ``fused`` differential relation.
+    ``concurrent``
+        the mergeable surface *plus* the ``state_dict``/``load_state``
+        codec — everything the thread-local buffered ingest path
+        (:class:`repro.concurrent.ConcurrentIngestor`) needs: buffer
+        sketches are ``fresh_clone()``\\ s flushed via ``merge``, and
+        snapshot publication reuses buffer clones through the codec.
+        Selects the fuzzer's ``staleness`` differential relation.
     """
 
     mergeable: bool = False
@@ -103,15 +110,17 @@ class Capabilities:
     windowed: bool = False
     invariant_checked: bool = False
     fused: bool = False
+    concurrent: bool = False
 
     def flags(self) -> str:
-        """Compact ``MPWIF`` capability string (``-`` padding omitted)."""
+        """Compact ``MPWIFC`` capability string (``-`` padding omitted)."""
         pairs = (
             ("M", self.mergeable),
             ("P", self.preparable),
             ("W", self.windowed),
             ("I", self.invariant_checked),
             ("F", self.fused),
+            ("C", self.concurrent),
         )
         return "".join(letter for letter, on in pairs if on) or "-"
 
@@ -119,14 +128,19 @@ class Capabilities:
     def observe(cls, target: type) -> "Capabilities":
         """Capabilities as actually present on the class surface — the
         ground truth that declared flags are tested against."""
+        mergeable = callable(getattr(target, "merge", None)) and callable(
+            getattr(target, "fresh_clone", None)
+        )
         return cls(
-            mergeable=callable(getattr(target, "merge", None))
-            and callable(getattr(target, "fresh_clone", None)),
+            mergeable=mergeable,
             preparable=callable(getattr(target, "ingest_prepared", None)),
             windowed="window" in inspect.signature(target.__init__).parameters,
             invariant_checked=callable(getattr(target, "check_invariants", None)),
             fused=callable(getattr(target, "fused_gathers", None))
             and callable(getattr(target, "ingest_fused", None)),
+            concurrent=mergeable
+            and callable(getattr(target, "state_dict", None))
+            and callable(getattr(target, "load_state", None)),
         )
 
 

@@ -44,13 +44,24 @@ its synthesized stream, :func:`run_case` runs the operator through
     under the plan's seeded fault schedule vs a mirror that replays the
     injector's *effective* delivery sequence (dedup by batch id, poison
     dead-lettered, transients retried) — the faulty path must converge
-    to the clean path's state.
+    to the clean path's state;
+``staleness``
+    the thread-local buffered concurrent ingest path
+    (:class:`~repro.concurrent.ConcurrentIngestor`, B derived from the
+    plan's batch size) vs the bounded-staleness contract: after every
+    batch the published snapshot must cover all but at most B ingested
+    items, snapshot answers must lie within the oracle envelope of the
+    covered (≤ B items stale) multiset, and after a final ``sync()``
+    the global state must match the reference — bit-identically for
+    the linear sketches (``STALENESS_SYNC_EXACT``), within the oracle
+    envelope for the rest of the mergeable family.
 
 Which relations apply is driven by the spec's capability flags
 (``mergeable`` → mergetree, ``preparable`` → prepared, ``state_dict``
-presence → checkpoint) plus the exactness classification below.  The
-classification is keyed by registry *name*; an unknown name falls back
-to envelope checks — conservative, never vacuous.
+presence → checkpoint, ``concurrent`` → staleness) plus the exactness
+classification below.  The classification is keyed by registry *name*;
+an unknown name falls back to envelope checks — conservative, never
+vacuous.
 """
 
 from __future__ import annotations
@@ -59,8 +70,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.concurrent.buffers import ConcurrentIngestor
 from repro.engine.fusion import FusedIngestPlan
 from repro.engine.mergetree import merge_tree_ingest
+from repro.pram.backend import SerialBackend
 from repro.pram.cost import CostLedger, tracking
 from repro.pram.plan import PreparedBatch
 from repro.resilience.faults import (
@@ -84,6 +97,8 @@ __all__ = [
     "REBATCH_STATE_EXACT",
     "SHARD_PROBE_EXACT",
     "SHARD_STATE_EXACT",
+    "STALENESS_SYNC_EXACT",
+    "RELATIONS",
 ]
 
 
@@ -140,11 +155,36 @@ SHARD_STATE_EXACT = {
     "ParallelCountSketch",
 }
 
+#: Concurrent-capable operators whose post-``sync()`` global state must
+#: be bit-identical to the serial fold (cell-wise-additive merges over
+#: identical geometry — the same family as ``SHARD_STATE_EXACT``); the
+#: MG family re-applies eviction at merge time and is checked against
+#: the oracle envelope instead.
+STALENESS_SYNC_EXACT = {
+    "ParallelCountMin",
+    "ParallelCountSketch",
+}
+
 _CLASSIFICATIONS = (
     REBATCH_ENVELOPE,
     REBATCH_STATE_EXACT,
     SHARD_PROBE_EXACT,
     SHARD_STATE_EXACT,
+    STALENESS_SYNC_EXACT,
+)
+
+#: Every relation :func:`run_case` can run (the valid values for its
+#: ``relations`` filter and the CLI's ``--relations``).
+RELATIONS = (
+    "oracle",
+    "rebatch",
+    "prepared",
+    "fused",
+    "mergetree",
+    "reshard",
+    "checkpoint",
+    "faults",
+    "staleness",
 )
 
 
@@ -440,28 +480,137 @@ def _relation_faults(spec, plan, stream) -> list[Violation]:
     )
 
 
-def run_case(spec, plan: ScenarioPlan, stream: np.ndarray) -> list[Violation]:
+def _staleness_params(plan: ScenarioPlan) -> tuple[int, int]:
+    """B (staleness bound) and T (buffer strands) for a plan — derived
+    from existing plan fields, so replay files stay compatible."""
+    return max(4, plan.batch_size), 2 + plan.case % 3
+
+
+def _relation_staleness(spec, plan, stream, reference: _Run) -> list[Violation]:
+    """Buffered concurrent ingest against the bounded-staleness
+    contract.
+
+    Runs under :class:`~repro.pram.backend.SerialBackend` so the strand
+    schedule (and therefore the flush order) is deterministic and the
+    case replays exactly.  The contract itself is
+    schedule-independent — what is checked never depends on *which*
+    interleaving produced the flush log:
+
+    * after every batch, the unflushed backlog and the published
+      snapshot's lag are both at most B items;
+    * the snapshot's answers lie within the oracle envelope of the
+      covered multiset (the ingested stream minus the at-most-B
+      buffered items) — probed at the first, middle, and last batch to
+      keep the brute-force oracle affordable;
+    * after a final ``sync()`` the global state equals the reference
+      fold: state-bytes-identical for ``STALENESS_SYNC_EXACT``,
+      envelope-bounded otherwise.
+    """
+    stale_b, threads = _staleness_params(plan)
+    op = spec.build()
+    ingestor = ConcurrentIngestor(
+        {spec.name: op},
+        buffer_items=stale_b,
+        threads=threads,
+        backend=SerialBackend(),
+        record_flushes=True,
+    )
+    out: list[Violation] = []
+    batches = _batches(stream, plan.batch_size)
+    probe_at = {0, len(batches) // 2, len(batches) - 1}
+    for i, batch in enumerate(batches):
+        ingestor.ingest(batch)
+        pending = ingestor.pending_items()
+        lag = ingestor.items_ingested - ingestor.published_items
+        if pending > stale_b:
+            out.append(
+                Violation(
+                    "staleness",
+                    f"batch {i}: {pending} unflushed items exceed B={stale_b}",
+                )
+            )
+        if lag > stale_b:
+            out.append(
+                Violation(
+                    "staleness",
+                    f"batch {i}: snapshot lags ingest by {lag} items "
+                    f"(> B={stale_b})",
+                )
+            )
+        snap = ingestor.read()
+        covered = ingestor.flushed_stream()
+        if snap.items != len(covered):
+            out.append(
+                Violation(
+                    "staleness",
+                    f"batch {i}: snapshot claims {snap.items} items but "
+                    f"the flush log holds {len(covered)}",
+                )
+            )
+        if i in probe_at and len(covered):
+            out += [
+                Violation("staleness", f"batch {i} snapshot: {msg}")
+                for msg in check_oracle(spec, snap[spec.name], covered, plan)
+            ]
+    ingestor.sync()
+    ingestor.close()
+    if spec.name in STALENESS_SYNC_EXACT:
+        return out + _compare(
+            spec, "staleness", reference, _Run.of(op), state_exact=True
+        )
+    return out + _envelope(spec, "staleness", op, stream, plan)
+
+
+def run_case(
+    spec,
+    plan: ScenarioPlan,
+    stream: np.ndarray,
+    *,
+    relations: frozenset[str] | set[str] | None = None,
+) -> list[Violation]:
     """Run every relation the spec's capabilities select; returns all
-    violations found (empty = the case passed)."""
+    violations found (empty = the case passed).
+
+    ``relations`` narrows the sweep to the named subset (values from
+    :data:`RELATIONS`) — capability gating still applies, so asking for
+    ``staleness`` on a non-concurrent operator runs nothing.
+    """
     if len(stream) == 0:
         return []
+    if relations is not None:
+        unknown = set(relations) - set(RELATIONS)
+        if unknown:
+            raise ValueError(
+                f"unknown relations {sorted(unknown)}; valid: {RELATIONS}"
+            )
+
+    def want(name: str) -> bool:
+        return relations is None or name in relations
+
     reference_op = spec.build()
     for batch in _batches(stream, plan.batch_size):
         reference_op.ingest(batch)
     # Snapshot canonical state before the oracle phase probes anything.
     reference = _Run.of(reference_op)
 
-    violations = _envelope(spec, "oracle", reference_op, stream, plan)
-    violations += _relation_rebatch(spec, plan, stream, reference)
-    if spec.caps.preparable:
+    violations: list[Violation] = []
+    if want("oracle"):
+        violations += _envelope(spec, "oracle", reference_op, stream, plan)
+    if want("rebatch"):
+        violations += _relation_rebatch(spec, plan, stream, reference)
+    if spec.caps.preparable and want("prepared"):
         violations += _relation_prepared(spec, plan, stream, reference)
-    if spec.caps.fused:
+    if spec.caps.fused and want("fused"):
         violations += _relation_fused(spec, plan, stream, reference)
     if spec.caps.mergeable:
-        violations += _relation_mergetree(spec, plan, stream, reference)
-        violations += _relation_reshard(spec, plan, stream, reference)
-    if hasattr(reference_op, "state_dict"):
+        if want("mergetree"):
+            violations += _relation_mergetree(spec, plan, stream, reference)
+        if want("reshard"):
+            violations += _relation_reshard(spec, plan, stream, reference)
+    if spec.caps.concurrent and want("staleness"):
+        violations += _relation_staleness(spec, plan, stream, reference)
+    if hasattr(reference_op, "state_dict") and want("checkpoint"):
         violations += _relation_checkpoint(spec, plan, stream)
-    if plan.faults.any():
+    if plan.faults.any() and want("faults"):
         violations += _relation_faults(spec, plan, stream)
     return violations

@@ -198,17 +198,23 @@ def run_fuzz(
     soak: bool = False,
     artifact_dir: str | Path | None = "fuzzcases",
     on_failure: Callable[[CaseFailure], None] | None = None,
+    relations: Sequence[str] | None = None,
 ) -> FuzzReport:
     """Run one fuzz session.
 
     ``soak`` ignores ``cases`` and keeps cycling the registry until the
     time budget (default 300 s) runs out; otherwise exactly ``cases``
     cases run, clipped by ``time_budget`` when one is given.
+    ``relations`` narrows every case to the named relation subset (see
+    :data:`repro.fuzz.differential.RELATIONS`) — the CI concurrency
+    smoke runs ``("staleness",)`` this way; plan generation is
+    unaffected, so a narrowed case keeps the seed-spec of its full run.
     """
     if cases < 1:
         raise ValueError(f"cases must be >= 1, got {cases}")
     if time_budget is not None and time_budget <= 0:
         raise ValueError(f"time budget must be > 0 seconds, got {time_budget}")
+    wanted = frozenset(relations) if relations is not None else None
     specs = resolve_specs(ops)
     if soak and time_budget is None:
         time_budget = 300.0
@@ -226,9 +232,14 @@ def run_fuzz(
         stream = synthesize_stream(spec, plan)
         t_case = time.perf_counter()
         with span("fuzz.case", "fuzz"):
-            violations = run_case(spec, plan, stream)
+            violations = run_case(spec, plan, stream, relations=wanted)
             if violations:
-                plan, stream, violations = shrink_case(spec, plan, stream)
+                plan, stream, violations = shrink_case(
+                    spec,
+                    plan,
+                    stream,
+                    run=lambda sp, pl, st: run_case(sp, pl, st, relations=wanted),
+                )
         _M_CASE_SECONDS.observe(time.perf_counter() - t_case)
         _M_CASES.inc(operator=spec.name)
         report.tally(spec.name, bool(violations))

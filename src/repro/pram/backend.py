@@ -119,18 +119,47 @@ class ThreadBackend:
     Each strand gets its own :class:`CostLedger` installed in its
     thread's context, so charges never race; the fork-join merge happens
     on the caller's thread afterwards.
+
+    The default mode spins up a fresh ``ThreadPoolExecutor`` per
+    :meth:`run_all` call — simple and leak-proof for one-shot fork-join
+    batches.  **Buffered mode** (``persistent=True``) keeps one
+    long-lived pool across calls, which is what the thread-local
+    buffered ingest path (:class:`repro.concurrent.ConcurrentIngestor`)
+    wants: the same worker threads service every minibatch, so buffer
+    strands aren't paying thread spawn/teardown on each batch.  A
+    persistent backend must be :meth:`close`\\ d (or used as a context
+    manager) when its owner is done.
     """
 
-    def __init__(self, max_workers: int = 4) -> None:
+    def __init__(self, max_workers: int = 4, persistent: bool = False) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.max_workers = max_workers
+        self.persistent = persistent
+        self._pool: ThreadPoolExecutor | None = None
 
     def run_all(self, tasks: Sequence[Task]) -> list[tuple[Any, Cost]]:
         if not tasks:
             return []
+        if self.persistent:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+            return list(self._pool.map(_run_with_child_ledger, tasks))
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
             return list(pool.map(_run_with_child_ledger, tasks))
+
+    def close(self) -> None:
+        """Shut down the persistent pool, if one was ever started.
+        No-op (and safe to call repeatedly) otherwise."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ThreadBackend":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
 
 
 class ProcessPoolBackend:

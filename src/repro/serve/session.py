@@ -18,8 +18,9 @@ One :class:`TenantSession` is one tenant's whole pipeline
   snapshot** on the batch boundary — bumping the tenant's epoch;
 * the **query surface**: every servable registry operator the tenant
   named at construction answers its canonical probe against the latest
-  published snapshot (:mod:`repro.serve.snapshot`), so queries never
-  touch live state and never block ingest.
+  published snapshot (:mod:`repro.concurrent.epoch`, re-exported from
+  ``repro.serve.snapshot`` for back-compat), so queries never touch
+  live state and never block ingest.
 
 Shutdown is :meth:`drain`: stop accepting, pump the queue dry, publish
 the final epoch, optionally write a checkpoint of the full driver
@@ -39,8 +40,8 @@ import numpy as np
 from repro.engine import registry
 from repro.observability.metrics import REGISTRY
 from repro.resilience.checkpoint import CheckpointManager
+from repro.concurrent.epoch import Snapshot, SnapshotStore
 from repro.serve.quota import TokenBucket
-from repro.serve.snapshot import Snapshot, SnapshotStore
 from repro.stream.minibatch import MinibatchDriver
 
 __all__ = ["TenantSession", "DrainReport"]
@@ -177,7 +178,7 @@ class TenantSession:
         if fuse_kernels is not None:
             driver_kwargs["fuse_kernels"] = fuse_kernels
         self.driver = MinibatchDriver(self.operators, **driver_kwargs)
-        self.snapshots = SnapshotStore(self.operators)
+        self.snapshots = SnapshotStore(self.operators, name=f"tenant:{tenant}")
         self.bucket = (
             TokenBucket(quota_rate, quota_burst, clock=clock)
             if quota_rate is not None

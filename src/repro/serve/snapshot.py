@@ -1,131 +1,22 @@
-"""Snapshot-consistent reads: double-buffered state, epoch-stamped.
+"""Back-compat shim: the epoch/snapshot layer moved to
+:mod:`repro.concurrent.epoch`.
 
-The merge algebra guarantees (docs/serving.md, [ACH+13]) that after any
-processed minibatch the driver's operator state *is* the exact serial
-fold of everything ingested so far — shard partials included, because
-``MinibatchDriver.run`` folds them before returning.  That makes a
-batch boundary the natural consistency point: copy each operator's
-state there and any number of readers can query the copy while the live
-operator ingests the next batch, with every answer attributable to one
-well-defined stream prefix.
+``Snapshot`` and ``SnapshotStore`` started life here as serve-tier
+internals; once the minibatch driver's concurrent-query mode and the
+thread-local buffered ingest path needed the same machinery, the
+implementation moved to the shared concurrency layer
+(:mod:`repro.concurrent`).  This module re-exports the moved symbols so
 
-:class:`SnapshotStore` keeps **two** buffers per operator and
-alternates publishes between them (classic double buffering): the front
-buffer is what :meth:`read` hands out; a publish writes the live state
-into the *back* buffer, swaps the roles, and bumps the **epoch**
-counter.  Readers therefore never block the ingest path and the ingest
-path never mutates an object a current-epoch reader holds.
+* existing ``from repro.serve.snapshot import SnapshotStore`` imports
+  keep working, and
+* pickles produced before the move (checkpoints embedding
+  ``repro.serve.snapshot.Snapshot``) keep loading — pickle resolves the
+  dotted path through this module to the relocated class
+  (tests/test_concurrent.py exercises exactly that).
 
-A reader that may suspend (or run off-loop) between grabbing a snapshot
-and finishing its query uses :meth:`query`, a seqlock-style helper: it
-re-checks the epoch after the probe and retries when two or more
-publishes landed mid-read (one publish is safe — it targets the other
-buffer).  Pure in-loop readers can call :meth:`read` directly, since
-asyncio's single thread means no publish can interleave with a
-synchronous probe.
+New code should import from :mod:`repro.concurrent`.
 """
 
-from __future__ import annotations
-
-import pickle
-from dataclasses import dataclass
-from typing import Any, Callable, Mapping
+from repro.concurrent.epoch import Snapshot, SnapshotStore, _clone
 
 __all__ = ["Snapshot", "SnapshotStore"]
-
-
-@dataclass(frozen=True)
-class Snapshot:
-    """One published consistency point: an epoch and the operator copies
-    that hold the exact fold of the stream prefix at that epoch."""
-
-    epoch: int
-    operators: Mapping[str, Any]
-    #: Items folded into the live operators when this epoch published.
-    items: int
-
-    def __contains__(self, name: str) -> bool:
-        return name in self.operators
-
-    def __getitem__(self, name: str) -> Any:
-        return self.operators[name]
-
-
-def _clone(op: Any) -> Any:
-    """A state-carrying copy of ``op`` (buffer bootstrap)."""
-    return pickle.loads(pickle.dumps(op))
-
-
-class SnapshotStore:
-    """Double-buffered, epoch-stamped snapshots over live operators.
-
-    Parameters
-    ----------
-    operators:
-        The live named operators (the ones the driver ingests into).
-        Each needs either ``state_dict``/``load_state`` (preferred —
-        publishes reuse the buffer clones allocation-free) or plain
-        picklability (fallback — publishes re-pickle).
-    """
-
-    def __init__(self, operators: Mapping[str, Any]) -> None:
-        if not operators:
-            raise ValueError("need at least one operator to snapshot")
-        self._live = dict(operators)
-        self._codec_ok = all(
-            hasattr(op, "state_dict") and hasattr(op, "load_state")
-            for op in self._live.values()
-        )
-        self._buffers = (
-            {name: _clone(op) for name, op in self._live.items()},
-            {name: _clone(op) for name, op in self._live.items()},
-        )
-        self._front = 0
-        self.epoch = 0
-        self._snapshot = Snapshot(
-            epoch=0, operators=dict(self._buffers[0]), items=0
-        )
-
-    # ------------------------------------------------------------------
-    def publish(self, *, items: int = 0) -> int:
-        """Copy live state into the back buffer, swap, bump the epoch.
-
-        Called by the ingest path on batch boundaries only — between
-        two driver runs, when operator state equals the exact fold of
-        the prefix.  Returns the new epoch.
-        """
-        back = self._buffers[1 - self._front]
-        if self._codec_ok:
-            for name, live in self._live.items():
-                back[name].load_state(live.state_dict())
-        else:
-            for name, live in self._live.items():
-                back[name] = _clone(live)
-        self._front = 1 - self._front
-        self.epoch += 1
-        self._snapshot = Snapshot(
-            epoch=self.epoch, operators=dict(back), items=items
-        )
-        return self.epoch
-
-    def read(self) -> Snapshot:
-        """The latest published snapshot — a reference grab, never a
-        copy, never blocking.  Valid until *two* further publishes."""
-        return self._snapshot
-
-    def query(self, fn: Callable[[Snapshot], Any], retries: int = 8) -> tuple[int, Any]:
-        """Run ``fn(snapshot)`` with seqlock semantics: if two or more
-        epochs published while ``fn`` ran (possible only for readers
-        that suspend or run off-loop), the buffer ``fn`` read may have
-        been rewritten — retry against the fresh snapshot.  Returns
-        ``(epoch, result)`` for the epoch the result is consistent
-        with."""
-        for _ in range(retries):
-            snap = self.read()
-            result = fn(snap)
-            if self.epoch - snap.epoch < 2:
-                return snap.epoch, result
-        # Pathologically hot publisher: serialize by reading the freshest
-        # snapshot one last time; callers on the event loop never get here.
-        snap = self.read()
-        return snap.epoch, fn(snap)

@@ -49,6 +49,7 @@ from typing import Any, Callable, Mapping, Protocol, Sequence
 
 import numpy as np
 
+from repro.concurrent.epoch import Snapshot, SnapshotStore
 from repro.engine.fusion import FusedIngestPlan
 from repro.engine.graph import DataflowGraph, operator_graph
 from repro.observability.metrics import REGISTRY
@@ -234,6 +235,16 @@ class MinibatchDriver:
         the matching batch — the declarative form of :meth:`rescale`.
     min_shards:
         Degradation floor forwarded to each ingestor.
+    concurrent_queries:
+        When True, the driver owns a
+        :class:`~repro.concurrent.epoch.SnapshotStore` and publishes a
+        fresh epoch on every batch boundary — the point where operator
+        state is the exact serial fold of everything ingested
+        (docs/architecture.md, "Consistency model").  Readers on other
+        threads use :meth:`snapshot` / :attr:`epoch` and never block
+        the ingest path.  Incompatible with ``shards=``: shard partials
+        fold lazily (at query/audit points), so mid-stream batch
+        boundaries there do not carry total state.
     """
 
     def __init__(
@@ -258,6 +269,7 @@ class MinibatchDriver:
         shard_retry: RetryPolicy | None = None,
         rescale_at: Mapping[int, int] | None = None,
         min_shards: int = 1,
+        concurrent_queries: bool = False,
     ) -> None:
         if not operators:
             raise ValueError("need at least one operator")
@@ -318,6 +330,21 @@ class MinibatchDriver:
             FusedIngestPlan(self.operators) if self.fuse_kernels else None
         )
         self._graph: DataflowGraph | None = None
+
+        if concurrent_queries and shards is not None:
+            raise ValueError(
+                "concurrent_queries=True is incompatible with shards= "
+                "(shard partials fold lazily, so batch boundaries do not "
+                "carry total state)"
+            )
+        #: Items folded across all processed batches — the prefix length
+        #: each published epoch covers.
+        self._items_seen = 0
+        self.snapshots = (
+            SnapshotStore(self.operators, name="driver")
+            if concurrent_queries
+            else None
+        )
 
         self._processed_ids: set[int] = set()
         #: After-batch observers (see :meth:`add_hook`) — runtime-only
@@ -388,6 +415,31 @@ class MinibatchDriver:
         :meth:`state_dict` and survive :meth:`load_state` untouched.
         """
         self._hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    # Concurrent-query mode
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """The latest published epoch (0 until the first batch lands).
+        Requires ``concurrent_queries=True``."""
+        if self.snapshots is None:
+            raise ValueError(
+                "driver has no snapshot store; construct with "
+                "concurrent_queries=True"
+            )
+        return self.snapshots.epoch
+
+    def snapshot(self) -> Snapshot:
+        """The latest published batch-boundary snapshot — safe to probe
+        from any thread while the driver keeps ingesting.  Requires
+        ``concurrent_queries=True``."""
+        if self.snapshots is None:
+            raise ValueError(
+                "driver has no snapshot store; construct with "
+                "concurrent_queries=True"
+            )
+        return self.snapshots.read()
 
     def add_reshard_hook(
         self, hook: Callable[["MinibatchDriver", str, ReshardEvent], None]
@@ -619,6 +671,12 @@ class MinibatchDriver:
         if self.query_every and (self._batch_index + 1) % self.query_every == 0:
             report.query_results = {name: q() for name, q in self.queries.items()}
         self._batch_index += 1
+        self._items_seen += int(len(batch))
+        if self.snapshots is not None:
+            # Batch boundary: operator state is the exact fold of the
+            # first `_items_seen` items, so the published snapshot is
+            # bit-identical to a serial fold of that prefix.
+            self.snapshots.publish(items=self._items_seen)
         self._drain_reshard_events()
         for hook in self._hooks:
             hook(self, report)
@@ -878,6 +936,10 @@ class MinibatchDriver:
             if name in shard_counts:
                 ing.set_shards(int(shard_counts[name]))
         self._since_checkpoint = []
+        self._items_seen = sum(r.size for r in self.reports)
+        if self.snapshots is not None:
+            # Concurrent readers must never see pre-restore state again.
+            self.snapshots.publish(items=self._items_seen)
 
     # ------------------------------------------------------------------
     # Aggregate statistics over all processed batches.
