@@ -3,10 +3,10 @@ PY ?= python
 # Fixed seeds for the fault-injection suite (reproducible fault plans).
 FAULT_SEEDS ?= 101 202 303
 
-.PHONY: install test faults docs-check fuzz-smoke fuzz fuzz-soak serve-smoke bench-fusion-smoke concurrency-smoke bench bench-quick bench-gate experiments examples clean
+.PHONY: install test faults docs-check fuzz-smoke fuzz fuzz-soak serve-smoke bench-fusion-smoke concurrency-smoke drift-smoke bench bench-quick bench-gate experiments examples clean
 
 # Experiments with committed perf baselines, gated by bench_compare.
-GATED_EXPERIMENTS = e1 e13 e14 e16 e17 e18 e19
+GATED_EXPERIMENTS = e1 e13 e14 e16 e17 e18 e19 x04
 
 # Differential fuzzer knobs (docs/testing.md).  The smoke tier is a
 # fixed-seed sweep small enough for every `make test`; the soak tier
@@ -18,7 +18,7 @@ FUZZ_BUDGET ?= 300
 install:
 	pip install -e . --no-build-isolation
 
-test: faults docs-check fuzz-smoke serve-smoke bench-fusion-smoke concurrency-smoke
+test: faults docs-check fuzz-smoke serve-smoke bench-fusion-smoke concurrency-smoke drift-smoke
 	$(PY) -m pytest tests/
 
 # Fuzz smoke: every registered operator, deterministic, < 2 minutes.
@@ -50,6 +50,15 @@ concurrency-smoke:
 	$(PY) -m pytest tests -m concurrency
 	$(PY) -m repro fuzz --cases 50 --seed 7 --relations staleness
 
+# Drift smoke: EH-moment + drift-detector property/regression tests
+# plus a fixed-seed fuzz sweep narrowed to the four new operators
+# (docs/testing.md).
+drift-smoke:
+	$(PY) -m pytest tests/test_eh.py tests/test_drift.py -q
+	$(PY) -m repro fuzz --cases 50 --seed 11 \
+		--ops ExponentialHistogramMean ExponentialHistogramVariance \
+		DDMDriftDetector EWMADriftDetector
+
 # Documentation lint: dead links + stale benchmark references.
 docs-check:
 	$(PY) scripts/docs_check.py
@@ -78,7 +87,7 @@ bench-gate:
 	$(PY) -m pytest benchmarks/bench_e01_css.py benchmarks/bench_e13_countmin.py \
 		benchmarks/bench_e14_pipeline.py benchmarks/bench_e16_ingest_fastpath.py \
 		benchmarks/bench_e17_mergetree.py benchmarks/bench_e18_fusion.py \
-		benchmarks/bench_e19_concurrent.py \
+		benchmarks/bench_e19_concurrent.py benchmarks/bench_x04_drift.py \
 		--benchmark-disable -q
 	for e in $(GATED_EXPERIMENTS); do \
 		$(PY) scripts/bench_compare.py \

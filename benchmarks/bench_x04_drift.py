@@ -1,0 +1,149 @@
+"""X04 (extension) — drift detection delay vs synopsis space.
+
+The drift detectors monitor a windowed exponential-histogram estimate,
+so their accuracy/space knob is the EH ``eps``.  This experiment sweeps
+eps over three seeded drift profiles (mean step, gradual mean ramp,
+variance burst) for both detector statistics and reports
+
+* detection delay in items past the change point (coarser certificates
+  widen the slack term, so delay can grow with eps — the tradeoff the
+  detectors were designed around),
+* false drift events *before* the change point (must be zero: the
+  stationarity promise from tests/test_drift.py, re-asserted on the
+  benchmark-scale streams), and
+* synopsis space and charged ledger work (the gated regression
+  columns — EH space shrinks as eps grows, work stays linear).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks._harness import bench_rng, emit_table, reset_results
+from repro.core import (
+    DDMDriftDetector,
+    EWMADriftDetector,
+    ExponentialHistogramVariance,
+)
+from repro.pram.cost import tracking
+from repro.stream.generators import minibatches
+
+EXPERIMENT = "X04"
+WINDOW = 512
+BATCH = 64
+CHANGE = 6144  # items before the change point
+POST = 4096  # items after it
+R = 255
+
+
+def _mean_step(rng):
+    return np.concatenate(
+        [rng.integers(40, 80, size=CHANGE), rng.integers(160, 200, size=POST)]
+    )
+
+
+def _mean_ramp(rng):
+    ramp = np.clip(
+        np.linspace(60, 170, 2048) + rng.normal(0, 8, size=2048), 0, R
+    ).astype(np.int64)
+    return np.concatenate(
+        [
+            rng.integers(40, 80, size=CHANGE),
+            ramp,
+            rng.integers(150, 190, size=POST - 2048),
+        ]
+    )
+
+
+def _variance_burst(rng):
+    calm = np.clip(rng.normal(120, 5, size=CHANGE), 0, R).astype(np.int64)
+    burst = rng.choice([20, 220], size=POST).astype(np.int64)
+    return np.concatenate([calm, burst])
+
+
+#: profile name -> (stream builder, rng seed offset, fire-by bound in
+#: items past the change point).  The ramp gets its 2048-item ramp
+#: length added on top of the shared 4-window reaction allowance.
+PROFILES = {
+    "mean-step": (_mean_step, 1, 4 * WINDOW),
+    "mean-ramp": (_mean_ramp, 2, 2048 + 4 * WINDOW),
+    "variance-burst": (_variance_burst, 3, 4 * WINDOW),
+}
+
+DETECTORS = {"ddm": DDMDriftDetector, "ewma": EWMADriftDetector}
+
+
+def _build(cls, profile: str, eps: float):
+    if profile == "variance-burst":
+        inner = ExponentialHistogramVariance(
+            window=WINDOW, eps=eps, max_value=R
+        )
+        det = cls(window=WINDOW, estimator=inner, scale=R**2 / 4.0)
+        det._BOUNDS_OF = "variance"
+        return det
+    return cls(window=WINDOW, eps=eps, max_value=R)
+
+
+def _run(cls, profile: str, eps: float):
+    builder, offset, fire_by = PROFILES[profile]
+    stream = builder(bench_rng(offset)).astype(np.int64)
+    det = _build(cls, profile, eps)
+    with tracking() as led:
+        for chunk in minibatches(stream, BATCH):
+            det.ingest(chunk)
+    det.check_invariants()
+    points = det.drift_points()
+    false_before = sum(1 for p in points if p <= CHANGE)
+    fired = [p for p in points if p > CHANGE]
+    delay = fired[0] - CHANGE if fired else -1
+    return delay, false_before, fire_by, det.space, led.work
+
+
+@pytest.mark.benchmark(group="X04-drift")
+def test_x04_detection_delay_vs_space(benchmark):
+    reset_results(EXPERIMENT)
+    rows = []
+    for profile in PROFILES:
+        for name, cls in DETECTORS.items():
+            for eps in (0.05, 0.1, 0.2):
+                delay, false_before, fire_by, space, work = _run(
+                    cls, profile, eps
+                )
+                # bench_compare keys rows on the first cell, so it must
+                # uniquely identify the configuration.
+                rows.append(
+                    [f"{profile}/{name}/eps={eps}", delay, fire_by,
+                     false_before, space, work]
+                )
+                assert false_before == 0, (
+                    f"{name} fired before the change on {profile} "
+                    f"(eps={eps})"
+                )
+                assert 0 < delay <= fire_by, (
+                    f"{name} delay {delay} outside (0, {fire_by}] on "
+                    f"{profile} (eps={eps})"
+                )
+    emit_table(
+        EXPERIMENT,
+        "drift detection delay vs space "
+        f"(W={WINDOW}, batch={BATCH}, change at {CHANGE})",
+        ["profile/detector/eps", "delay items", "fire-by",
+         "false early", "space", "work"],
+        rows,
+        notes="every configuration fires after the change and never "
+        "before it; space falls as eps grows (fewer EH buckets) while "
+        "delay stays within the 4-window reaction allowance",
+    )
+    # The space/accuracy knob must actually move space: finest eps
+    # strictly larger than coarsest, per profile/detector pair.
+    by_pair = {}
+    for key, *_rest, space, _work in rows:
+        profile, name, eps_text = key.split("/")
+        eps = float(eps_text.removeprefix("eps="))
+        by_pair.setdefault((profile, name), {})[eps] = space
+    for pair, spaces in by_pair.items():
+        assert spaces[0.05] > spaces[0.2], (pair, spaces)
+    det = _build(DDMDriftDetector, "mean-step", 0.1)
+    chunk = bench_rng(1).integers(40, 80, size=BATCH).astype(np.int64)
+    benchmark(det.ingest, chunk)

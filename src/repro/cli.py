@@ -181,7 +181,31 @@ def build_parser() -> argparse.ArgumentParser:
     var.add_argument("--window", type=int, required=True)
     var.add_argument("--eps", type=float, default=0.02)
     var.add_argument("--max-value", type=int, required=True)
+    var.add_argument(
+        "--eh",
+        action="store_true",
+        help="use the exponential-histogram operator instead of the Sum "
+        "reduction (certified [lo, hi] bounds in the answer)",
+    )
     var.add_argument("file", nargs="?", default=None)
+
+    drift = sub.add_parser(
+        "drift",
+        help="change detection over a windowed mean estimate (the monitor "
+        "sees one estimate per minibatch — pass a --batch no larger than "
+        "the window so drift can be localized)",
+    )
+    drift.add_argument("--window", type=int, required=True)
+    drift.add_argument("--eps", type=float, default=0.1)
+    drift.add_argument("--max-value", type=int, required=True)
+    drift.add_argument(
+        "--detector",
+        choices=("ddm", "ewma"),
+        default="ddm",
+        help="monitor statistic: ddm = cumulative-mean minimum tracking, "
+        "ewma = exponentially weighted moving average vs running baseline",
+    )
+    drift.add_argument("file", nargs="?", default=None)
 
     ops = sub.add_parser(
         "ops",
@@ -421,6 +445,24 @@ def _quantile_kwargs(args: argparse.Namespace) -> dict[str, Any]:
     return {"window": args.window, "eps": args.eps, "edges": edges}
 
 
+def _answer_variance(op: Any, args: argparse.Namespace) -> dict[str, Any]:
+    answer = {"mean": round(op.mean(), 3), "variance": round(op.query(), 3)}
+    if args.eh:
+        lo, hi = op.variance_bounds()
+        answer["variance_bounds"] = (round(lo, 3), round(hi, 3))
+    return answer
+
+
+def _answer_drift(op: Any, args: argparse.Namespace) -> dict[str, Any]:
+    drifts, warns, last_update = op.query()
+    return {
+        "drifts": drifts,
+        "warns": warns,
+        "last_drift_update": last_update,
+        "drift_points": op.drift_points(),
+    }
+
+
 _COMMANDS: dict[str, _Command] = {
     "heavy-hitters": _Command(
         _resolve_heavy_hitters,
@@ -454,12 +496,26 @@ _COMMANDS: dict[str, _Command] = {
         lambda op, args: [(q, op.quantile(q)) for q in args.q],
     ),
     "variance": _Command(
-        lambda args: ("WindowedVariance", {
-            "window": args.window, "eps": args.eps, "max_value": args.max_value,
-        }),
-        lambda op, args: {
-            "mean": round(op.mean(), 3), "variance": round(op.query(), 3)
-        },
+        lambda args: (
+            "ExponentialHistogramVariance" if args.eh else "WindowedVariance",
+            {
+                "window": args.window, "eps": args.eps,
+                "max_value": args.max_value,
+            },
+        ),
+        _answer_variance,
+    ),
+    "drift": _Command(
+        lambda args: (
+            {"ddm": "DDMDriftDetector", "ewma": "EWMADriftDetector"}[
+                args.detector
+            ],
+            {
+                "window": args.window, "eps": args.eps,
+                "max_value": args.max_value,
+            },
+        ),
+        _answer_drift,
     ),
 }
 

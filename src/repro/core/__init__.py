@@ -6,6 +6,8 @@ Count-Min sketch (Section 6)."""
 
 from repro.core.basic_counting import ParallelBasicCounter
 from repro.core.countmin import DyadicCountMin, ParallelCountMin
+from repro.core.drift import DDMDriftDetector, DriftEvent, EWMADriftDetector
+from repro.core.eh import ExponentialHistogramMean, ExponentialHistogramVariance
 from repro.core.countsketch import ParallelCountSketch
 from repro.core.freq_infinite import ParallelFrequencyEstimator
 from repro.core.freq_sliding import (
@@ -26,6 +28,11 @@ __all__ = [
     "ParallelBasicCounter",
     "DyadicCountMin",
     "ParallelCountMin",
+    "DDMDriftDetector",
+    "DriftEvent",
+    "EWMADriftDetector",
+    "ExponentialHistogramMean",
+    "ExponentialHistogramVariance",
     "ParallelCountSketch",
     "ParallelFrequencyEstimator",
     "BasicSlidingFrequency",

@@ -1,0 +1,675 @@
+"""Concept-drift detection over windowed estimates.
+
+Two detector operators wrap any *windowed* registry operator (default:
+:class:`~repro.core.eh.ExponentialHistogramMean`) and monitor its
+normalized estimate once per ingested minibatch:
+
+* :class:`DDMDriftDetector` — a [Gama et al. 2004]-style monitor:
+  fold the normalized estimates p ∈ [0,1] into an item-weighted
+  cumulative mean p̄ with dispersion bound s = √(p̄(1−p̄)/occ)
+  (Bhatia–Davis), track the running minimum of p̄+s, and signal
+  *warn* / *drift* when the level climbs past p_min + 2·s_min /
+  p_min + 3·s_min.  One-sided (upward shifts); see :class:`_DDMCore`
+  for why the cumulative mean rather than the raw windowed estimate.
+* :class:`EWMADriftDetector` — an ECDD-style [Ross et al. 2012] chart:
+  smooth the estimate into z = λ·p + (1−λ)·z and signal when |z − μ̂|
+  leaves the control limit L·σ̂·√(λ/(2−λ)·(1−(1−λ)^{2k})), where
+  (μ̂, σ̂) are running baseline estimates since the last reset.
+  Two-sided, so it catches drops as well as jumps; σ̂ is floored at
+  the Bhatia–Davis dispersion bound and at ``min_sigma`` (see
+  :class:`_EWMACore`).
+
+Both fire at most one event per update, re-arm after a drift (the
+monitor resets and re-warms on the new regime; the inner estimator is
+*not* reset — its window adapts by itself), and record every update in
+an audit log (arrival count, normalized estimate, and the estimator's
+certified error width when it offers bounds).  The log is what makes
+the fuzzer's no-false-negative oracle sound: replaying it through a
+fresh monitor must reproduce the event sequence exactly, and an exact
+brute-force estimate that clears every achievable threshold by more
+than the logged certificate widths *must* have fired the real detector.
+
+Events flow through the observability layer: each emit increments
+``repro_drift_events_total{detector,kind}`` and every monitor update
+runs under a ``drift.<Detector>.update`` span.
+
+The detectors take a ``window`` constructor argument (it sizes the
+default inner estimator) but answer whole-stream drift queries, so they
+declare ``CAPABILITY_OVERRIDES = {"windowed": False}`` for the
+registry's capability verifier.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.eh import ExponentialHistogramMean
+from repro.observability.metrics import REGISTRY
+from repro.observability.spans import span
+from repro.pram.cost import charge
+from repro.resilience.invariants import require
+from repro.resilience.state import expect, header
+
+__all__ = ["DriftEvent", "DDMDriftDetector", "EWMADriftDetector"]
+
+_M_DRIFT_EVENTS = REGISTRY.counter(
+    "repro_drift_events_total",
+    "Drift-detector events emitted, labeled by detector class and "
+    "event kind (warn | drift)",
+    labels=("detector", "kind"),
+)
+
+#: Event kinds a detector can emit.
+WARN, DRIFT = "warn", "drift"
+
+
+@dataclass(frozen=True)
+class DriftEvent:
+    """One detector signal.
+
+    ``update`` is the 1-based monitor-update ordinal (one update per
+    non-empty ingested batch), ``items`` the total arrivals ingested
+    when it fired; ``statistic``/``threshold`` are the monitor quantity
+    and the limit it crossed, ``estimate`` the normalized windowed
+    estimate that triggered it.
+    """
+
+    update: int
+    items: int
+    kind: str
+    statistic: float
+    threshold: float
+    estimate: float
+
+    def to_state(self) -> tuple:
+        return (
+            self.update, self.items, self.kind,
+            self.statistic, self.threshold, self.estimate,
+        )
+
+    @classmethod
+    def from_state(cls, raw: tuple) -> "DriftEvent":
+        update, items, kind, statistic, threshold, estimate = raw
+        return cls(
+            update=int(update), items=int(items), kind=str(kind),
+            statistic=float(statistic), threshold=float(threshold),
+            estimate=float(estimate),
+        )
+
+
+# ----------------------------------------------------------------------
+# Monitor cores: pure update(p, occ) recurrences, replayable by the
+# fuzz oracle's self-consistency check.
+# ----------------------------------------------------------------------
+class _DDMCore:
+    """DDM over a *shrinking-uncertainty* statistic.
+
+    Classic DDM anchors at the running minimum of ``level = p + s`` and
+    is only sound when the monitored statistic concentrates as data
+    accrues — its fluctuations must shrink with ``s``, or any
+    stationary stream eventually wanders ``drift_level`` dispersions
+    above a minimum taken over many samples.  A fixed-window estimate
+    has *constant* variance, so the core monitors the item-weighted
+    cumulative mean ``p̄`` of the windowed estimates since the last
+    reset instead: ``p̄`` tracks the overall stream mean, and by
+    Bhatia–Davis (values normalized into [0, 1]) its standard
+    deviation is at most ``s = √(p̄(1−p̄)/occ)``, which shrinks as
+    ``1/√occ`` exactly as DDM assumes.
+    """
+
+    def __init__(
+        self, warmup: int, warn_level: float, drift_level: float,
+        min_occ: int,
+    ) -> None:
+        self.warmup = int(warmup)
+        self.warn_level = float(warn_level)
+        self.drift_level = float(drift_level)
+        self.min_occ = int(min_occ)
+        self.reset()
+
+    def reset(self) -> None:
+        self.n = 0
+        self.occ = 0
+        self.p_bar = 0.0
+        self.b_bar = 0.0
+        self.p_min = math.inf
+        self.s_min = math.inf
+        self.b_min = 0.0
+        self.in_warn = False
+
+    def update(
+        self, p: float, weight: int, err: float = 0.0
+    ) -> tuple[str | None, float, float]:
+        """One monitor step for a batch of ``weight`` items whose
+        windowed estimate is ``p`` with certified error width ``err``:
+        (event kind or None, statistic, threshold)."""
+        self.n += 1
+        w = max(int(weight), 1)
+        b = float(err) if math.isfinite(err) else 0.0
+        self.occ += w
+        self.p_bar += w * (p - self.p_bar) / self.occ
+        self.b_bar += w * (b - self.b_bar) / self.occ
+        s = math.sqrt(max(self.p_bar * (1.0 - self.p_bar), 0.0) / self.occ)
+        level = self.p_bar + s
+        # Stay disarmed — no minima, no events — until min_occ items:
+        # on heavy-tailed streams the early cumulative mean is biased
+        # low (the tail hasn't sampled yet), and a minimum anchored to
+        # it turns ordinary convergence into a fake drift.
+        if self.n <= self.warmup or self.occ < self.min_occ:
+            return None, level, math.inf
+        if level < self.p_min + self.s_min:
+            self.p_min, self.s_min, self.b_min = self.p_bar, s, self.b_bar
+        # The level and the minimum are means of *estimates*; each is
+        # within its mean certified width of the exact-stream value, so
+        # an exceedance smaller than b̄ + b̄@min could be pure estimator
+        # error — charge it to the threshold.
+        slack = self.b_bar + self.b_min
+        drift_at = self.p_min + self.drift_level * self.s_min + slack
+        warn_at = self.p_min + self.warn_level * self.s_min + slack
+        if level > drift_at:
+            self.reset()
+            return DRIFT, level, drift_at
+        if level > warn_at:
+            if self.in_warn:
+                return None, level, warn_at
+            self.in_warn = True
+            return WARN, level, warn_at
+        self.in_warn = False
+        return None, level, drift_at
+
+    def state(self) -> dict:
+        return {
+            "n": self.n, "occ": self.occ, "p_bar": self.p_bar,
+            "b_bar": self.b_bar, "p_min": self.p_min, "s_min": self.s_min,
+            "b_min": self.b_min, "in_warn": self.in_warn,
+        }  # min_occ/levels are ctor knobs, restored by _load_knobs
+
+    def load(self, state: dict) -> None:
+        self.n = int(state["n"])
+        self.occ = int(state["occ"])
+        self.p_bar = float(state["p_bar"])
+        self.b_bar = float(state["b_bar"])
+        self.p_min = float(state["p_min"])
+        self.s_min = float(state["s_min"])
+        self.b_min = float(state["b_min"])
+        self.in_warn = bool(state["in_warn"])
+
+
+class _EWMACore:
+    """ECDD-style EWMA chart against *running* baseline estimates.
+
+    Following Ross et al., the baseline mean μ̂ and dispersion σ̂ are
+    Welford estimates over every update since the last reset (valid
+    under the no-change hypothesis), not frozen at warmup — a frozen
+    baseline keeps whatever offset the warmup happened to sample and
+    stationary noise eventually drifts a fixed limit.  A true shift
+    still fires because z chases it exponentially fast while μ̂, being
+    cumulative, lags.  σ̂ can undershoot the true per-update dispersion
+    (heavy tails, few samples), so the effective σ is floored at the
+    Bhatia–Davis bound ``√(μ̂(1−μ̂)/window)`` — the monitored p is a
+    windowed mean of ``window`` values normalized into [0, 1] — and at
+    ``min_sigma`` for the constant-stream case.
+    """
+
+    def __init__(
+        self, warmup: int, window: int, lam: float, warn_level: float,
+        drift_level: float, min_sigma: float,
+    ) -> None:
+        self.warmup = int(warmup)
+        self.window = int(window)
+        self.lam = float(lam)
+        self.warn_level = float(warn_level)
+        self.drift_level = float(drift_level)
+        self.min_sigma = float(min_sigma)
+        self.reset()
+
+    def reset(self) -> None:
+        self.n = 0
+        self.occ = 0
+        self.z = 0.0
+        self.bz = 0.0
+        self.mu = 0.0  # Welford accumulators over all updates since reset
+        self.m2 = 0.0
+        self.b_bar = 0.0
+        self.in_warn = False
+
+    def update(
+        self, p: float, weight: int, err: float = 0.0
+    ) -> tuple[str | None, float, float]:
+        self.n += 1
+        self.occ += max(int(weight), 1)
+        b = float(err) if math.isfinite(err) else 0.0
+        delta = p - self.mu
+        self.mu += delta / self.n
+        self.m2 += delta * (p - self.mu)
+        self.b_bar += (b - self.b_bar) / self.n
+        if self.n == 1:
+            self.z, self.bz = p, b
+        else:
+            self.z = self.lam * p + (1.0 - self.lam) * self.z
+            self.bz = self.lam * b + (1.0 - self.lam) * self.bz
+        if self.n <= self.warmup or self.occ < self.window:
+            return None, 0.0, math.inf
+        bd = math.sqrt(max(self.mu * (1.0 - self.mu), 0.0) / self.window)
+        sigma = max(math.sqrt(self.m2 / self.n), bd, self.min_sigma)
+        # Var(z − μ̂) ≤ σ²·(g·λ/(2−λ) + W/occ): the chart term plus the
+        # baseline's own estimation variance (the shared-sample
+        # covariance only shrinks it; W/occ is large right after warmup
+        # and vanishes as the baseline converges).  Consecutive
+        # windowed estimates are serially correlated — windows of W
+        # items at stride B share W−B items, so ρ(d) = max(0, 1−d·B/W)
+        # for i.i.d. items — which inflates the textbook EWMA variance
+        # by g = 1 + 2·Σ_{d≥1} (1−λ)^d·ρ(d).  At stride ≪ W this tends
+        # to Var(z) ≈ Var(p): smoothing near-identical overlapping
+        # means averages nothing, and the chart limit must be sized for
+        # the raw estimate's dispersion, not the smoothed illusion.
+        u = max(self.window * self.n / self.occ, 1.0)
+        g, d, decay = 1.0, 1, 1.0
+        while d < u:
+            decay *= 1.0 - self.lam
+            if decay < 1e-12:
+                break
+            g += 2.0 * decay * (1.0 - d / u)
+            d += 1
+        spread = sigma * math.sqrt(
+            g * self.lam / (2.0 - self.lam) + self.window / self.occ
+        )
+        stat = abs(self.z - self.mu)
+        # z and μ̂ are filters over *estimates*, each within its
+        # certified width of the exact value, so |z−μ̂| can deviate from
+        # the exact-stream statistic by up to EWMA(b) + mean(b) — an
+        # exceedance below that could be pure estimator error (EH
+        # bucket-roll sawtooth, not stream drift).
+        slack = self.bz + self.b_bar
+        drift_at = self.drift_level * spread + slack
+        warn_at = self.warn_level * spread + slack
+        if stat > drift_at:
+            self.reset()
+            return DRIFT, stat, drift_at
+        if stat > warn_at:
+            if self.in_warn:
+                return None, stat, warn_at
+            self.in_warn = True
+            return WARN, stat, warn_at
+        self.in_warn = False
+        return None, stat, drift_at
+
+    def state(self) -> dict:
+        return {
+            "n": self.n, "occ": self.occ, "z": self.z, "bz": self.bz,
+            "mu": self.mu, "m2": self.m2, "b_bar": self.b_bar,
+            "in_warn": self.in_warn,
+        }
+
+    def load(self, state: dict) -> None:
+        self.n = int(state["n"])
+        self.occ = int(state["occ"])
+        self.z = float(state["z"])
+        self.bz = float(state["bz"])
+        self.mu = float(state["mu"])
+        self.m2 = float(state["m2"])
+        self.b_bar = float(state["b_bar"])
+        self.in_warn = bool(state["in_warn"])
+
+
+# ----------------------------------------------------------------------
+# Detector operators
+# ----------------------------------------------------------------------
+class _WindowedEstimateDetector:
+    """Shared plumbing: inner estimator, normalization, audit log,
+    events, state codec, invariants.  Subclasses build the monitor core
+    and set ``_STATE_KIND``."""
+
+    CAPABILITY_OVERRIDES = {"windowed": False}
+
+    def __init__(
+        self,
+        window: int = 128,
+        eps: float = 0.2,
+        max_value: int = 511,
+        *,
+        estimator=None,
+        scale: float | None = None,
+        warmup: int = 16,
+    ) -> None:
+        if warmup < 2:
+            raise ValueError(f"warmup must be >= 2 updates, got {warmup}")
+        if estimator is None:
+            estimator = ExponentialHistogramMean(
+                window=window, eps=eps, max_value=max_value
+            )
+        elif isinstance(estimator, str):
+            from repro.engine import registry
+
+            spec = registry.get(estimator)
+            if not spec.caps.windowed:
+                raise ValueError(
+                    f"drift detection needs a windowed estimator; "
+                    f"{estimator} is not windowed (see `repro ops`)"
+                )
+            estimator = spec.build()
+        if not callable(getattr(estimator, "query", None)):
+            raise ValueError(
+                f"estimator {type(estimator).__name__} has no query()"
+            )
+        self.inner = estimator
+        self.window = int(getattr(estimator, "window", window))
+        if scale is None:
+            scale = float(getattr(estimator, "max_value", 1) or 1)
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self.scale = float(scale)
+        self.warmup = int(warmup)
+        self.updates = 0
+        self.items = 0
+        self.events: list[DriftEvent] = []
+        self._hist_items: list[int] = []
+        self._hist_est: list[float] = []
+        self._hist_err: list[float] = []
+        self.core = self._make_core()
+
+    def _make_core(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def ingest(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.int64)
+        self.inner.ingest(values)
+        if values.size:
+            self._observe(int(values.size))
+
+    extend = ingest
+
+    def ingest_prepared(self, plan) -> None:
+        values = plan.values(np.int64)
+        if hasattr(self.inner, "ingest_prepared"):
+            self.inner.ingest_prepared(plan)
+        else:
+            self.inner.ingest(values)
+        if values.size:
+            self._observe(int(values.size))
+
+    def _normalized(self) -> tuple[float, float]:
+        """(clamped normalized estimate, certified error width or inf)."""
+        p = min(1.0, max(0.0, float(self.inner.query()) / self.scale))
+        bounds = getattr(self.inner, f"{self._BOUNDS_OF}_bounds", None)
+        if callable(bounds):
+            lo, hi = bounds()
+            err = min(1.0, max(0.0, (float(hi) - float(lo)) / self.scale))
+        else:
+            err = math.inf
+        return p, err
+
+    def _observe(self, n_items: int) -> None:
+        self.items += n_items
+        self.updates += 1
+        p, err = self._normalized()
+        self._hist_items.append(self.items)
+        self._hist_est.append(p)
+        self._hist_err.append(err)
+        with span(f"drift.{type(self).__name__}.update", "drift"):
+            kind, statistic, threshold = self.core.update(p, n_items, err)
+            charge(work=1, depth=1)
+            if kind is not None:
+                self._emit(kind, statistic, threshold, p)
+
+    def _emit(
+        self, kind: str, statistic: float, threshold: float, estimate: float
+    ) -> None:
+        self.events.append(
+            DriftEvent(
+                update=self.updates, items=self.items, kind=kind,
+                statistic=float(statistic), threshold=float(threshold),
+                estimate=float(estimate),
+            )
+        )
+        _M_DRIFT_EVENTS.inc(detector=type(self).__name__, kind=kind)
+
+    # ------------------------------------------------------------------
+    def query(self) -> tuple[int, int, int]:
+        """(drift count, warn count, update ordinal of the last drift —
+        0 when none has fired)."""
+        drifts = [e for e in self.events if e.kind == DRIFT]
+        warns = sum(1 for e in self.events if e.kind == WARN)
+        return len(drifts), warns, drifts[-1].update if drifts else 0
+
+    def drift_points(self) -> list[int]:
+        """Arrival counts at which drift (not warn) events fired."""
+        return [e.items for e in self.events if e.kind == DRIFT]
+
+    def history(self) -> list[tuple[int, float, float]]:
+        """The audit log: one (items, estimate, certified error width)
+        triple per monitor update."""
+        return list(zip(self._hist_items, self._hist_est, self._hist_err))
+
+    def fresh_monitor(self):
+        """A new monitor core with this detector's knobs — the fuzz
+        oracle replays the audit log through one to check that the
+        recorded event sequence is exactly what the recurrence implies."""
+        return self._make_core()
+
+    @property
+    def space(self) -> int:
+        inner = int(getattr(self.inner, "space", 0))
+        return inner + 3 * len(self._hist_items) + 6 * len(self.events) + 8
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            **header(self._STATE_KIND),
+            "window": self.window,
+            "scale": self.scale,
+            "warmup": self.warmup,
+            "updates": self.updates,
+            "items": self.items,
+            "inner": self.inner.state_dict(),
+            "events": [e.to_state() for e in self.events],
+            "hist_items": np.asarray(self._hist_items, dtype=np.int64),
+            "hist_est": np.asarray(self._hist_est, dtype=np.float64),
+            "hist_err": np.asarray(self._hist_err, dtype=np.float64),
+            "core": self.core.state(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        expect(state, self._STATE_KIND)
+        self.window = int(state["window"])
+        self.scale = float(state["scale"])
+        self.warmup = int(state["warmup"])
+        self.updates = int(state["updates"])
+        self.items = int(state["items"])
+        self.inner.load_state(state["inner"])
+        self.events = [DriftEvent.from_state(raw) for raw in state["events"]]
+        self._hist_items = [
+            int(v) for v in np.asarray(state["hist_items"]).tolist()
+        ]
+        self._hist_est = [
+            float(v) for v in np.asarray(state["hist_est"]).tolist()
+        ]
+        self._hist_err = [
+            float(v) for v in np.asarray(state["hist_err"]).tolist()
+        ]
+        self._load_knobs(state)
+        self.core = self._make_core()
+        self.core.load(state["core"])
+
+    def _load_knobs(self, state: dict) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def check_invariants(self) -> None:
+        name = type(self).__name__
+        require(self.updates == len(self._hist_items), name,
+                "audit log length disagrees with the update counter")
+        require(
+            len(self._hist_est) == len(self._hist_items)
+            and len(self._hist_err) == len(self._hist_items),
+            name, "audit log columns diverged",
+        )
+        prev = 0
+        for items in self._hist_items:
+            require(items > prev, name,
+                    "audit log arrival counts not strictly increasing")
+            prev = items
+        require(not self._hist_items or self._hist_items[-1] == self.items,
+                name, "audit log lost the latest update")
+        for p in self._hist_est:
+            require(0.0 <= p <= 1.0, name,
+                    f"normalized estimate {p} escaped [0, 1]")
+        last = 0
+        for event in self.events:
+            require(event.kind in (WARN, DRIFT), name,
+                    f"unknown event kind {event.kind!r}")
+            require(event.update > last, name,
+                    "event updates not strictly increasing")
+            last = event.update
+            require(event.update <= self.updates, name,
+                    "event from a future update")
+            require(
+                math.isfinite(event.statistic)
+                and math.isfinite(event.threshold), name,
+                "non-finite event statistic/threshold",
+            )
+        if callable(getattr(self.inner, "check_invariants", None)):
+            self.inner.check_invariants()
+
+
+class DDMDriftDetector(_WindowedEstimateDetector):
+    """DDM-style error-rate monitor over a windowed estimate (module
+    doc).  ``warn_level``/``drift_level`` are the classic 2σ/3σ
+    multipliers; ``min_occ`` (default ``8·window`` items) is how much
+    data the monitor sees before arming; the monitor re-arms (and
+    re-warms) after each drift."""
+
+    _STATE_KIND = "ddm_drift"
+    _BOUNDS_OF = "mean"
+
+    def __init__(
+        self,
+        window: int = 128,
+        eps: float = 0.2,
+        max_value: int = 511,
+        *,
+        estimator=None,
+        scale: float | None = None,
+        warmup: int = 16,
+        warn_level: float = 2.0,
+        drift_level: float = 3.0,
+        min_occ: int | None = None,
+    ) -> None:
+        if not (0.0 < warn_level <= drift_level):
+            raise ValueError(
+                f"need 0 < warn_level <= drift_level, got "
+                f"{warn_level} / {drift_level}"
+            )
+        if min_occ is not None and min_occ < 1:
+            raise ValueError(f"min_occ must be >= 1 item, got {min_occ}")
+        self.warn_level = float(warn_level)
+        self.drift_level = float(drift_level)
+        self._min_occ = min_occ
+        super().__init__(
+            window, eps, max_value,
+            estimator=estimator, scale=scale, warmup=warmup,
+        )
+
+    def _make_core(self) -> _DDMCore:
+        min_occ = 8 * self.window if self._min_occ is None else self._min_occ
+        return _DDMCore(
+            self.warmup, self.warn_level, self.drift_level, min_occ
+        )
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["warn_level"] = self.warn_level
+        state["drift_level"] = self.drift_level
+        state["min_occ"] = -1 if self._min_occ is None else self._min_occ
+        return state
+
+    def _load_knobs(self, state: dict) -> None:
+        self.warn_level = float(state["warn_level"])
+        self.drift_level = float(state["drift_level"])
+        raw = int(state["min_occ"])
+        self._min_occ = None if raw < 0 else raw
+
+
+class EWMADriftDetector(_WindowedEstimateDetector):
+    """ECDD-style EWMA control chart over a windowed estimate (module
+    doc).  ``lam`` is the smoothing weight, ``min_sigma`` the baseline
+    floor that keeps constant warmups from arming a zero-width chart."""
+
+    _STATE_KIND = "ewma_drift"
+    _BOUNDS_OF = "mean"
+
+    def __init__(
+        self,
+        window: int = 128,
+        eps: float = 0.2,
+        max_value: int = 511,
+        *,
+        estimator=None,
+        scale: float | None = None,
+        warmup: int = 16,
+        lam: float = 0.2,
+        warn_level: float = 2.0,
+        drift_level: float = 3.0,
+        min_sigma: float = 0.01,
+    ) -> None:
+        if not (0.0 < lam <= 1.0):
+            raise ValueError(f"lam must be in (0, 1], got {lam}")
+        if not (0.0 < warn_level <= drift_level):
+            raise ValueError(
+                f"need 0 < warn_level <= drift_level, got "
+                f"{warn_level} / {drift_level}"
+            )
+        if min_sigma <= 0.0:
+            raise ValueError(f"min_sigma must be positive, got {min_sigma}")
+        self.lam = float(lam)
+        self.warn_level = float(warn_level)
+        self.drift_level = float(drift_level)
+        self.min_sigma = float(min_sigma)
+        super().__init__(
+            window, eps, max_value,
+            estimator=estimator, scale=scale, warmup=warmup,
+        )
+
+    def _make_core(self) -> _EWMACore:
+        return _EWMACore(
+            self.warmup, self.window, self.lam, self.warn_level,
+            self.drift_level, self.min_sigma,
+        )
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["lam"] = self.lam
+        state["warn_level"] = self.warn_level
+        state["drift_level"] = self.drift_level
+        state["min_sigma"] = self.min_sigma
+        return state
+
+    def _load_knobs(self, state: dict) -> None:
+        self.lam = float(state["lam"])
+        self.warn_level = float(state["warn_level"])
+        self.drift_level = float(state["drift_level"])
+        self.min_sigma = float(state["min_sigma"])
+
+
+# ----------------------------------------------------------------------
+from repro.engine.registry import Capabilities, register  # noqa: E402
+
+register(
+    DDMDriftDetector,
+    summary="DDM drift monitor over a windowed estimate (EH mean)",
+    input="items",
+    caps=Capabilities(preparable=True, invariant_checked=True),
+    build=lambda: DDMDriftDetector(window=128, eps=0.2, max_value=511),
+    probe=lambda op: op.query(),
+)
+register(
+    EWMADriftDetector,
+    summary="EWMA (ECDD) drift chart over a windowed estimate (EH mean)",
+    input="items",
+    caps=Capabilities(preparable=True, invariant_checked=True),
+    build=lambda: EWMADriftDetector(window=128, eps=0.2, max_value=511),
+    probe=lambda op: op.query(),
+)

@@ -1,0 +1,382 @@
+"""Exponential histograms with moment payloads: mean and variance over
+the last W arrivals with certified two-sided bounds.
+
+The Sum reduction (windowed_sum/windowed_moments) answers windowed
+moments with a *one-sided* ε guarantee but forgets where inside the
+window its mass sits.  The [DGIM02]-style exponential histogram keeps
+count-based buckets — power-of-two item counts, at most k+1 buckets per
+size, the two oldest of a size merged when a (k+2)-nd appears — and
+augments each bucket with the (value-sum, square-sum) of its items, the
+[BDMO03] recipe for windowed variance.  Because the window is counted
+in *items*, everything except the single oldest bucket lies entirely
+inside the window, so the structure can emit **rigorous computed
+bounds**: the straddling bucket contributes between
+``max(0, s₀ − (c₀−m)·R)`` and ``min(s₀, m·R)`` to the window sum, where
+m of its c₀ items are still in the window and values lie in [0, R].
+
+With k = ⌈1/ε⌉ the DGIM bucket invariant (every size below the largest
+keeps at least k buckets) caps the straddler at c₀ ≤ 1 + (W−1)/k items,
+which yields the *declared* envelopes the fuzz oracle and property
+tests assert:
+
+* ``|mean() − true| ≤ bounds width ≤ R·(ε + 1/occ)``
+* ``|variance() − true| ≤ bounds width ≤ 3·R²·(ε + 1/occ)``
+
+where ``occ = min(t, W)`` is the (exact) number of in-window items.
+Space is ``O(k·log W)`` buckets of three integers each.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.pram.cost import charge
+from repro.resilience.invariants import require
+from repro.resilience.state import expect, header
+
+__all__ = ["ExponentialHistogramMean", "ExponentialHistogramVariance"]
+
+
+class _ExponentialHistogramBase:
+    """Shared bucket machinery; subclasses pick the canonical query.
+
+    Buckets are stored oldest-first in parallel lists of python ints
+    (payload sums up to W·R² stay exact without overflow checks):
+    ``_counts`` (power-of-two item counts, non-increasing oldest→newest),
+    ``_sums`` and ``_sqsums`` (value and squared-value payloads).
+    """
+
+    def __init__(self, window: int, eps: float, max_value: int) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if not (0.0 < eps <= 1.0):
+            raise ValueError(f"eps must be in (0, 1], got {eps}")
+        if max_value < 1:
+            raise ValueError(f"max_value must be >= 1, got {max_value}")
+        self.window = int(window)
+        self.eps = float(eps)
+        self.max_value = int(max_value)
+        self.k = max(1, math.ceil(1.0 / self.eps))
+        self.t = 0
+        self._counts: list[int] = []
+        self._sums: list[int] = []
+        self._sqsums: list[int] = []
+        self._mult: dict[int, int] = {}  # bucket count per size
+        self._covered = 0  # items held in buckets (window + straddler tail)
+        self._total_sum = 0
+        self._total_sq = 0
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def ingest(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.int64)
+        if values.size and (values.min() < 0 or values.max() > self.max_value):
+            raise ValueError(
+                f"values must lie in [0, {self.max_value}]; got "
+                f"[{values.min()}, {values.max()}]"
+            )
+        if not values.size:
+            return
+        folds = 0
+        for v in values.tolist():
+            folds += self._push(int(v))
+        charge(work=int(values.size) + folds, depth=1)
+
+    extend = ingest
+
+    def ingest_prepared(self, plan) -> None:
+        self.ingest(plan.values(np.int64))
+
+    def _push(self, v: int) -> int:
+        """Append one arrival; returns the number of expiries + merges
+        (the extra work beyond the append itself)."""
+        self.t += 1
+        self._counts.append(1)
+        self._sums.append(v)
+        self._sqsums.append(v * v)
+        self._mult[1] = self._mult.get(1, 0) + 1
+        self._covered += 1
+        self._total_sum += v
+        self._total_sq += v * v
+        folds = 0
+        # Expire buckets that fell entirely outside the window: the
+        # oldest bucket's newest item is `covered - counts[0]` arrivals
+        # deep, so it is dead once that depth reaches W.
+        while self._counts and self._covered - self._counts[0] >= self.window:
+            c = self._counts.pop(0)
+            self._covered -= c
+            self._total_sum -= self._sums.pop(0)
+            self._total_sq -= self._sqsums.pop(0)
+            left = self._mult[c] - 1
+            if left:
+                self._mult[c] = left
+            else:
+                del self._mult[c]
+            folds += 1
+        # Carry: whenever a size reaches k+2 buckets, merge its two
+        # oldest (adjacent, since sizes are non-increasing oldest-first)
+        # into one bucket of the next size, possibly cascading upward.
+        size = 1
+        while self._mult.get(size, 0) > self.k + 1:
+            i = self._first_of(size)
+            self._counts[i] += self._counts.pop(i + 1)
+            self._sums[i] += self._sums.pop(i + 1)
+            self._sqsums[i] += self._sqsums.pop(i + 1)
+            left = self._mult[size] - 2
+            if left:
+                self._mult[size] = left
+            else:
+                del self._mult[size]
+            size *= 2
+            self._mult[size] = self._mult.get(size, 0) + 1
+            folds += 1
+        return folds
+
+    def _first_of(self, size: int) -> int:
+        counts = self._counts
+        for i in range(len(counts)):
+            if counts[i] == size:
+                return i
+        raise AssertionError(f"no bucket of size {size}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Queries: estimate + rigorous computed bounds
+    # ------------------------------------------------------------------
+    def item_count(self) -> int:
+        """Number of in-window items — exact, because the window is
+        count-based (every arrival is one item)."""
+        return min(self.t, self.window)
+
+    def _stats(self) -> tuple[int, float, float, float, float, float, float]:
+        """(occ, sum_lo, sum_est, sum_hi, sq_lo, sq_est, sq_hi)."""
+        occ = min(self.t, self.window)
+        if occ == 0:
+            return 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0
+        c0, s0, q0 = self._counts[0], self._sums[0], self._sqsums[0]
+        m = occ - (self._covered - c0)  # straddler items still in window
+        if m >= c0:  # no straddle: every bucket fully inside the window
+            ts, tq = float(self._total_sum), float(self._total_sq)
+            return occ, ts, ts, ts, tq, tq, tq
+        inner_s = self._total_sum - s0
+        inner_q = self._total_sq - q0
+        dead = c0 - m  # straddler items already outside the window
+        frac = m / c0
+        R = self.max_value
+        R2 = R * R
+        return (
+            occ,
+            float(inner_s + max(0, s0 - dead * R)),
+            inner_s + s0 * frac,
+            float(inner_s + min(s0, m * R)),
+            float(inner_q + max(0, q0 - dead * R2)),
+            inner_q + q0 * frac,
+            float(inner_q + min(q0, m * R2)),
+        )
+
+    def mean(self) -> float:
+        """Estimated window mean (the straddler contributes its
+        in-window fraction of payload); always inside mean_bounds()."""
+        occ, _, s_est, _, _, _, _ = self._stats()
+        return s_est / occ if occ else 0.0
+
+    def mean_bounds(self) -> tuple[float, float]:
+        """Certified [lo, hi] containing the true window mean."""
+        occ, s_lo, _, s_hi, _, _, _ = self._stats()
+        if not occ:
+            return 0.0, 0.0
+        return s_lo / occ, s_hi / occ
+
+    def mean_error_bound(self) -> float:
+        """Declared cap on the mean_bounds() width: R·(ε + 1/occ)."""
+        occ = min(self.t, self.window)
+        return self.max_value * (self.eps + 1.0 / occ) if occ else 0.0
+
+    def variance(self) -> float:
+        """Estimated window population variance (clamped at 0);
+        always inside variance_bounds()."""
+        occ, _, s_est, _, _, q_est, _ = self._stats()
+        if not occ:
+            return 0.0
+        m = s_est / occ
+        return max(0.0, q_est / occ - m * m)
+
+    def variance_bounds(self) -> tuple[float, float]:
+        """Certified [lo, hi] containing the true window variance."""
+        occ, s_lo, _, s_hi, q_lo, _, q_hi = self._stats()
+        if not occ:
+            return 0.0, 0.0
+        lo = max(0.0, q_lo / occ - (s_hi / occ) ** 2)
+        hi = max(0.0, q_hi / occ - (s_lo / occ) ** 2)
+        return lo, hi
+
+    def variance_error_bound(self) -> float:
+        """Declared cap on the variance_bounds() width: 3R²·(ε + 1/occ)."""
+        occ = min(self.t, self.window)
+        if not occ:
+            return 0.0
+        return 3.0 * self.max_value**2 * (self.eps + 1.0 / occ)
+
+    # ------------------------------------------------------------------
+    # Space accounting
+    # ------------------------------------------------------------------
+    @property
+    def buckets(self) -> int:
+        return len(self._counts)
+
+    def bucket_bound(self) -> int:
+        """Worst-case bucket count: at most k+1 buckets of each of the
+        ⌊log₂(1 + (W−1)/k)⌋ + 1 feasible sizes — the O(k·log W) space
+        bound the property tests assert."""
+        largest = 1.0 + (self.window - 1) / self.k
+        return (self.k + 1) * (int(math.floor(math.log2(largest))) + 1)
+
+    @property
+    def space(self) -> int:
+        """Words held: three integers per bucket plus the size census
+        and running totals."""
+        return 3 * len(self._counts) + 2 * len(self._mult) + 4
+
+    # ------------------------------------------------------------------
+    # State codec / invariants
+    # ------------------------------------------------------------------
+    _STATE_KIND = "eh_moments"
+
+    def state_dict(self) -> dict:
+        return {
+            **header(self._STATE_KIND),
+            "window": self.window,
+            "eps": self.eps,
+            "max_value": self.max_value,
+            "t": self.t,
+            "counts": np.asarray(self._counts, dtype=np.int64),
+            "sums": np.asarray(self._sums, dtype=np.int64),
+            "sqsums": np.asarray(self._sqsums, dtype=np.int64),
+        }
+
+    def load_state(self, state: dict) -> None:
+        expect(state, self._STATE_KIND)
+        self.window = int(state["window"])
+        self.eps = float(state["eps"])
+        self.max_value = int(state["max_value"])
+        self.k = max(1, math.ceil(1.0 / self.eps))
+        self.t = int(state["t"])
+        self._counts = [int(c) for c in np.asarray(state["counts"]).tolist()]
+        self._sums = [int(s) for s in np.asarray(state["sums"]).tolist()]
+        self._sqsums = [int(q) for q in np.asarray(state["sqsums"]).tolist()]
+        self._mult = {}
+        for c in self._counts:
+            self._mult[c] = self._mult.get(c, 0) + 1
+        self._covered = sum(self._counts)
+        self._total_sum = sum(self._sums)
+        self._total_sq = sum(self._sqsums)
+
+    def check_invariants(self) -> None:
+        name = type(self).__name__
+        require(self.t >= 0, name, f"negative clock {self.t}")
+        require(
+            self._covered == sum(self._counts),
+            name,
+            "covered-item tally disagrees with bucket counts",
+        )
+        require(
+            self._total_sum == sum(self._sums)
+            and self._total_sq == sum(self._sqsums),
+            name,
+            "running payload totals drifted from the buckets",
+        )
+        if self.t < self.window:
+            require(
+                self._covered == self.t, name,
+                f"expired items before the window filled (covered "
+                f"{self._covered} != t {self.t})",
+            )
+        elif self._counts:
+            require(
+                self._covered >= self.window, name,
+                f"buckets cover {self._covered} < window {self.window}",
+            )
+            require(
+                self._covered - self._counts[0] < self.window, name,
+                "a fully-expired bucket survived",
+            )
+        R = self.max_value
+        prev = None
+        for c, s, q in zip(self._counts, self._sums, self._sqsums):
+            require(c >= 1 and (c & (c - 1)) == 0, name,
+                    f"bucket count {c} is not a power of two")
+            require(prev is None or c <= prev, name,
+                    "bucket counts not non-increasing oldest-first")
+            prev = c
+            require(0 <= s <= c * R, name, f"bucket sum {s} out of [0, {c * R}]")
+            require(0 <= q <= c * R * R, name, f"bucket sqsum {q} out of range")
+            require(s * s <= c * q, name,
+                    "bucket payload violates Cauchy-Schwarz")
+            require(q <= s * R, name, "bucket sqsum exceeds R times its sum")
+        if self._counts:
+            largest = self._counts[0]
+            size = 1
+            while size < largest:
+                require(
+                    self._mult.get(size, 0) >= self.k, name,
+                    f"only {self._mult.get(size, 0)} buckets of size {size} "
+                    f"below largest {largest} (need >= k={self.k})",
+                )
+                size *= 2
+        for size, count in self._mult.items():
+            require(count <= self.k + 1, name,
+                    f"{count} buckets of size {size} exceed k+1={self.k + 1}")
+        require(len(self._counts) <= self.bucket_bound(), name,
+                f"{len(self._counts)} buckets exceed the k·log W bound")
+
+
+class ExponentialHistogramMean(_ExponentialHistogramBase):
+    """Windowed mean with certified two-sided bounds (see module doc).
+
+    ``query()`` returns :meth:`mean`; :meth:`mean_bounds` is the
+    per-query certificate, never wider than ``R·(ε + 1/occ)``.
+    """
+
+    _STATE_KIND = "eh_mean"
+
+    def query(self) -> float:
+        return self.mean()
+
+
+class ExponentialHistogramVariance(_ExponentialHistogramBase):
+    """Windowed population variance with certified two-sided bounds.
+
+    ``query()`` returns :meth:`variance`; :meth:`variance_bounds` is
+    the per-query certificate, never wider than ``3R²·(ε + 1/occ)``.
+    Unlike :class:`~repro.core.windowed_moments.WindowedVariance` (two
+    one-sided Sum structures), the single bucket list here bounds both
+    moments *jointly* from the same straddler arithmetic.
+    """
+
+    _STATE_KIND = "eh_variance"
+
+    def query(self) -> float:
+        return self.variance()
+
+
+# ----------------------------------------------------------------------
+from repro.engine.registry import Capabilities, register  # noqa: E402
+
+register(
+    ExponentialHistogramMean,
+    summary="exponential-histogram windowed mean with certified bounds",
+    input="items",
+    caps=Capabilities(preparable=True, windowed=True, invariant_checked=True),
+    build=lambda: ExponentialHistogramMean(window=128, eps=0.2, max_value=511),
+    probe=lambda op: op.query(),
+)
+register(
+    ExponentialHistogramVariance,
+    summary="exponential-histogram windowed variance with certified bounds",
+    input="items",
+    caps=Capabilities(preparable=True, windowed=True, invariant_checked=True),
+    build=lambda: ExponentialHistogramVariance(window=128, eps=0.2, max_value=511),
+    probe=lambda op: op.query(),
+)

@@ -29,7 +29,7 @@ from __future__ import annotations
 import inspect
 import re
 import textwrap
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Protocol, runtime_checkable
 
 __all__ = [
@@ -85,8 +85,14 @@ class Capabilities:
         ``ingest_prepared(plan)`` — consumes a shared
         :class:`~repro.pram.plan.PreparedBatch` instead of re-encoding.
     ``windowed``
-        the constructor takes a ``window`` — queries describe the last
-        W arrivals, not the whole stream.
+        queries describe the last W arrivals, not the whole stream.
+        :meth:`observe` infers this from a ``window`` constructor
+        parameter; a class whose ``window`` argument does *not* make
+        its answers windowed (the drift detectors size their inner
+        estimator with it but answer whole-stream drift queries)
+        corrects the inference with a class-level
+        ``CAPABILITY_OVERRIDES`` dict, e.g.
+        ``CAPABILITY_OVERRIDES = {"windowed": False}``.
     ``invariant_checked``
         ``check_invariants()`` — structural self-audit used by the
         resilience layer's checkpoint quarantine.
@@ -127,11 +133,20 @@ class Capabilities:
     @classmethod
     def observe(cls, target: type) -> "Capabilities":
         """Capabilities as actually present on the class surface — the
-        ground truth that declared flags are tested against."""
+        ground truth that declared flags are tested against.
+
+        Inference is structural (method presence, constructor
+        signature); when structure misleads — a ``window`` parameter on
+        an operator whose answers are not last-W queries — the class
+        states the truth explicitly in a ``CAPABILITY_OVERRIDES`` dict
+        of flag-name → bool, which is applied after inference.  Unknown
+        flag names in the override are an error, so a typo fails the
+        conformance sweep instead of silently changing nothing.
+        """
         mergeable = callable(getattr(target, "merge", None)) and callable(
             getattr(target, "fresh_clone", None)
         )
-        return cls(
+        observed = cls(
             mergeable=mergeable,
             preparable=callable(getattr(target, "ingest_prepared", None)),
             windowed="window" in inspect.signature(target.__init__).parameters,
@@ -142,6 +157,18 @@ class Capabilities:
             and callable(getattr(target, "state_dict", None))
             and callable(getattr(target, "load_state", None)),
         )
+        overrides = getattr(target, "CAPABILITY_OVERRIDES", None)
+        if overrides:
+            unknown = set(overrides) - set(cls.__dataclass_fields__)
+            if unknown:
+                raise ValueError(
+                    f"{target.__name__}.CAPABILITY_OVERRIDES names unknown "
+                    f"capabilities: {sorted(unknown)}"
+                )
+            observed = replace(
+                observed, **{flag: bool(on) for flag, on in overrides.items()}
+            )
+        return observed
 
 
 @dataclass(frozen=True)

@@ -111,6 +111,8 @@ __all__ = [
 #: probe-identically under any batching.
 REBATCH_ENVELOPE = {
     "BasicSlidingFrequency",
+    "DDMDriftDetector",
+    "EWMADriftDetector",
     "IndependentMGEnsemble",
     "InfiniteHeavyHitters",
     "ParallelBasicCounter",
@@ -130,6 +132,8 @@ REBATCH_ENVELOPE = {
 #: independent of batching (no batch-boundary bookkeeping at all).
 REBATCH_STATE_EXACT = {
     "DyadicCountMin",
+    "ExponentialHistogramMean",
+    "ExponentialHistogramVariance",
     "MisraGriesSummary",
     "ParallelCountMin",
     "ParallelCountSketch",

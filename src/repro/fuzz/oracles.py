@@ -108,11 +108,21 @@ def _ck_lp_norm(spec, op, stream, plan):
 
 
 def _ck_variance(spec, op, stream, plan):
-    # Variance composes two ε-approximate sums non-linearly; no simple
-    # deterministic envelope exists, so assert only non-negativity here
-    # (the metamorphic relations still cover it in full).
+    # Variance is a difference of two one-sided (1+ε) sums, so the
+    # error is additive: |est − var| ≤ ε·E[x²] + 2ε(1+ε)·E[x]²
+    # (windowed_moments module doc).  Plus non-negativity.
     v = op.query()
-    return [] if v >= -_TOL else [f"{spec.name}: negative variance {v}"]
+    if v < -_TOL:
+        return [f"{spec.name}: negative variance {v}"]
+    tail = _tail(stream, op.window).astype(np.float64)
+    if not tail.size:
+        return []
+    ex, ex2 = float(tail.mean()), float(np.mean(tail**2))
+    tv = ex2 - ex * ex
+    slack = op.eps * ex2 + 2.0 * op.eps * (1.0 + op.eps) * ex * ex
+    return _within(
+        max(0.0, tv - slack), v, tv + slack, f"{spec.name} window variance"
+    )
 
 
 def _ck_histogram(spec, op, stream, plan):
@@ -273,6 +283,161 @@ def _ck_sliding_hh(spec, op, stream, plan):
     return out
 
 
+# ----------------------------------------------------------------------
+# Exponential-histogram moments: certificate bounds vs. brute force
+# ----------------------------------------------------------------------
+def _ck_eh(spec, op, stream, plan, stat: str):
+    tail = _tail(stream, op.window).astype(np.float64)
+    occ = int(tail.size)
+    out: list[str] = []
+    if op.item_count() != occ:
+        out.append(f"{spec.name}: item_count {op.item_count()} != {occ}")
+    if not occ:
+        return out
+    if stat == "mean":
+        truth = float(tail.mean())
+        lo, hi = op.mean_bounds()
+        est, cap = op.mean(), op.mean_error_bound()
+    else:
+        truth = float(np.mean(tail**2) - tail.mean() ** 2)
+        lo, hi = op.variance_bounds()
+        est, cap = op.variance(), op.variance_error_bound()
+    out += _within(lo, truth, hi, f"{spec.name} true {stat} vs certificate")
+    out += _within(lo, est, hi, f"{spec.name} {stat} estimate vs certificate")
+    if hi - lo > cap + _TOL:
+        out.append(
+            f"{spec.name}: certificate width {hi - lo} exceeds declared "
+            f"bound {cap}"
+        )
+    if op.buckets > op.bucket_bound():
+        out.append(
+            f"{spec.name}: {op.buckets} buckets exceed bound "
+            f"{op.bucket_bound()}"
+        )
+    return out
+
+
+def _ck_eh_mean(spec, op, stream, plan):
+    return _ck_eh(spec, op, stream, plan, "mean")
+
+
+def _ck_eh_variance(spec, op, stream, plan):
+    return _ck_eh(spec, op, stream, plan, "variance")
+
+
+# ----------------------------------------------------------------------
+# Drift detectors: audit-log consistency + no-false-negative tripwire
+# ----------------------------------------------------------------------
+def _ck_drift(spec, op, stream, plan):
+    """Three layers, all batching-agnostic because they run off the
+    detector's own audit log rather than the fuzz plan:
+
+    1. *Certificate soundness* — each logged estimate must be within
+       its logged certified width of the brute-force windowed mean.
+    2. *Replay self-consistency* — feeding the log through a fresh
+       monitor core must reproduce the recorded event sequence exactly.
+    3. *No-false-negative tripwire* — replay the core over the *exact*
+       windowed estimates (zero certificate width); if that fires a
+       drift whose exceedance is larger than the worst estimate error
+       could explain and the real detector stayed silent, the detector
+       lost a detection.  One-sided by construction: false *positives*
+       are never asserted here (stationarity is a statistical property,
+       checked by seeded regression tests, not a fuzz invariant).
+    """
+    out: list[str] = []
+    try:
+        op.check_invariants()
+    except Exception as exc:  # noqa: BLE001 - surface as a finding
+        out.append(f"{spec.name}: check_invariants failed: {exc}")
+    history = op.history()
+    drifts, warns, last = op.query()
+    n_drift = sum(1 for e in op.events if e.kind == "drift")
+    n_warn = sum(1 for e in op.events if e.kind == "warn")
+    if (drifts, warns) != (n_drift, n_warn):
+        out.append(
+            f"{spec.name}: query {op.query()} disagrees with event log "
+            f"({n_drift} drifts, {n_warn} warns)"
+        )
+    if len(history) != op.updates:
+        out.append(
+            f"{spec.name}: {len(history)} audit entries for "
+            f"{op.updates} updates"
+        )
+        return out
+
+    # Exact per-update windowed means, replayed from the raw stream at
+    # the logged arrival counts.
+    window, scale = op.window, op.scale
+    weights, prev = [], 0
+    for items, _, _ in history:
+        weights.append(items - prev)
+        prev = items
+    exact, widths = [], []
+    ok = len(history) == 0 or history[-1][0] <= len(stream)
+    if ok:
+        for idx, (items, p, err) in enumerate(history):
+            tail = stream[max(0, items - window):items].astype(np.float64)
+            pe = (
+                min(1.0, max(0.0, float(tail.mean()) / scale))
+                if tail.size else 0.0
+            )
+            if np.isfinite(err) and abs(p - pe) > err + 1e-6:
+                out.append(
+                    f"{spec.name}: update at {items} items: estimate {p} "
+                    f"is {abs(p - pe)} from exact {pe}, beyond certified "
+                    f"{err}"
+                )
+            exact.append(pe)
+            widths.append(err if np.isfinite(err) else 0.0)
+
+    # Replay self-consistency on the logged (approximate) history.
+    core = op.fresh_monitor()
+    got = []
+    for i, (items, p, err) in enumerate(history):
+        kind, _, _ = core.update(p, weights[i], err)
+        if kind is not None:
+            got.append((i + 1, kind))
+    want = [(e.update, e.kind) for e in op.events]
+    if got != want:
+        out.append(
+            f"{spec.name}: replaying the audit log yields events {got}, "
+            f"detector recorded {want}"
+        )
+
+    if not ok or not history:
+        return out
+
+    # No-false-negative: exact-stream replay with zero-width
+    # certificates.  B bounds every |p − p_exact|; thresholds move by
+    # O(B) (levels are means of estimates, dispersions are 1/2-Hölder
+    # in the mean, and the real detector adds at most 2B of certificate
+    # slack), so a drift the exact replay finds with margin beyond
+    # `slack` was detectable despite estimation error.
+    big = max(widths) if widths else 0.0
+    slack = (
+        2.0 * (big + np.sqrt(big))
+        + 2.0 * big
+        + op.drift_level * 1.5 * big
+        + 1e-6
+    )
+    core_e = op.fresh_monitor()
+    for i, pe in enumerate(exact):
+        kind, stat, thr = core_e.update(pe, weights[i], 0.0)
+        if (
+            kind == "drift"
+            and np.isfinite(thr)
+            and stat - thr > slack
+            and drifts == 0
+        ):
+            out.append(
+                f"{spec.name}: exact replay fires drift at update "
+                f"{i + 1} with margin {stat - thr} > slack {slack}, but "
+                f"the detector never fired"
+            )
+            break
+    return out
+
+
 def _ck_default(spec, op, stream, plan):
     """Fallback for operators without a dedicated checker: the probe
     must at least produce finite values."""
@@ -313,6 +478,10 @@ ORACLES: dict[str, Callable[[Any, Any, np.ndarray, Any], list[str]]] = {
     "WorkEfficientSlidingFrequency": _ck_sliding_freq,
     "InfiniteHeavyHitters": _ck_infinite_hh,
     "SlidingHeavyHitters": _ck_sliding_hh,
+    "ExponentialHistogramMean": _ck_eh_mean,
+    "ExponentialHistogramVariance": _ck_eh_variance,
+    "DDMDriftDetector": _ck_drift,
+    "EWMADriftDetector": _ck_drift,
 }
 
 

@@ -1,0 +1,224 @@
+"""Drift-scenario regression tests for the detector operators.
+
+Every stream here is seeded, so each test pins a concrete promise:
+
+* **Change-point streams** (mean step up/down, gradual ramp, variance
+  burst) — the detector must stay silent before the change and fire a
+  drift event within four windows of it.  The delay bound comes from
+  the validation sweep that shaped the detector defaults (measured
+  delays were 56–256 items at ``window=128``; 4 W = 512 leaves margin
+  without weakening the promise).
+* **Stationary streams** (Zipf, uniform, constant) — zero drift events
+  over many seeds.  False alarms were the hard part of tuning; this is
+  the regression net over the statistics that caught them.
+* **Checkpoint/restore** — ``state_dict`` round-trips bit-identically
+  mid-stream and the restored detector continues with an identical
+  event sequence (the ``concurrency`` marker pulls these into the
+  resilience smoke lane).
+* **Replay self-consistency** — feeding the recorded audit history
+  through ``fresh_monitor()`` reproduces the exact event sequence, so
+  detection is a pure function of the (estimate, weight, width) log.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DDMDriftDetector,
+    EWMADriftDetector,
+    ExponentialHistogramVariance,
+)
+from repro.core.drift import _M_DRIFT_EVENTS
+from repro.resilience.state import dumps
+
+DETECTORS = (DDMDriftDetector, EWMADriftDetector)
+IDS = [c.__name__ for c in DETECTORS]
+WINDOW = 128
+DELAY_BOUND = 4 * WINDOW  # items after the change point
+
+
+def _feed(det, stream, batch=32):
+    for i in range(0, len(stream), batch):
+        det.ingest(stream[i : i + batch])
+
+
+def _step_stream(seed=42, change=4096):
+    r = np.random.default_rng(seed)
+    return np.concatenate(
+        [
+            r.integers(40, 80, size=change),
+            r.integers(160, 200, size=2048),
+        ]
+    ), change
+
+
+def _ramp_stream(seed=7, change=4096):
+    r = np.random.default_rng(seed)
+    ramp = np.clip(
+        np.linspace(60, 170, 1024) + r.normal(0, 8, size=1024), 0, 255
+    ).astype(np.int64)
+    return np.concatenate(
+        [
+            r.integers(40, 80, size=change),
+            ramp,
+            r.integers(150, 190, size=1024),
+        ]
+    ), change
+
+
+def _assert_fires_after(det, change, stream, slack=DELAY_BOUND):
+    points = det.drift_points()
+    assert points, f"{type(det).__name__} never fired on a changed stream"
+    assert all(p > change for p in points), (
+        f"{type(det).__name__} fired before the change point: {points}"
+    )
+    assert points[0] <= change + slack, (
+        f"{type(det).__name__} detection delay {points[0] - change} items "
+        f"exceeds {slack}"
+    )
+    assert points[0] <= len(stream)
+
+
+@pytest.mark.parametrize("cls", DETECTORS, ids=IDS)
+def test_mean_step_detected_within_four_windows(cls):
+    stream, change = _step_stream()
+    det = cls(window=WINDOW, eps=0.1, max_value=255)
+    _feed(det, stream)
+    _assert_fires_after(det, change, stream)
+    drifts, _warns, last = det.query()
+    assert drifts >= 1
+    assert last == [e.update for e in det.events if e.kind == "drift"][-1]
+    det.check_invariants()
+
+
+def test_downward_step_detected_by_ewma():
+    """EWMA monitors |z − mu|, so a drop is as visible as a rise."""
+    r = np.random.default_rng(3)
+    change = 4096
+    stream = np.concatenate(
+        [r.integers(160, 200, size=change), r.integers(40, 80, size=2048)]
+    )
+    det = EWMADriftDetector(window=WINDOW, eps=0.1, max_value=255)
+    _feed(det, stream)
+    _assert_fires_after(det, change, stream)
+
+
+@pytest.mark.parametrize("cls", DETECTORS, ids=IDS)
+def test_gradual_ramp_detected(cls):
+    stream, change = _ramp_stream()
+    det = cls(window=WINDOW, eps=0.1, max_value=255)
+    _feed(det, stream)
+    # A ramp has no sharp change point; allow the full ramp plus the
+    # usual delay before requiring a fire.
+    _assert_fires_after(det, change, stream, slack=1024 + DELAY_BOUND)
+
+
+def test_variance_burst_detected_via_eh_variance_inner():
+    """Plugging an ExponentialHistogramVariance estimator under the
+    EWMA detector turns it into a variance-drift monitor: a bimodal
+    burst keeps the mean flat but explodes the window variance."""
+    r = np.random.default_rng(11)
+    change = 4096
+    calm = np.clip(r.normal(120, 5, size=change), 0, 255).astype(np.int64)
+    burst = r.choice([20, 220], size=2048).astype(np.int64)
+    stream = np.concatenate([calm, burst])
+    inner = ExponentialHistogramVariance(window=WINDOW, eps=0.1, max_value=255)
+    det = EWMADriftDetector(
+        window=WINDOW, estimator=inner, scale=255.0**2 / 4.0
+    )
+    det._BOUNDS_OF = "variance"
+    _feed(det, stream)
+    _assert_fires_after(det, change, stream)
+
+
+@pytest.mark.parametrize("cls", DETECTORS, ids=IDS)
+@pytest.mark.parametrize("shape", ["zipf", "uniform", "const"])
+def test_stationary_streams_never_drift(cls, shape):
+    for seed in range(8):
+        r = np.random.default_rng(seed)
+        if shape == "zipf":
+            stream = (r.zipf(1.3, size=8192) % 256).astype(np.int64)
+        elif shape == "uniform":
+            stream = r.integers(0, 256, size=8192).astype(np.int64)
+        else:
+            stream = np.full(8192, 97, dtype=np.int64)
+        det = cls(window=WINDOW, eps=0.1, max_value=255)
+        _feed(det, stream)
+        drifts, _warns, _last = det.query()
+        assert drifts == 0, (
+            f"{cls.__name__} false drift on stationary {shape} stream "
+            f"(seed {seed}) at items {det.drift_points()}"
+        )
+        det.check_invariants()
+
+
+@pytest.mark.parametrize("cls", DETECTORS, ids=IDS)
+def test_drift_events_counter_increments(cls):
+    stream, _change = _step_stream(seed=42)
+    before = _M_DRIFT_EVENTS.value(detector=cls.__name__, kind="drift")
+    det = cls(window=WINDOW, eps=0.1, max_value=255)
+    _feed(det, stream)
+    after = _M_DRIFT_EVENTS.value(detector=cls.__name__, kind="drift")
+    drifts, _warns, _last = det.query()
+    assert drifts >= 1
+    assert after - before == drifts
+
+
+@pytest.mark.parametrize("cls", DETECTORS, ids=IDS)
+def test_replay_of_audit_history_reproduces_events(cls):
+    stream, _change = _step_stream(seed=42)
+    det = cls(window=WINDOW, eps=0.1, max_value=255)
+    _feed(det, stream, batch=17)
+    history = det.history()
+    assert len(history) == det.updates
+
+    core = det.fresh_monitor()
+    replayed = []
+    prev = 0
+    for update, (items, p, err) in enumerate(history, start=1):
+        kind, _stat, _thr = core.update(p, items - prev, err)
+        prev = items
+        if kind is not None:
+            replayed.append((update, kind))
+    assert replayed == [(e.update, e.kind) for e in det.events]
+
+
+@pytest.mark.concurrency
+@pytest.mark.parametrize("cls", DETECTORS, ids=IDS)
+def test_checkpoint_roundtrip_bit_identical_and_same_events(cls):
+    stream, change = _step_stream(seed=42)
+    cut = 4500  # mid-stream, after the change, warn likely pending
+    det = cls(window=WINDOW, eps=0.1, max_value=255)
+    _feed(det, stream[:cut])
+
+    clone = cls(window=WINDOW, eps=0.1, max_value=255)
+    clone.load_state(det.state_dict())
+    assert dumps(clone.state_dict()) == dumps(det.state_dict())
+
+    _feed(det, stream[cut:])
+    _feed(clone, stream[cut:])
+    assert dumps(clone.state_dict()) == dumps(det.state_dict())
+    assert clone.events == det.events
+    assert clone.query() == det.query()
+    _assert_fires_after(det, change, stream)
+    clone.check_invariants()
+
+
+@pytest.mark.concurrency
+def test_checkpoint_roundtrip_with_custom_inner_estimator():
+    inner = ExponentialHistogramVariance(window=64, eps=0.2, max_value=255)
+    det = EWMADriftDetector(window=64, estimator=inner, scale=255.0**2 / 4.0)
+    r = np.random.default_rng(5)
+    det.ingest(np.clip(r.normal(120, 5, size=1000), 0, 255).astype(np.int64))
+    clone = EWMADriftDetector(
+        window=64,
+        estimator=ExponentialHistogramVariance(
+            window=64, eps=0.2, max_value=255
+        ),
+        scale=255.0**2 / 4.0,
+    )
+    clone.load_state(det.state_dict())
+    assert dumps(clone.state_dict()) == dumps(det.state_dict())
+    clone.check_invariants()

@@ -1,0 +1,181 @@
+"""Property tests for the exponential-histogram moment operators.
+
+The operators under test (``repro.core.eh``) maintain DGIM-style
+exponential histograms whose buckets carry ``(count, sum, sqsum)``
+payloads, answering mean and variance over the last ``W`` items with a
+bounded relative-error certificate.  Only the oldest surviving bucket
+can straddle the window boundary, so every estimate comes with
+computable ``[lo, hi]`` bounds; the tests below drive randomly batched
+streams against an exact ``deque`` oracle and check
+
+* the exact window statistic lies inside the certificate interval,
+* the point estimate lies inside the same interval,
+* the interval is no wider than the declared error bound
+  (``R·(eps + 1/occ)`` for the mean, ``3R²·(eps + 1/occ)`` for the
+  variance),
+* the bucket count never exceeds the closed-form
+  ``(k+1)·(⌊log2(1 + (W−1)/k)⌋ + 1)`` space bound, and
+* ``state_dict`` round-trips bit-identically mid-stream and the
+  restored operator continues identically to the original.
+"""
+
+from __future__ import annotations
+
+import collections
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ExponentialHistogramMean, ExponentialHistogramVariance
+from repro.engine import registry
+from repro.resilience.state import dumps
+
+OPS = (ExponentialHistogramMean, ExponentialHistogramVariance)
+TOL = 1e-9
+
+
+def _exact(tail):
+    arr = np.asarray(tail, dtype=np.float64)
+    if arr.size == 0:
+        return 0.0, 0.0
+    return float(arr.mean()), float(arr.var())
+
+
+def _batches(draw, window, max_value):
+    """A drawn stream plus a drawn batching of it (ingest/extend mix)."""
+    total = draw(st.integers(min_value=0, max_value=4 * window))
+    values = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=max_value),
+            min_size=total,
+            max_size=total,
+        )
+    )
+    batches = []
+    i = 0
+    while i < len(values):
+        size = draw(st.integers(min_value=1, max_value=max(1, window // 2)))
+        batches.append(values[i : i + size])
+        i += size
+    return values, batches
+
+
+@st.composite
+def eh_cases(draw):
+    window = draw(st.sampled_from([8, 32, 128]))
+    eps = draw(st.sampled_from([0.05, 0.1, 0.25, 0.5]))
+    max_value = draw(st.sampled_from([1, 15, 255]))
+    values, batches = _batches(draw, window, max_value)
+    return window, eps, max_value, values, batches
+
+
+@pytest.mark.parametrize("cls", OPS, ids=[c.__name__ for c in OPS])
+@given(case=eh_cases())
+def test_certificate_covers_exact_window_statistic(cls, case):
+    window, eps, max_value, values, batches = case
+    op = cls(window=window, eps=eps, max_value=max_value)
+    oracle = collections.deque(maxlen=window)
+    use_extend = False
+    for batch in batches:
+        arr = np.asarray(batch, dtype=np.int64)
+        (op.extend if use_extend else op.ingest)(arr)
+        use_extend = not use_extend
+        oracle.extend(batch)
+
+        assert op.item_count() == len(oracle)
+        mean, var = _exact(oracle)
+        occ = max(op.item_count(), 1)
+
+        lo, hi = op.mean_bounds()
+        assert lo - TOL <= mean <= hi + TOL
+        assert lo - TOL <= op.mean() <= hi + TOL
+        assert hi - lo <= op.mean_error_bound() + TOL
+        assert op.mean_error_bound() <= max_value * (eps + 1.0 / occ) + TOL
+
+        vlo, vhi = op.variance_bounds()
+        assert vlo - TOL <= var <= vhi + TOL
+        assert vlo - TOL <= op.variance() <= vhi + TOL
+        assert vhi - vlo <= op.variance_error_bound() + TOL
+
+        assert op.buckets <= op.bucket_bound()
+    op.check_invariants()
+
+
+@pytest.mark.parametrize("cls", OPS, ids=[c.__name__ for c in OPS])
+@given(case=eh_cases())
+def test_exact_until_first_expiry(cls, case):
+    """While t <= W no bucket straddles the boundary, so the certificate
+    must collapse to the exact value (zero-width interval)."""
+    window, eps, max_value, values, _ = case
+    op = cls(window=window, eps=eps, max_value=max_value)
+    head = values[:window]
+    if head:
+        op.ingest(np.asarray(head, dtype=np.int64))
+    mean, var = _exact(head)
+    lo, hi = op.mean_bounds()
+    assert hi - lo <= TOL
+    assert abs(op.mean() - mean) <= 1e-6
+    vlo, vhi = op.variance_bounds()
+    assert vhi - vlo <= TOL
+    assert abs(op.variance() - var) <= 1e-6
+
+
+@pytest.mark.parametrize("cls", OPS, ids=[c.__name__ for c in OPS])
+@given(case=eh_cases(), split=st.integers(min_value=0, max_value=512))
+@settings(max_examples=25)
+def test_state_roundtrip_is_bit_identical(cls, case, split):
+    window, eps, max_value, values, _ = case
+    cut = min(split, len(values))
+    op = cls(window=window, eps=eps, max_value=max_value)
+    if values[:cut]:
+        op.ingest(np.asarray(values[:cut], dtype=np.int64))
+
+    clone = cls(window=window, eps=eps, max_value=max_value)
+    clone.load_state(op.state_dict())
+    assert dumps(clone.state_dict()) == dumps(op.state_dict())
+
+    tail = np.asarray(values[cut:], dtype=np.int64)
+    if tail.size:
+        op.ingest(tail)
+        clone.ingest(tail)
+    assert dumps(clone.state_dict()) == dumps(op.state_dict())
+    assert clone.query() == op.query()
+    assert clone.mean_bounds() == op.mean_bounds()
+    assert clone.variance_bounds() == op.variance_bounds()
+    clone.check_invariants()
+
+
+@pytest.mark.parametrize("cls", OPS, ids=[c.__name__ for c in OPS])
+def test_registered_with_expected_capabilities(cls):
+    spec = registry.get(cls.__name__)
+    assert spec.cls is cls
+    assert spec.caps.windowed
+    assert spec.caps.preparable
+    assert spec.caps.invariant_checked
+    op = spec.build()
+    op.ingest(np.arange(300, dtype=np.int64) % (op.max_value + 1))
+    assert np.isfinite(spec.probe(op) if spec.probe else op.query())
+    assert op.space > 0
+    assert op.buckets <= op.bucket_bound()
+
+
+def test_sum_like_payloads_survive_adversarial_spikes(rng):
+    """Rare huge values among zeros: the certificate must still cover
+    the truth (the straddling bucket carries most of the mass)."""
+    for cls in OPS:
+        op = cls(window=64, eps=0.1, max_value=1023)
+        oracle = collections.deque(maxlen=64)
+        for _ in range(40):
+            batch = rng.choice(
+                [0, 0, 0, 0, 0, 0, 0, 1023], size=rng.integers(1, 48)
+            ).astype(np.int64)
+            op.ingest(batch)
+            oracle.extend(batch.tolist())
+            mean, var = _exact(oracle)
+            lo, hi = op.mean_bounds()
+            assert lo - TOL <= mean <= hi + TOL
+            vlo, vhi = op.variance_bounds()
+            assert vlo - TOL <= var <= vhi + TOL
+        op.check_invariants()

@@ -89,3 +89,80 @@ def test_ingest_and_extend_agree(spec):
     if spec.caps.invariant_checked:
         via_ingest.check_invariants()
         via_extend.check_invariants()
+
+
+# ----------------------------------------------------------------------
+# Capability overrides + windowed-operator sweep
+# ----------------------------------------------------------------------
+def test_capability_override_declares_non_windowed():
+    """The structural verifier sees a `window` ctor parameter and would
+    call the drift detectors windowed; the explicit override wins."""
+
+    class _Windowish:
+        def __init__(self, window: int = 8) -> None:
+            self.window = window
+
+        def ingest(self, values):
+            pass
+
+        extend = ingest
+
+    assert Capabilities.observe(_Windowish).windowed
+
+    class _Overridden(_Windowish):
+        CAPABILITY_OVERRIDES = {"windowed": False}
+
+    assert not Capabilities.observe(_Overridden).windowed
+    for name in ("DDMDriftDetector", "EWMADriftDetector"):
+        assert not registry.get(name).caps.windowed, (
+            f"{name} sizes its inner estimator with `window` but answers "
+            f"whole-stream drift queries; it must not be swept as windowed"
+        )
+
+
+def test_capability_override_rejects_unknown_flags():
+    class _Typo:
+        CAPABILITY_OVERRIDES = {"windowed": False, "mergable": True}
+
+        def ingest(self, values):
+            pass
+
+        extend = ingest
+
+    with pytest.raises(ValueError, match="mergable"):
+        Capabilities.observe(_Typo)
+
+
+@pytest.mark.parametrize(
+    "spec", [s for s in SPECS if s.caps.windowed],
+    ids=[s.name for s in SPECS if s.caps.windowed],
+)
+def test_windowed_operators_answer_last_window_queries(spec):
+    """Every operator claiming `windowed` must actually forget items
+    that leave the window: after 3W ones followed by W zeros its oracle
+    envelope — which is computed from the last-W tail only — must hold.
+    An operator that aggregates the whole stream fails its envelope
+    here, and an operator without a dedicated oracle can claim anything,
+    so falling back to the default checker also fails."""
+    import numpy as np
+
+    from repro.fuzz.oracles import ORACLES, check_oracle
+    from repro.fuzz.plan import generate_plan
+
+    assert spec.name in ORACLES, (
+        f"windowed operator {spec.name} has no envelope oracle; the "
+        f"windowed sweep cannot verify it answers last-W queries"
+    )
+    op = spec.build()
+    window = int(
+        getattr(op, "window", 0)
+        or getattr(getattr(op, "estimator", None), "window", 0)
+    )
+    assert window > 0, f"{spec.name} claims windowed but has no window"
+    stream = np.concatenate(
+        [np.ones(3 * window, dtype=np.int64), np.zeros(window, dtype=np.int64)]
+    )
+    op.ingest(stream)
+    plan = generate_plan(spec, 0, 0)
+    violations = check_oracle(spec, op, stream, plan)
+    assert not violations, violations
